@@ -1,0 +1,210 @@
+package sqlprogress
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"sqlprogress/internal/core"
+	"sqlprogress/internal/datagen"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/experiments"
+	"sqlprogress/internal/plan"
+	"sqlprogress/internal/tpch"
+)
+
+// The paper-reproduction benchmarks: one per table and figure of the
+// evaluation section. Each runs the corresponding experiment at the default
+// scale and reports its headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the full evaluation. Absolute wall-clock is the engine's;
+// the reported metrics are the paper's quantities (errors are fractions of
+// total progress, ratios are ratio errors, mu is the paper's mu).
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("no experiment %q", id)
+	}
+	opts := experiments.Defaults()
+	var last experiments.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last = e.Run(opts)
+	}
+	b.StopTimer()
+	keys := make([]string, 0, len(last.Metrics))
+	for k := range last.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		// testing.B rejects units with whitespace; normalize workload
+		// labels like "zipf z=2".
+		unit := strings.NewReplacer(" ", "_", "=", "").Replace(k)
+		b.ReportMetric(last.Metrics[k], unit)
+	}
+}
+
+// BenchmarkFig3DneTPCHQ1 regenerates Figure 3 (dne on TPC-H Q1).
+func BenchmarkFig3DneTPCHQ1(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4PmaxVsDne regenerates Figure 4 (skew-first order).
+func BenchmarkFig4PmaxVsDne(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5SafeVsDneWorstCase regenerates Figure 5 (skew-last order).
+func BenchmarkFig5SafeVsDneWorstCase(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkTable1ScanBasedPlans regenerates Table 1 (INL vs hash).
+func BenchmarkTable1ScanBasedPlans(b *testing.B) { benchExperiment(b, "tab1") }
+
+// BenchmarkFig6PmaxQ21 regenerates Figure 6 (pmax ratio error decay).
+func BenchmarkFig6PmaxQ21(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7SafeVsDneGoodCase regenerates Figure 7 (favourable case).
+func BenchmarkFig7SafeVsDneGoodCase(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkTable2TPCHMu regenerates Table 2 (mu for TPC-H Q1–Q21).
+func BenchmarkTable2TPCHMu(b *testing.B) { benchExperiment(b, "tab2") }
+
+// BenchmarkTable3SkyServerMu regenerates Table 3 (mu for SkyServer).
+func BenchmarkTable3SkyServerMu(b *testing.B) { benchExperiment(b, "tab3") }
+
+// BenchmarkThm1LowerBound regenerates the Theorem 1 construction.
+func BenchmarkThm1LowerBound(b *testing.B) { benchExperiment(b, "thm1") }
+
+// BenchmarkThm3RandomOrders regenerates the Theorem 3 measurement.
+func BenchmarkThm3RandomOrders(b *testing.B) { benchExperiment(b, "thm3") }
+
+// BenchmarkThm4PredictiveOrders regenerates the Theorem 4 measurement.
+func BenchmarkThm4PredictiveOrders(b *testing.B) { benchExperiment(b, "thm4") }
+
+// --- engine micro-benchmarks and ablations -----------------------------------------
+
+// synthPlan builds the Section 5 INL plan for overhead measurements.
+func synthPlan(n int) exec.Operator {
+	pair := datagen.NewSkewPair(n, int64(n), 2, 1)
+	db := Open()
+	db.Catalog().AddRelation(pair.R1)
+	db.Catalog().AddRelation(pair.R2)
+	db.DeclareUnique("r1", "a")
+	b := plan.NewBuilder(db.Catalog())
+	return b.Scan("r1").INLJoin("r2", "b", "a", exec.InnerJoin).Op
+}
+
+// BenchmarkExecINLJoinNoMonitor measures raw executor throughput (the
+// baseline for monitoring-overhead ablations).
+func BenchmarkExecINLJoinNoMonitor(b *testing.B) {
+	const n = 20_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		op := synthPlan(n)
+		b.StartTimer()
+		if _, err := exec.Run(exec.NewCtx(), op); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(2*n), "getnext/op")
+}
+
+// BenchmarkMonitorOverhead measures the cost of progress monitoring at
+// several sampling periods — the ablation for "how often can we afford to
+// estimate". The per-sample cost is one bounds pass (O(plan size)).
+func BenchmarkMonitorOverhead(b *testing.B) {
+	const n = 20_000
+	for _, every := range []int64{100, 1_000, 10_000} {
+		b.Run(fmt.Sprintf("every=%d", every), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				op := synthPlan(n)
+				m := core.NewMonitor(op, every, core.Dne{}, core.Pmax{}, core.Safe{})
+				b.StartTimer()
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBoundsPass measures one cardinality-bounds computation over a
+// deep plan (the per-sample cost driver).
+func BenchmarkBoundsPass(b *testing.B) {
+	cat := tpch.Generate(tpch.Config{SF: 0.002, Z: 2, Seed: 1})
+	op, err := tpch.BuildQuery(cat, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := exec.Run(exec.NewCtx(), op); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ComputeBounds(op)
+	}
+}
+
+// BenchmarkCompileSQL measures SQL front-end latency.
+func BenchmarkCompileSQL(b *testing.B) {
+	db := OpenTPCH(0.001, 2, 1)
+	const sql = `SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty,
+		AVG(l_extendedprice) AS avg_price, COUNT(*) AS cnt
+		FROM lineitem WHERE l_shipdate <= DATE '1998-09-01'
+		GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHashJoinThroughput measures the scan-based join path the paper's
+// Section 5.4 favours.
+func BenchmarkHashJoinThroughput(b *testing.B) {
+	pair := datagen.NewSkewPair(20_000, 20_000, 2, 1)
+	db := Open()
+	db.Catalog().AddRelation(pair.R1)
+	db.Catalog().AddRelation(pair.R2)
+	db.DeclareUnique("r1", "a")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		pb := plan.NewBuilder(db.Catalog())
+		op := pb.Scan("r2").HashJoin(pb.Scan("r1"), "b", "a", exec.InnerJoin).Op
+		b.StartTimer()
+		if _, err := exec.Run(exec.NewCtx(), op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDemandCapAblation quantifies the demand-capping bounds
+// refinement (core.BoundsOptions) on an ORDER BY ... LIMIT plan: it reports
+// the initial UB/LB ratio — which bounds safe's worst-case error as
+// sqrt(UB/LB) — with and without the refinement.
+func BenchmarkDemandCapAblation(b *testing.B) {
+	cat := tpch.Generate(tpch.Config{SF: 0.002, Z: 2, Seed: 1})
+	build := func() exec.Operator {
+		op, err := tpch.BuildQuery(cat, 10) // customer/orders/lineitem join, top 20
+		if err != nil {
+			b.Fatal(err)
+		}
+		return op
+	}
+	var withCap, withoutCap core.BoundsSnapshot
+	for i := 0; i < b.N; i++ {
+		op := build()
+		withCap = core.ComputeBounds(op)
+		withoutCap = core.ComputeBoundsOpt(op, core.BoundsOptions{DisableDemandCap: true})
+	}
+	b.ReportMetric(float64(withCap.UB)/float64(withCap.LB), "ub/lb_capped")
+	b.ReportMetric(float64(withoutCap.UB)/float64(withoutCap.LB), "ub/lb_uncapped")
+}

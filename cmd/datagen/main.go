@@ -1,0 +1,102 @@
+// Command datagen generates the experiment data sets and prints their
+// shape: table cardinalities, skew summaries and histogram sketches. It is
+// the inspection tool for the workloads the paper's experiments run on.
+//
+// Usage:
+//
+//	datagen -db tpch -sf 0.01 -z 2
+//	datagen -db skyserver -rows 40000
+//	datagen -db synth -n 30000 -z 2     # the Section 5 R1/R2 pair
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sqlprogress/internal/catalog"
+	"sqlprogress/internal/datagen"
+	"sqlprogress/internal/skyserver"
+	"sqlprogress/internal/tpch"
+)
+
+func main() {
+	var (
+		dbKind = flag.String("db", "tpch", "database: tpch | skyserver | synth")
+		sf     = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		z      = flag.Float64("z", 2, "zipf skew")
+		seed   = flag.Int64("seed", 42, "generation seed")
+		rows   = flag.Int64("rows", 40000, "SkyServer photoobj rows")
+		n      = flag.Int("n", 30000, "synthetic pair size |R1| = |R2|")
+	)
+	flag.Parse()
+
+	switch *dbKind {
+	case "tpch":
+		cat := tpch.Generate(tpch.Config{SF: *sf, Z: *z, Seed: *seed})
+		describe(cat)
+		skewReport(cat, "orders", "o_custkey")
+		skewReport(cat, "lineitem", "l_partkey")
+	case "skyserver":
+		cat := skyserver.Generate(skyserver.Config{PhotoObj: *rows, Seed: *seed})
+		describe(cat)
+		skewReport(cat, "photoobj", "type")
+	case "synth":
+		pair := datagen.NewSkewPair(*n, int64(*n), *z, *seed)
+		fmt.Printf("r1: %d rows (unique keys 0..%d)\n", pair.R1.Cardinality(), *n-1)
+		fmt.Printf("r2: %d rows, zipf z=%.1f over r1's keys\n", pair.R2.Cardinality(), *z)
+		fmt.Println("top fan-outs (key -> matching r2 rows):")
+		for k := 0; k < 5 && k < len(pair.Fanout); k++ {
+			fmt.Printf("  key %d -> %d (%.1f%% of all work)\n",
+				k, pair.Fanout[k], 100*float64(pair.Fanout[k])/float64(pair.R2.Cardinality()))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown db %q\n", *dbKind)
+		os.Exit(2)
+	}
+}
+
+func describe(cat *catalog.Catalog) {
+	fmt.Println("tables:")
+	for _, t := range cat.TableNames() {
+		rel, _ := cat.Relation(t)
+		fmt.Printf("  %-10s %8d rows  %s\n", t, rel.Cardinality(), rel.Schema())
+	}
+	if fks := cat.ForeignKeys(); len(fks) > 0 {
+		fmt.Println("foreign keys:")
+		for _, fk := range fks {
+			fmt.Printf("  %s.%s -> %s.%s\n", fk.ChildTable, fk.ChildColumn, fk.ParentTable, fk.ParentColumn)
+		}
+	}
+}
+
+// skewReport prints the heaviest values of a column.
+func skewReport(cat *catalog.Catalog, table, column string) {
+	rel, err := cat.Relation(table)
+	if err != nil {
+		return
+	}
+	ci, err := rel.Sch.ColIndex("", column)
+	if err != nil || ci < 0 {
+		return
+	}
+	counts := map[string]int{}
+	for _, row := range rel.Rows {
+		counts[row[ci].String()]++
+	}
+	type kv struct {
+		v string
+		n int
+	}
+	var top []kv
+	for v, n := range counts {
+		top = append(top, kv{v, n})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].n > top[j].n })
+	fmt.Printf("skew in %s.%s (%d distinct values):\n", table, column, len(top))
+	for i := 0; i < 3 && i < len(top); i++ {
+		fmt.Printf("  %-20s %6d rows (%.1f%%)\n", top[i].v, top[i].n,
+			100*float64(top[i].n)/float64(rel.Cardinality()))
+	}
+}

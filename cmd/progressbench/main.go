@@ -1,0 +1,73 @@
+// Command progressbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	progressbench -experiment all            # every experiment, paper order
+//	progressbench -experiment fig4           # one experiment
+//	progressbench -experiment tab2 -scale fast
+//	progressbench -experiment fig5 -csv      # raw series as CSV
+//	progressbench -list
+//
+// Scales: "default" (a few seconds per experiment) and "fast" (test scale).
+// Absolute numbers differ from the paper (the substrate is this package's
+// own engine, not SQL Server 2005 on 1 GB data); the shapes are asserted by
+// the test suite and recorded against the paper's values in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sqlprogress/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (fig3..fig7, tab1..tab3, thm1, thm4) or 'all'")
+		scale      = flag.String("scale", "default", "experiment scale: default | fast")
+		csv        = flag.Bool("csv", false, "emit raw series as CSV instead of rendered tables")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var opts experiments.Options
+	switch *scale {
+	case "default":
+		opts = experiments.Defaults()
+	case "fast":
+		opts = experiments.Fast()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	run := func(e experiments.Experiment) {
+		r := e.Run(opts)
+		if *csv {
+			fmt.Print(r.CSV())
+		} else {
+			fmt.Println(r.Render())
+		}
+	}
+
+	if *experiment == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.ByID(*experiment)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *experiment)
+		os.Exit(2)
+	}
+	run(e)
+}

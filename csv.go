@@ -1,0 +1,111 @@
+package sqlprogress
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// CSVOptions controls LoadCSV.
+type CSVOptions struct {
+	// Header skips the first record.
+	Header bool
+	// Comma is the field delimiter (default ',').
+	Comma rune
+	// NullToken marks SQL NULL (default: the empty string).
+	NullToken string
+	// DateFormat parses Date columns (default "2006-01-02").
+	DateFormat string
+}
+
+// LoadCSV appends CSV records to an existing table, converting each field
+// to the table's declared column type, and refreshes the table's
+// statistics. It returns the number of rows loaded. On a malformed field it
+// stops with an error naming the record and column; previously parsed rows
+// of this call are not rolled back (statistics still reflect them).
+func (db *DB) LoadCSV(table string, r io.Reader, opts CSVOptions) (int, error) {
+	rel, err := db.cat.Relation(table)
+	if err != nil {
+		return 0, err
+	}
+	if opts.DateFormat == "" {
+		opts.DateFormat = "2006-01-02"
+	}
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = rel.Sch.Len()
+	cr.TrimLeadingSpace = true
+
+	loaded := 0
+	recordNo := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return loaded, fmt.Errorf("sqlprogress: csv record %d: %w", recordNo+1, err)
+		}
+		recordNo++
+		if opts.Header && recordNo == 1 {
+			continue
+		}
+		row := make(schema.Row, len(rec))
+		for i, field := range rec {
+			v, err := parseCSVField(field, rel.Sch.Columns[i].Type, opts)
+			if err != nil {
+				return loaded, fmt.Errorf("sqlprogress: csv record %d, column %s: %w",
+					recordNo, rel.Sch.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		rel.Append(row)
+		loaded++
+	}
+	db.cat.AddRelation(rel) // rebuild statistics
+	return loaded, nil
+}
+
+func parseCSVField(field string, kind Kind, opts CSVOptions) (sqlval.Value, error) {
+	if field == opts.NullToken {
+		return sqlval.Null(), nil
+	}
+	switch kind {
+	case sqlval.KindInt:
+		v, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+		if err != nil {
+			return sqlval.Null(), fmt.Errorf("bad integer %q", field)
+		}
+		return sqlval.Int(v), nil
+	case sqlval.KindFloat:
+		v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			return sqlval.Null(), fmt.Errorf("bad float %q", field)
+		}
+		return sqlval.Float(v), nil
+	case sqlval.KindBool:
+		switch strings.ToLower(strings.TrimSpace(field)) {
+		case "true", "t", "1", "yes":
+			return sqlval.Bool(true), nil
+		case "false", "f", "0", "no":
+			return sqlval.Bool(false), nil
+		}
+		return sqlval.Null(), fmt.Errorf("bad boolean %q", field)
+	case sqlval.KindDate:
+		t, err := time.Parse(opts.DateFormat, strings.TrimSpace(field))
+		if err != nil {
+			return sqlval.Null(), fmt.Errorf("bad date %q (format %s)", field, opts.DateFormat)
+		}
+		return sqlval.DateFromTime(t), nil
+	default:
+		return sqlval.String(field), nil
+	}
+}

@@ -1,0 +1,110 @@
+package sqlprogress
+
+import (
+	"strings"
+	"testing"
+)
+
+func csvTable(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	if err := db.CreateTable("trades", []Column{
+		{Name: "id", Type: Int},
+		{Name: "price", Type: Float},
+		{Name: "sym", Type: String},
+		{Name: "buy", Type: Bool},
+		{Name: "day", Type: Date},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestLoadCSVBasics(t *testing.T) {
+	db := csvTable(t)
+	data := `id,price,sym,buy,day
+1,10.5,AAPL,true,2020-01-02
+2,11.25,MSFT,false,2020-01-03
+3,,GOOG,yes,2020-01-04
+`
+	n, err := db.LoadCSV("trades", strings.NewReader(data), CSVOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded = %d", n)
+	}
+	res, err := db.Exec("SELECT COUNT(*), COUNT(price) FROM trades")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 3 || res.Rows[0][1].AsInt() != 2 {
+		t.Errorf("counts = %v (empty price should be NULL)", res.Rows[0])
+	}
+	res, err = db.Exec("SELECT sym FROM trades WHERE buy = TRUE ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].AsString() != "AAPL" {
+		t.Errorf("buy rows = %v", res.Rows)
+	}
+	res, err = db.Exec("SELECT id FROM trades WHERE day > DATE '2020-01-02'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("date filter rows = %d", len(res.Rows))
+	}
+}
+
+func TestLoadCSVOptions(t *testing.T) {
+	db := csvTable(t)
+	data := "4;12.0;IBM;0;02/01/2021\n5;NA;TSM;1;03/01/2021\n"
+	n, err := db.LoadCSV("trades", strings.NewReader(data), CSVOptions{
+		Comma:      ';',
+		NullToken:  "NA",
+		DateFormat: "02/01/2006",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded = %d", n)
+	}
+	res, _ := db.Exec("SELECT COUNT(price) FROM trades")
+	if res.Rows[0][0].AsInt() != 1 {
+		t.Errorf("NA should be NULL: %v", res.Rows[0])
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	db := csvTable(t)
+	cases := []struct {
+		name, data string
+	}{
+		{"bad int", "x,1.0,A,true,2020-01-01\n"},
+		{"bad float", "1,abc,A,true,2020-01-01\n"},
+		{"bad bool", "1,1.0,A,maybe,2020-01-01\n"},
+		{"bad date", "1,1.0,A,true,Jan 1\n"},
+		{"wrong arity", "1,2\n"},
+	}
+	for _, c := range cases {
+		if _, err := db.LoadCSV("trades", strings.NewReader(c.data), CSVOptions{}); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := db.LoadCSV("ghost", strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
+func TestLoadCSVRebuildsStatistics(t *testing.T) {
+	db := csvTable(t)
+	if _, err := db.LoadCSV("trades", strings.NewReader("1,1.0,A,true,2020-01-01\n"), CSVOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := db.Catalog().Stats("trades")
+	if ts == nil || ts.RowCount != 1 {
+		t.Fatalf("stats = %+v", ts)
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: create a small database, run a SQL query, and watch progress
+// estimates stream while it executes.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sqlprogress"
+)
+
+func main() {
+	db := sqlprogress.Open()
+
+	// A sensor-readings table: 200k rows across 50 devices.
+	check(db.CreateTable("readings", []sqlprogress.Column{
+		{Name: "device", Type: sqlprogress.Int},
+		{Name: "temp", Type: sqlprogress.Float},
+		{Name: "ok", Type: sqlprogress.Bool},
+	}))
+	r := rand.New(rand.NewSource(1))
+	rows := make([][]interface{}, 0, 200_000)
+	for i := 0; i < 200_000; i++ {
+		rows = append(rows, []interface{}{
+			i % 50,
+			15 + r.Float64()*20,
+			r.Intn(100) != 0,
+		})
+	}
+	check(db.Insert("readings", rows...))
+
+	q, err := db.Query(`
+		SELECT device, COUNT(*) AS n, AVG(temp) AS avg_temp
+		FROM readings
+		WHERE ok = TRUE AND temp > 20
+		GROUP BY device
+		ORDER BY avg_temp DESC
+		LIMIT 5`)
+	check(err)
+
+	fmt.Println("physical plan:")
+	fmt.Print(q.Explain())
+
+	res, err := q.RunWithProgress(sqlprogress.ProgressOptions{
+		Estimator: sqlprogress.Pmax, // never underestimates (Property 4)
+		Extra:     []sqlprogress.EstimatorKind{sqlprogress.Safe},
+	}, func(u sqlprogress.ProgressUpdate) {
+		fmt.Printf("\rprogress: %5.1f%%  (hard bounds %4.1f%%–%5.1f%%, safe says %5.1f%%)",
+			100*u.Estimate, 100*u.Lo, 100*u.Hi, 100*u.Estimates[sqlprogress.Safe])
+	})
+	check(err)
+	fmt.Println()
+
+	fmt.Printf("\n%d hottest devices (total work: %d GetNext calls, mu=%.3f):\n",
+		len(res.Rows), res.TotalCalls, res.Mu)
+	for _, row := range res.Rows {
+		fmt.Println("  " + sqlprogress.FormatRow(row))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

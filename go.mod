@@ -1,0 +1,3 @@
+module sqlprogress
+
+go 1.22

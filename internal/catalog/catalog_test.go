@@ -1,0 +1,203 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+func sampleRelation(name string, n int64) *schema.Relation {
+	rel := schema.NewRelation(name, schema.New(
+		schema.Column{Name: "id", Type: sqlval.KindInt},
+		schema.Column{Name: "v", Type: sqlval.KindInt},
+	))
+	for i := int64(0); i < n; i++ {
+		rel.Append(schema.Row{sqlval.Int(i), sqlval.Int(i % 7)})
+	}
+	return rel
+}
+
+func TestAddAndLookup(t *testing.T) {
+	c := New(nil)
+	c.AddRelation(sampleRelation("orders", 10))
+	rel, err := c.Relation("ORDERS") // case-insensitive
+	if err != nil || rel.Cardinality() != 10 {
+		t.Fatalf("Relation(ORDERS) = %v, %v", rel, err)
+	}
+	if c.Cardinality("orders") != 10 {
+		t.Errorf("Cardinality = %d", c.Cardinality("orders"))
+	}
+	if c.Cardinality("nope") != -1 {
+		t.Errorf("unknown table cardinality = %d, want -1", c.Cardinality("nope"))
+	}
+	if _, err := c.Relation("nope"); err == nil || !strings.Contains(err.Error(), "orders") {
+		t.Errorf("error should list known tables, got %v", err)
+	}
+}
+
+func TestMustRelationPanics(t *testing.T) {
+	c := New(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.MustRelation("ghost")
+}
+
+func TestStatsBuiltOnAdd(t *testing.T) {
+	c := New(nil)
+	c.AddRelation(sampleRelation("t", 100))
+	ts := c.Stats("t")
+	if ts == nil || ts.RowCount != 100 {
+		t.Fatalf("stats = %+v", ts)
+	}
+	if ts.Histogram(0) == nil {
+		t.Error("histogram on column 0 missing")
+	}
+}
+
+func TestIndexesBuiltAndCached(t *testing.T) {
+	c := New(nil)
+	c.AddRelation(sampleRelation("t", 50))
+	h1, err := c.BuildHashIndex("t", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := c.BuildHashIndex("T", "V")
+	if h1 != h2 {
+		t.Error("hash index should be cached")
+	}
+	if got := len(h1.Lookup(sqlval.Int(3))); got != 7 { // i%7==3 for i in 0..49: 3,10,...,45
+		t.Errorf("lookup(3) = %d rows", got)
+	}
+	o1, err := c.BuildOrderedIndex("t", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Len() != 50 {
+		t.Errorf("ordered len = %d", o1.Len())
+	}
+	if c.OrderedIndex("t", "id") != o1 || c.HashIndex("t", "v") != h1 {
+		t.Error("accessors should return built indexes")
+	}
+	if c.HashIndex("t", "id") != nil {
+		t.Error("unbuilt index should be nil")
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	c := New(nil)
+	c.AddRelation(sampleRelation("t", 5))
+	if _, err := c.BuildHashIndex("ghost", "v"); err == nil {
+		t.Error("unknown table should error")
+	}
+	if _, err := c.BuildHashIndex("t", "ghostcol"); err == nil {
+		t.Error("unknown column should error")
+	}
+	if _, err := c.BuildOrderedIndex("t", "ghostcol"); err == nil {
+		t.Error("unknown column should error")
+	}
+}
+
+func TestReplaceRelationDropsIndexes(t *testing.T) {
+	c := New(nil)
+	c.AddRelation(sampleRelation("t", 5))
+	if _, err := c.BuildHashIndex("t", "v"); err != nil {
+		t.Fatal(err)
+	}
+	c.AddRelation(sampleRelation("t", 8))
+	if c.HashIndex("t", "v") != nil {
+		t.Error("replacing a relation must drop its indexes")
+	}
+	if c.Cardinality("t") != 8 {
+		t.Errorf("cardinality after replace = %d", c.Cardinality("t"))
+	}
+}
+
+func TestConstraints(t *testing.T) {
+	c := New(nil)
+	c.AddRelation(sampleRelation("parent", 5))
+	c.AddRelation(sampleRelation("child", 20))
+	c.DeclareForeignKey(ForeignKey{
+		ChildTable: "child", ChildColumn: "v",
+		ParentTable: "parent", ParentColumn: "id",
+	})
+	if !c.IsUnique("parent", "id") {
+		t.Error("FK parent column should be unique")
+	}
+	if !c.JoinIsLinear("child", "v", "parent", "id") {
+		t.Error("FK join should be linear")
+	}
+	if !c.JoinIsLinear("parent", "id", "child", "v") {
+		t.Error("linearity is symmetric in argument order")
+	}
+	if c.JoinIsLinear("child", "v", "child", "id") {
+		t.Error("join between non-unique columns should not be linear")
+	}
+	if len(c.ForeignKeys()) != 1 {
+		t.Errorf("ForeignKeys = %v", c.ForeignKeys())
+	}
+}
+
+func TestTableNamesSorted(t *testing.T) {
+	c := New(nil)
+	c.AddRelation(sampleRelation("zeta", 1))
+	c.AddRelation(sampleRelation("alpha", 1))
+	names := c.TableNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Errorf("TableNames = %v", names)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c := New(nil)
+	c.AddRelation(sampleRelation("parent", 5))
+	c.AddRelation(sampleRelation("child", 10))
+	c.DeclareForeignKey(ForeignKey{
+		ChildTable: "child", ChildColumn: "v",
+		ParentTable: "parent", ParentColumn: "id",
+	})
+	if _, err := c.BuildHashIndex("parent", "id"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.DropTable("PARENT") {
+		t.Fatal("drop should succeed")
+	}
+	if _, err := c.Relation("parent"); err == nil {
+		t.Error("relation should be gone")
+	}
+	if c.Stats("parent") != nil || c.HashIndex("parent", "id") != nil {
+		t.Error("stats/indexes should be gone")
+	}
+	if len(c.ForeignKeys()) != 0 {
+		t.Errorf("FKs referencing the table should be dropped: %v", c.ForeignKeys())
+	}
+	if c.IsUnique("parent", "id") {
+		t.Error("unique declarations should be gone")
+	}
+	if c.DropTable("ghost") {
+		t.Error("dropping a missing table should report false")
+	}
+}
+
+func TestRefreshStats(t *testing.T) {
+	c := New(nil)
+	rel := sampleRelation("t", 5)
+	c.AddRelation(rel)
+	rel.Append(schema.Row{sqlval.Int(99), sqlval.Int(0)})
+	if c.Stats("t").RowCount != 5 {
+		t.Fatal("stats should be stale before refresh")
+	}
+	if !c.RefreshStats("t") {
+		t.Fatal("refresh should succeed")
+	}
+	if c.Stats("t").RowCount != 6 {
+		t.Errorf("rowcount after refresh = %d", c.Stats("t").RowCount)
+	}
+	if c.RefreshStats("ghost") {
+		t.Error("refreshing a missing table should report false")
+	}
+}

@@ -1,0 +1,467 @@
+// Package compile binds a parsed SELECT statement against a catalog and
+// produces a physical plan: single-table predicates are pushed into scans,
+// equi-join predicates drive a left-deep hash-join tree in FROM order,
+// EXISTS/IN subqueries become semi/anti hash joins, and aggregation,
+// HAVING, ORDER BY and LIMIT layer on top. It is a rule-based planner —
+// the paper's subject is what happens *after* the optimizer picked a plan,
+// so plan choice is deliberately simple and predictable.
+//
+// Limitations (documented, erroring cleanly): self-joins of a table with
+// itself via aliases, non-equi join conditions in ON, correlated
+// subqueries beyond a single correlation equality, and NOT IN's
+// NULL-propagating semantics (compiled as an anti join, i.e. NOT EXISTS
+// semantics).
+package compile
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlprogress/internal/catalog"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/expr"
+	"sqlprogress/internal/plan"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlparse"
+	"sqlprogress/internal/sqlval"
+)
+
+// Compile parses nothing: it takes an AST and a catalog and returns an
+// executable plan.
+func Compile(cat *catalog.Catalog, sel *sqlparse.Select) (exec.Operator, error) {
+	c := &compiler{cat: cat, b: plan.NewBuilder(cat)}
+	n, err := c.compileSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	return n.Op, nil
+}
+
+// CompileSQL parses and compiles a SQL string.
+func CompileSQL(cat *catalog.Catalog, sql string) (exec.Operator, error) {
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(cat, sel)
+}
+
+type compiler struct {
+	cat     *catalog.Catalog
+	b       *plan.Builder
+	aliases map[string]string // alias (lower) -> base table name
+}
+
+// fromEntry is one flattened FROM element.
+type fromEntry struct {
+	table, alias string
+	joinKind     string // "", "inner", "left"
+	on           sqlparse.Node
+}
+
+func (c *compiler) compileSelect(sel *sqlparse.Select) (plan.Node, error) {
+	node, err := c.buildFromWhere(sel)
+	if err != nil {
+		return plan.Node{}, err
+	}
+
+	// Collect aggregates from the select list, HAVING and ORDER BY.
+	aggs := collectAggs(sel)
+	grouped := len(sel.GroupBy) > 0 || len(aggs) > 0
+
+	// rewrites maps computed sub-expressions (aggregates, group-by
+	// expressions) to the output columns carrying them above the
+	// aggregation.
+	var rewrites []rewrite
+	if grouped {
+		node, rewrites, err = c.buildAggregation(node, sel, aggs)
+		if err != nil {
+			return plan.Node{}, err
+		}
+		if sel.Having != nil {
+			having := rewriteRefs(sel.Having, rewrites)
+			var convErr error
+			node = node.Filter(0.5, func(s *schema.Schema) expr.Expr {
+				e, _, cerr := c.convert(s, having)
+				if cerr != nil {
+					convErr = cerr
+					return expr.Literal(sqlval.Bool(true))
+				}
+				return e
+			})
+			if convErr != nil {
+				return plan.Node{}, fmt.Errorf("HAVING: %w", convErr)
+			}
+		}
+	}
+
+	pre := node
+	post, err := c.buildProjection(pre, sel, rewrites, grouped)
+	if err != nil {
+		return plan.Node{}, err
+	}
+	if sel.Distinct {
+		post = post.Wrap(exec.NewDistinct(post.Op), post.Est()/2)
+	}
+
+	node = post
+	if len(sel.OrderBy) > 0 {
+		resolve := func(sch *schema.Schema) ([]exec.SortKey, error) {
+			keys := make([]exec.SortKey, len(sel.OrderBy))
+			for i, term := range sel.OrderBy {
+				e, _, err := c.convert(sch, rewriteRefs(term.Expr, rewrites))
+				if err != nil {
+					return nil, err
+				}
+				keys[i] = exec.SortKey{Expr: e, Desc: term.Desc}
+			}
+			return keys, nil
+		}
+		// Prefer sorting the projected output (aliases resolve there); fall
+		// back to sorting before projection for terms the projection drops
+		// (e.g. ORDER BY COUNT(*) with the count not selected).
+		if keys, rerr := resolve(post.Schema()); rerr == nil {
+			node = post.SortKeys(keys...)
+		} else if keys, rerr2 := resolve(pre.Schema()); rerr2 == nil {
+			sorted := pre.SortKeys(keys...)
+			node, err = c.buildProjection(sorted, sel, rewrites, grouped)
+			if err != nil {
+				return plan.Node{}, err
+			}
+			if sel.Distinct {
+				// Distinct streams in input order, so the sort survives.
+				node = node.Wrap(exec.NewDistinct(node.Op), node.Est()/2)
+			}
+		} else {
+			return plan.Node{}, fmt.Errorf("ORDER BY: %w", rerr)
+		}
+	}
+	if sel.Limit >= 0 {
+		node = node.Top(sel.Limit)
+	}
+	return node, nil
+}
+
+// --- FROM / WHERE ---------------------------------------------------------------
+
+func (c *compiler) buildFromWhere(sel *sqlparse.Select) (plan.Node, error) {
+	entries, err := c.flattenFrom(sel)
+	if err != nil {
+		return plan.Node{}, err
+	}
+
+	conjuncts := splitAnd(sel.Where)
+	// Explicit inner-join ON conditions join the shared conjunct pool;
+	// left joins keep theirs (outer semantics).
+	for _, e := range entries {
+		if e.joinKind == "inner" && e.on != nil {
+			conjuncts = append(conjuncts, splitAnd(e.on)...)
+		}
+	}
+
+	perTable := map[string][]sqlparse.Node{} // table name -> pushable predicates
+	var joins []sqlparse.Node                // equi-joins between tables
+	var subs []sqlparse.Node                 // EXISTS / IN-subquery conjuncts
+	var residual []sqlparse.Node
+
+	for _, cj := range conjuncts {
+		switch n := cj.(type) {
+		case *sqlparse.ExistsNode:
+			subs = append(subs, cj)
+			continue
+		case *sqlparse.NotNode:
+			if _, ok := n.E.(*sqlparse.ExistsNode); ok {
+				subs = append(subs, cj)
+				continue
+			}
+		case *sqlparse.InNode:
+			if n.Sub != nil {
+				subs = append(subs, cj)
+				continue
+			}
+		}
+		tables, joinEq := c.classify(cj, entries)
+		switch {
+		case joinEq:
+			joins = append(joins, cj)
+		case len(tables) == 1:
+			var only string
+			for t := range tables {
+				only = t
+			}
+			perTable[only] = append(perTable[only], cj)
+		default:
+			residual = append(residual, cj)
+		}
+	}
+
+	scan := func(e fromEntry, push bool) (plan.Node, error) {
+		preds := perTable[strings.ToLower(e.table)]
+		if !push || len(preds) == 0 {
+			return c.b.Scan(e.table), nil
+		}
+		var convErr error
+		n := c.b.ScanFiltered(e.table, selGuess(len(preds)), func(s *schema.Schema) expr.Expr {
+			parts := make([]expr.Expr, 0, len(preds))
+			for _, p := range preds {
+				e, _, err := c.convert(s, p)
+				if err != nil {
+					convErr = err
+					return expr.Literal(sqlval.Bool(true))
+				}
+				parts = append(parts, e)
+			}
+			return expr.And(parts...)
+		})
+		return n, convErr
+	}
+
+	cur, err := scan(entries[0], true)
+	if err != nil {
+		return plan.Node{}, err
+	}
+	placed := map[string]bool{strings.ToLower(entries[0].table): true}
+	usedJoin := make([]bool, len(joins))
+
+	for _, e := range entries[1:] {
+		tl := strings.ToLower(e.table)
+		if placed[tl] {
+			return plan.Node{}, fmt.Errorf("compile: table %s appears twice (self-joins are not supported)", e.table)
+		}
+		var probeCols, buildCols []string
+		if e.joinKind == "left" {
+			pc, bc, err := c.equiKeys(splitAnd(e.on), placed, tl)
+			if err != nil {
+				return plan.Node{}, err
+			}
+			probeCols, buildCols = pc, bc
+			if len(probeCols) == 0 {
+				return plan.Node{}, fmt.Errorf("compile: LEFT JOIN %s requires an equi-join ON condition", e.table)
+			}
+			// Outer joins must not push WHERE predicates below the join.
+			build, err := scan(e, false)
+			if err != nil {
+				return plan.Node{}, err
+			}
+			cur = cur.HashJoinMulti(build, probeCols, buildCols, exec.LeftOuterJoin)
+			placed[tl] = true
+			continue
+		}
+		for i, j := range joins {
+			if usedJoin[i] {
+				continue
+			}
+			pc, bc, err := c.equiKeys([]sqlparse.Node{j}, placed, tl)
+			if err != nil {
+				return plan.Node{}, err
+			}
+			if len(pc) > 0 {
+				probeCols = append(probeCols, pc...)
+				buildCols = append(buildCols, bc...)
+				usedJoin[i] = true
+			}
+		}
+		build, err := scan(e, true)
+		if err != nil {
+			return plan.Node{}, err
+		}
+		if len(probeCols) == 0 {
+			// No connecting predicate: cross join via nested loops.
+			cur = c.b.Cross(cur, build)
+		} else {
+			cur = cur.HashJoinMulti(build, probeCols, buildCols, exec.InnerJoin)
+		}
+		placed[tl] = true
+	}
+
+	// Unused join conjuncts (e.g. cycles in the join graph) and residual
+	// predicates become explicit filters.
+	for i, j := range joins {
+		if !usedJoin[i] {
+			residual = append(residual, j)
+		}
+	}
+	if len(residual) > 0 {
+		preds := residual
+		var convErr error
+		cur = cur.Filter(selGuess(len(preds)), func(s *schema.Schema) expr.Expr {
+			parts := make([]expr.Expr, 0, len(preds))
+			for _, p := range preds {
+				e, _, err := c.convert(s, p)
+				if err != nil {
+					convErr = err
+					return expr.Literal(sqlval.Bool(true))
+				}
+				parts = append(parts, e)
+			}
+			return expr.And(parts...)
+		})
+		if convErr != nil {
+			return plan.Node{}, convErr
+		}
+	}
+
+	for _, s := range subs {
+		var err error
+		cur, err = c.applySubquery(cur, s)
+		if err != nil {
+			return plan.Node{}, err
+		}
+	}
+	return cur, nil
+}
+
+// selGuess scales the default selectivity guess by conjunct count.
+func selGuess(n int) float64 {
+	s := 1.0
+	for i := 0; i < n && i < 3; i++ {
+		s /= 3
+	}
+	return s
+}
+
+// flattenFrom validates aliases and flattens comma entries and explicit
+// joins into placement order.
+func (c *compiler) flattenFrom(sel *sqlparse.Select) ([]fromEntry, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("compile: empty FROM")
+	}
+	c.aliases = map[string]string{}
+	var out []fromEntry
+	add := func(table, alias, kind string, on sqlparse.Node) error {
+		if _, err := c.cat.Relation(table); err != nil {
+			return err
+		}
+		if alias != "" {
+			key := strings.ToLower(alias)
+			if prev, ok := c.aliases[key]; ok && !strings.EqualFold(prev, table) {
+				return fmt.Errorf("compile: duplicate alias %q", alias)
+			}
+			c.aliases[key] = table
+		}
+		out = append(out, fromEntry{table: table, alias: alias, joinKind: kind, on: on})
+		return nil
+	}
+	for _, ref := range sel.From {
+		if err := add(ref.Table, ref.Alias, "", nil); err != nil {
+			return nil, err
+		}
+		for _, j := range ref.Joins {
+			if err := add(j.Table, j.Alias, j.Kind, j.On); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// classify returns the base tables a conjunct touches, and whether it is a
+// two-table equality usable as a join predicate.
+func (c *compiler) classify(n sqlparse.Node, entries []fromEntry) (map[string]bool, bool) {
+	tables := map[string]bool{}
+	var walk func(sqlparse.Node)
+	walk = func(n sqlparse.Node) {
+		switch t := n.(type) {
+		case *sqlparse.ColNode:
+			if tbl := c.resolveTable(t); tbl != "" {
+				tables[strings.ToLower(tbl)] = true
+			}
+		case *sqlparse.BinNode:
+			walk(t.L)
+			walk(t.R)
+		case *sqlparse.NotNode:
+			walk(t.E)
+		case *sqlparse.LikeNode:
+			walk(t.E)
+		case *sqlparse.InNode:
+			walk(t.E)
+			for _, e := range t.List {
+				walk(e)
+			}
+		case *sqlparse.BetweenNode:
+			walk(t.E)
+			walk(t.Lo)
+			walk(t.Hi)
+		case *sqlparse.IsNullNode:
+			walk(t.E)
+		case *sqlparse.CaseNode:
+			for _, w := range t.Whens {
+				walk(w.Cond)
+				walk(w.Result)
+			}
+			if t.Else != nil {
+				walk(t.Else)
+			}
+		case *sqlparse.AggNode:
+			if t.Arg != nil {
+				walk(t.Arg)
+			}
+		case *sqlparse.FuncNode:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(n)
+	if b, ok := n.(*sqlparse.BinNode); ok && b.Op == "=" && len(tables) == 2 {
+		_, lIsCol := b.L.(*sqlparse.ColNode)
+		_, rIsCol := b.R.(*sqlparse.ColNode)
+		if lIsCol && rIsCol {
+			return tables, true
+		}
+	}
+	return tables, false
+}
+
+// resolveTable finds the base table a column reference belongs to. It
+// resolves an explicit qualifier through the alias map, or searches the
+// catalog for an unqualified name.
+func (c *compiler) resolveTable(col *sqlparse.ColNode) string {
+	if col.Table != "" {
+		if t, ok := c.aliases[strings.ToLower(col.Table)]; ok {
+			return t
+		}
+		return col.Table
+	}
+	found := ""
+	for _, t := range c.cat.TableNames() {
+		rel, err := c.cat.Relation(t)
+		if err != nil {
+			continue
+		}
+		if i, err := rel.Sch.ColIndex("", col.Name); err == nil && i >= 0 {
+			if found != "" {
+				return "" // ambiguous
+			}
+			found = t
+		}
+	}
+	return found
+}
+
+// equiKeys extracts probe/build key column names from conjuncts that
+// equate a placed table's column with newTable's column.
+func (c *compiler) equiKeys(conjuncts []sqlparse.Node, placed map[string]bool, newTable string) (probe, build []string, err error) {
+	for _, cj := range conjuncts {
+		b, ok := cj.(*sqlparse.BinNode)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		l, lok := b.L.(*sqlparse.ColNode)
+		r, rok := b.R.(*sqlparse.ColNode)
+		if !lok || !rok {
+			continue
+		}
+		lt := strings.ToLower(c.resolveTable(l))
+		rt := strings.ToLower(c.resolveTable(r))
+		switch {
+		case placed[lt] && rt == newTable:
+			probe = append(probe, l.Name)
+			build = append(build, r.Name)
+		case placed[rt] && lt == newTable:
+			probe = append(probe, r.Name)
+			build = append(build, l.Name)
+		}
+	}
+	return probe, build, nil
+}

@@ -1,0 +1,373 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"sqlprogress/internal/catalog"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// testCatalog: dept(dkey unique, dname), emp(ekey, edept FK->dept, sal),
+// bonus(bkey, bemp).
+func testCatalog() *catalog.Catalog {
+	cat := catalog.New(nil)
+	dept := schema.NewRelation("dept", schema.New(
+		schema.Column{Name: "dkey", Type: sqlval.KindInt},
+		schema.Column{Name: "dname", Type: sqlval.KindString},
+	))
+	names := []string{"eng", "ops", "hr", "fin", "mkt"}
+	for i := int64(0); i < 5; i++ {
+		dept.Append(schema.Row{sqlval.Int(i), sqlval.String(names[i])})
+	}
+	emp := schema.NewRelation("emp", schema.New(
+		schema.Column{Name: "ekey", Type: sqlval.KindInt},
+		schema.Column{Name: "edept", Type: sqlval.KindInt},
+		schema.Column{Name: "sal", Type: sqlval.KindInt},
+		schema.Column{Name: "hired", Type: sqlval.KindDate},
+	))
+	for i := int64(0); i < 60; i++ {
+		emp.Append(schema.Row{
+			sqlval.Int(i), sqlval.Int(i % 5), sqlval.Int(100 * (i % 9)),
+			sqlval.Date(9000 + i*10),
+		})
+	}
+	bonus := schema.NewRelation("bonus", schema.New(
+		schema.Column{Name: "bkey", Type: sqlval.KindInt},
+		schema.Column{Name: "bemp", Type: sqlval.KindInt},
+	))
+	for i := int64(0); i < 20; i++ {
+		bonus.Append(schema.Row{sqlval.Int(i), sqlval.Int(i * 3)})
+	}
+	cat.AddRelation(dept)
+	cat.AddRelation(emp)
+	cat.AddRelation(bonus)
+	cat.DeclareForeignKey(catalog.ForeignKey{
+		ChildTable: "emp", ChildColumn: "edept",
+		ParentTable: "dept", ParentColumn: "dkey"})
+	return cat
+}
+
+func runSQL(t *testing.T, sql string) []schema.Row {
+	t.Helper()
+	op, err := CompileSQL(testCatalog(), sql)
+	if err != nil {
+		t.Fatalf("compile %q: %v", sql, err)
+	}
+	rows, err := exec.Run(exec.NewCtx(), op)
+	if err != nil {
+		t.Fatalf("run %q: %v", sql, err)
+	}
+	return rows
+}
+
+func TestSelectStar(t *testing.T) {
+	rows := runSQL(t, "SELECT * FROM emp")
+	if len(rows) != 60 || len(rows[0]) != 4 {
+		t.Fatalf("shape = %d x %d", len(rows), len(rows[0]))
+	}
+}
+
+func TestWherePushdown(t *testing.T) {
+	op, err := CompileSQL(testCatalog(), "SELECT ekey FROM emp WHERE sal > 500 AND edept = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The predicate must be embedded in the scan: no Filter node in the tree.
+	var hasFilter bool
+	exec.Walk(op, func(o exec.Operator) {
+		if strings.HasPrefix(o.Name(), "Filter") {
+			hasFilter = true
+		}
+	})
+	if hasFilter {
+		t.Error("single-table predicates should be pushed into the scan")
+	}
+	rows, err := exec.Run(exec.NewCtx(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		k := r[0].AsInt()
+		if k%5 != 1 {
+			t.Errorf("row %v violates edept=1", r)
+		}
+	}
+	// sal for i%9 in {6,7,8} => 600..800; i%5==1: i in 1,6,11,...
+	want := 0
+	for i := int64(0); i < 60; i++ {
+		if i%5 == 1 && 100*(i%9) > 500 {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Errorf("rows = %d, want %d", len(rows), want)
+	}
+}
+
+func TestProjectionExpressionsAndAliases(t *testing.T) {
+	rows := runSQL(t, "SELECT ekey + 1 AS next, sal / 2 half FROM emp LIMIT 3")
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][0].AsInt() != 2 {
+		t.Errorf("ekey+1 = %v", rows[1][0])
+	}
+}
+
+func TestExplicitJoin(t *testing.T) {
+	rows := runSQL(t, `SELECT e.ekey, d.dname FROM emp e JOIN dept d ON e.edept = d.dkey WHERE d.dname = 'eng'`)
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r[1].AsString() != "eng" {
+			t.Errorf("joined row %v", r)
+		}
+	}
+}
+
+func TestCommaJoin(t *testing.T) {
+	rows := runSQL(t, `SELECT e.ekey FROM emp e, dept d WHERE e.edept = d.dkey AND d.dname = 'ops'`)
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+}
+
+func TestJoinIsLinearWhenFK(t *testing.T) {
+	op, err := CompileSQL(testCatalog(), "SELECT 1 FROM emp, dept WHERE edept = dkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var linear bool
+	exec.Walk(op, func(o exec.Operator) {
+		if hj, ok := o.(*exec.HashJoin); ok && hj.Linear {
+			linear = true
+		}
+	})
+	if !linear {
+		t.Error("FK equi-join should be compiled as a linear hash join")
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	// Every dept row appears; emp is never filtered below a left join.
+	rows := runSQL(t, `SELECT d.dname, e.ekey FROM dept d LEFT JOIN emp e ON d.dkey = e.edept`)
+	if len(rows) != 60 {
+		t.Fatalf("rows = %d, want 60 (every dept matches)", len(rows))
+	}
+	// A dept with no employees pads with NULL.
+	cat := testCatalog()
+	extra := cat.MustRelation("dept")
+	extra.Append(schema.Row{sqlval.Int(99), sqlval.String("empty")})
+	op, err := CompileSQL(cat, `SELECT d.dname, e.ekey FROM dept d LEFT JOIN emp e ON d.dkey = e.edept`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := exec.Run(exec.NewCtx(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var padded int
+	for _, r := range rows2 {
+		if r[1].IsNull() {
+			padded++
+		}
+	}
+	if padded != 1 {
+		t.Errorf("padded rows = %d, want 1", padded)
+	}
+}
+
+func TestCrossJoin(t *testing.T) {
+	rows := runSQL(t, "SELECT 1 FROM dept, bonus")
+	if len(rows) != 100 {
+		t.Fatalf("cross join rows = %d, want 100", len(rows))
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	rows := runSQL(t, `SELECT edept, COUNT(*) AS cnt, SUM(sal) AS total, AVG(sal) AS mean
+		FROM emp GROUP BY edept ORDER BY edept`)
+	if len(rows) != 5 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r[1].AsInt() != 12 {
+			t.Errorf("group %v count = %v", r[0], r[1])
+		}
+	}
+}
+
+func TestScalarAggregate(t *testing.T) {
+	rows := runSQL(t, "SELECT COUNT(*), MAX(sal) FROM emp WHERE edept = 2")
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0].AsInt() != 12 {
+		t.Errorf("count = %v", rows[0][0])
+	}
+}
+
+func TestHaving(t *testing.T) {
+	rows := runSQL(t, `SELECT edept, SUM(sal) AS total FROM emp
+		GROUP BY edept HAVING SUM(sal) > 4500 ORDER BY total DESC`)
+	for _, r := range rows {
+		if r[1].AsFloat() <= 4500 {
+			t.Errorf("having violated: %v", r)
+		}
+	}
+	if len(rows) == 0 || len(rows) == 5 {
+		t.Errorf("having should filter some groups, kept %d", len(rows))
+	}
+	// Descending order.
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][1].AsFloat() < rows[i][1].AsFloat() {
+			t.Error("order by total desc violated")
+		}
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	rows := runSQL(t, "SELECT ekey, sal FROM emp ORDER BY sal DESC, ekey ASC LIMIT 4")
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][1].AsInt() != 800 {
+		t.Errorf("top salary = %v", rows[0][1])
+	}
+}
+
+func TestInList(t *testing.T) {
+	rows := runSQL(t, "SELECT ekey FROM emp WHERE edept IN (1, 3)")
+	if len(rows) != 24 {
+		t.Fatalf("rows = %d, want 24", len(rows))
+	}
+}
+
+func TestBetweenAndDate(t *testing.T) {
+	rows := runSQL(t, "SELECT ekey FROM emp WHERE hired BETWEEN DATE '1994-10-01' AND DATE '1995-12-31'")
+	if len(rows) == 0 || len(rows) == 60 {
+		t.Errorf("date range kept %d rows", len(rows))
+	}
+}
+
+func TestExistsSubquery(t *testing.T) {
+	rows := runSQL(t, `SELECT ekey FROM emp WHERE EXISTS (
+		SELECT 1 FROM bonus WHERE bonus.bemp = emp.ekey)`)
+	// bonus.bemp = 0,3,...,57: 20 values, all < 60.
+	if len(rows) != 20 {
+		t.Fatalf("exists rows = %d, want 20", len(rows))
+	}
+}
+
+func TestNotExistsSubquery(t *testing.T) {
+	rows := runSQL(t, `SELECT ekey FROM emp WHERE NOT EXISTS (
+		SELECT 1 FROM bonus WHERE bonus.bemp = emp.ekey)`)
+	if len(rows) != 40 {
+		t.Fatalf("not exists rows = %d, want 40", len(rows))
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	rows := runSQL(t, "SELECT ekey FROM emp WHERE ekey IN (SELECT bemp FROM bonus WHERE bkey < 5)")
+	if len(rows) != 5 {
+		t.Fatalf("in-subquery rows = %d, want 5", len(rows))
+	}
+	rows = runSQL(t, "SELECT ekey FROM emp WHERE ekey NOT IN (SELECT bemp FROM bonus)")
+	if len(rows) != 40 {
+		t.Fatalf("not-in rows = %d, want 40", len(rows))
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	rows := runSQL(t, `SELECT CASE WHEN sal >= 400 THEN 'high' ELSE 'low' END AS band, COUNT(*)
+		FROM emp GROUP BY band ORDER BY band`)
+	if len(rows) != 2 {
+		t.Fatalf("bands = %d", len(rows))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		"SELECT x FROM ghost",
+		"SELECT ghostcol FROM emp",
+		"SELECT ekey FROM emp, emp WHERE 1 = 1",
+		"SELECT ekey FROM emp WHERE EXISTS (SELECT 1 FROM bonus)",           // no correlation
+		"SELECT ekey FROM emp WHERE ekey IN (SELECT bkey, bemp FROM bonus)", // two columns
+		"SELECT ekey FROM emp LEFT JOIN bonus ON ekey > bemp",               // non-equi left join
+		"SELECT ekey FROM emp WHERE sal > (SELECT 1 FROM bonus)",            // scalar subquery unsupported
+	}
+	for _, sql := range cases {
+		if _, err := CompileSQL(testCatalog(), sql); err == nil {
+			t.Errorf("CompileSQL(%q) should fail", sql)
+		}
+	}
+}
+
+func TestAggregateInOrderByOnly(t *testing.T) {
+	rows := runSQL(t, "SELECT edept FROM emp GROUP BY edept ORDER BY COUNT(*) DESC, edept")
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	rows := runSQL(t, "SELECT sal / 100, COUNT(*) FROM emp GROUP BY sal / 100")
+	if len(rows) != 9 {
+		t.Fatalf("groups = %d, want 9", len(rows))
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	rows := runSQL(t, "SELECT DISTINCT edept FROM emp")
+	if len(rows) != 5 {
+		t.Fatalf("distinct depts = %d, want 5", len(rows))
+	}
+	rows = runSQL(t, "SELECT DISTINCT edept, sal FROM emp ORDER BY edept, sal")
+	seen := map[string]bool{}
+	for _, r := range rows {
+		k := r[0].String() + "|" + r[1].String()
+		if seen[k] {
+			t.Fatalf("duplicate %s survived DISTINCT", k)
+		}
+		seen[k] = true
+	}
+	// 60 emps, (edept, sal) = (i%5, 100*(i%9)): distinct pairs = lcm cycle of 45.
+	if len(rows) != 45 {
+		t.Errorf("distinct pairs = %d, want 45", len(rows))
+	}
+}
+
+func TestSelectDistinctWithOrderBy(t *testing.T) {
+	rows := runSQL(t, "SELECT DISTINCT sal FROM emp ORDER BY sal DESC LIMIT 3")
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0].AsInt() != 800 || rows[1][0].AsInt() != 700 {
+		t.Errorf("distinct+order = %v", rows)
+	}
+}
+
+func TestScalarFunctionsInSQL(t *testing.T) {
+	rows := runSQL(t, "SELECT UPPER(dname) FROM dept WHERE dkey = 0")
+	if len(rows) != 1 || rows[0][0].AsString() != "ENG" {
+		t.Fatalf("UPPER = %v", rows)
+	}
+	rows = runSQL(t, "SELECT YEAR(hired), COUNT(*) FROM emp GROUP BY YEAR(hired) ORDER BY YEAR(hired)")
+	if len(rows) < 2 {
+		t.Fatalf("year groups = %d", len(rows))
+	}
+	if rows[0][0].AsInt() < 1994 || rows[0][0].AsInt() > 1996 {
+		t.Errorf("first year = %v", rows[0][0])
+	}
+	rows = runSQL(t, "SELECT ekey FROM emp WHERE LENGTH(SUBSTR('abcdef', 1, ekey)) = 3 LIMIT 1")
+	if len(rows) != 1 || rows[0][0].AsInt() != 3 {
+		t.Errorf("nested funcs = %v", rows)
+	}
+	if _, err := CompileSQL(testCatalog(), "SELECT NOSUCH(ekey) FROM emp"); err == nil {
+		t.Error("unknown function should fail compilation")
+	}
+}

@@ -1,0 +1,310 @@
+package compile
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"sqlprogress/internal/catalog"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// Randomized cross-validation: generate random data and random queries from
+// a constrained grammar, execute them through the full parse->compile->exec
+// stack, and compare against an independent naive evaluator written
+// directly over the in-memory rows.
+
+type fuzzDB struct {
+	cat *catalog.Catalog
+	t1  [][3]int64 // a, b, c
+	t2  [][2]int64 // d, e
+}
+
+func newFuzzDB(r *rand.Rand) *fuzzDB {
+	db := &fuzzDB{cat: catalog.New(nil)}
+	n1, n2 := 30+r.Intn(120), 20+r.Intn(80)
+	rel1 := schema.NewRelation("t1", schema.New(
+		schema.Column{Name: "a", Type: sqlval.KindInt},
+		schema.Column{Name: "b", Type: sqlval.KindInt},
+		schema.Column{Name: "c", Type: sqlval.KindInt},
+	))
+	for i := 0; i < n1; i++ {
+		row := [3]int64{r.Int63n(10), r.Int63n(7), r.Int63n(100)}
+		db.t1 = append(db.t1, row)
+		rel1.Append(schema.Row{sqlval.Int(row[0]), sqlval.Int(row[1]), sqlval.Int(row[2])})
+	}
+	rel2 := schema.NewRelation("t2", schema.New(
+		schema.Column{Name: "d", Type: sqlval.KindInt},
+		schema.Column{Name: "e", Type: sqlval.KindInt},
+	))
+	for i := 0; i < n2; i++ {
+		row := [2]int64{r.Int63n(10), r.Int63n(50)}
+		db.t2 = append(db.t2, row)
+		rel2.Append(schema.Row{sqlval.Int(row[0]), sqlval.Int(row[1])})
+	}
+	db.cat.AddRelation(rel1)
+	db.cat.AddRelation(rel2)
+	return db
+}
+
+// predicate is a simple comparison on one t1 column, shared by the SQL
+// text and the naive evaluator.
+type predicate struct {
+	col int // 0=a 1=b 2=c
+	op  string
+	val int64
+}
+
+func (p predicate) sql() string {
+	return fmt.Sprintf("%s %s %d", [3]string{"a", "b", "c"}[p.col], p.op, p.val)
+}
+
+func (p predicate) eval(row [3]int64) bool {
+	v := row[p.col]
+	switch p.op {
+	case "=":
+		return v == p.val
+	case "<>":
+		return v != p.val
+	case "<":
+		return v < p.val
+	case "<=":
+		return v <= p.val
+	case ">":
+		return v > p.val
+	default:
+		return v >= p.val
+	}
+}
+
+func randPred(r *rand.Rand) predicate {
+	ops := []string{"=", "<>", "<", "<=", ">", ">="}
+	col := r.Intn(3)
+	max := []int64{10, 7, 100}[col]
+	return predicate{col: col, op: ops[r.Intn(len(ops))], val: r.Int63n(max + 2)}
+}
+
+func canon(rows [][]int64) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = fmt.Sprintf("%d", v)
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func resultToInts(t *testing.T, rows []schema.Row) [][]int64 {
+	t.Helper()
+	out := make([][]int64, len(rows))
+	for i, r := range rows {
+		vals := make([]int64, len(r))
+		for j, v := range r {
+			switch v.Kind() {
+			case sqlval.KindInt:
+				vals[j] = v.AsInt()
+			case sqlval.KindFloat:
+				vals[j] = int64(v.AsFloat())
+			case sqlval.KindNull:
+				vals[j] = -999999
+			default:
+				t.Fatalf("unexpected kind %v", v.Kind())
+			}
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+func runFuzzSQL(t *testing.T, db *fuzzDB, sql string) [][]int64 {
+	t.Helper()
+	op, err := CompileSQL(db.cat, sql)
+	if err != nil {
+		t.Fatalf("compile %q: %v", sql, err)
+	}
+	rows, err := exec.Run(exec.NewCtx(), op)
+	if err != nil {
+		t.Fatalf("run %q: %v", sql, err)
+	}
+	return resultToInts(t, rows)
+}
+
+func compare(t *testing.T, sql string, got, want [][]int64) {
+	t.Helper()
+	g, w := canon(got), canon(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s:\n got %d rows, want %d\n got:  %v\n want: %v", sql, len(g), len(w), g, w)
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s:\n row %d: got %s, want %s", sql, i, g[i], w[i])
+		}
+	}
+}
+
+func TestFuzzFilterProjection(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := newFuzzDB(r)
+		p1, p2 := randPred(r), randPred(r)
+		conj := r.Intn(2) == 0
+		connector := "AND"
+		if !conj {
+			connector = "OR"
+		}
+		sql := fmt.Sprintf("SELECT a, b, c FROM t1 WHERE %s %s %s", p1.sql(), connector, p2.sql())
+		var want [][]int64
+		for _, row := range db.t1 {
+			keep := p1.eval(row) && p2.eval(row)
+			if !conj {
+				keep = p1.eval(row) || p2.eval(row)
+			}
+			if keep {
+				want = append(want, []int64{row[0], row[1], row[2]})
+			}
+		}
+		compare(t, sql, runFuzzSQL(t, db, sql), want)
+	}
+}
+
+func TestFuzzJoin(t *testing.T) {
+	for seed := int64(100); seed < 125; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := newFuzzDB(r)
+		p := randPred(r)
+		sql := fmt.Sprintf("SELECT a, b, e FROM t1, t2 WHERE a = d AND %s", p.sql())
+		var want [][]int64
+		for _, r1 := range db.t1 {
+			if !p.eval(r1) {
+				continue
+			}
+			for _, r2 := range db.t2 {
+				if r1[0] == r2[0] {
+					want = append(want, []int64{r1[0], r1[1], r2[1]})
+				}
+			}
+		}
+		compare(t, sql, runFuzzSQL(t, db, sql), want)
+	}
+}
+
+func TestFuzzGroupByAggregates(t *testing.T) {
+	for seed := int64(200); seed < 225; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := newFuzzDB(r)
+		p := randPred(r)
+		sql := fmt.Sprintf(
+			"SELECT b, COUNT(*), SUM(c), MIN(c), MAX(c) FROM t1 WHERE %s GROUP BY b", p.sql())
+		type agg struct{ cnt, sum, min, max int64 }
+		groups := map[int64]*agg{}
+		for _, row := range db.t1 {
+			if !p.eval(row) {
+				continue
+			}
+			g := groups[row[1]]
+			if g == nil {
+				g = &agg{min: row[2], max: row[2]}
+				groups[row[1]] = g
+			}
+			g.cnt++
+			g.sum += row[2]
+			if row[2] < g.min {
+				g.min = row[2]
+			}
+			if row[2] > g.max {
+				g.max = row[2]
+			}
+		}
+		var want [][]int64
+		for b, g := range groups {
+			want = append(want, []int64{b, g.cnt, g.sum, g.min, g.max})
+		}
+		compare(t, sql, runFuzzSQL(t, db, sql), want)
+	}
+}
+
+func TestFuzzJoinGroupBy(t *testing.T) {
+	for seed := int64(300); seed < 320; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := newFuzzDB(r)
+		sql := "SELECT b, COUNT(*), SUM(e) FROM t1 JOIN t2 ON a = d GROUP BY b"
+		type agg struct{ cnt, sum int64 }
+		groups := map[int64]*agg{}
+		for _, r1 := range db.t1 {
+			for _, r2 := range db.t2 {
+				if r1[0] != r2[0] {
+					continue
+				}
+				g := groups[r1[1]]
+				if g == nil {
+					g = &agg{}
+					groups[r1[1]] = g
+				}
+				g.cnt++
+				g.sum += r2[1]
+			}
+		}
+		var want [][]int64
+		for b, g := range groups {
+			want = append(want, []int64{b, g.cnt, g.sum})
+		}
+		compare(t, sql, runFuzzSQL(t, db, sql), want)
+	}
+}
+
+func TestFuzzSemiAntiJoin(t *testing.T) {
+	for seed := int64(400); seed < 420; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := newFuzzDB(r)
+		exists := map[int64]bool{}
+		for _, r2 := range db.t2 {
+			exists[r2[0]] = true
+		}
+		for _, neg := range []bool{false, true} {
+			kw := "EXISTS"
+			if neg {
+				kw = "NOT EXISTS"
+			}
+			sql := fmt.Sprintf(
+				"SELECT a, c FROM t1 WHERE %s (SELECT 1 FROM t2 WHERE t2.d = t1.a)", kw)
+			var want [][]int64
+			for _, r1 := range db.t1 {
+				if exists[r1[0]] != neg {
+					want = append(want, []int64{r1[0], r1[2]})
+				}
+			}
+			compare(t, sql, runFuzzSQL(t, db, sql), want)
+		}
+	}
+}
+
+// TestFuzzProgressInvariantsOnRandomQueries runs every random query under a
+// monitor and asserts the core invariants hold for arbitrary compiled
+// plans, not just the hand-built experiment plans.
+func TestFuzzProgressInvariantsOnRandomQueries(t *testing.T) {
+	queries := []string{
+		"SELECT a, b FROM t1 WHERE c > 50",
+		"SELECT b, COUNT(*) FROM t1 GROUP BY b ORDER BY b",
+		"SELECT a, e FROM t1, t2 WHERE a = d",
+		"SELECT b, SUM(e) FROM t1 JOIN t2 ON a = d GROUP BY b ORDER BY b LIMIT 3",
+		"SELECT a FROM t1 WHERE EXISTS (SELECT 1 FROM t2 WHERE t2.d = t1.a) ORDER BY a",
+	}
+	for seed := int64(500); seed < 510; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := newFuzzDB(r)
+		for _, sql := range queries {
+			op, err := CompileSQL(db.cat, sql)
+			if err != nil {
+				t.Fatalf("compile %q: %v", sql, err)
+			}
+			checkProgressInvariants(t, sql, op)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package compile
+
+import (
+	"testing"
+
+	"sqlprogress/internal/coretest"
+	"sqlprogress/internal/exec"
+)
+
+// checkProgressInvariants delegates to the shared executable statement of
+// the paper's guarantees.
+func checkProgressInvariants(t *testing.T, label string, op exec.Operator) {
+	t.Helper()
+	coretest.CheckProgressInvariants(t, label, op, 1)
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlprogress/internal/exec"
+)
+
+// NodeBounds pairs an operator with bounds on its final total row count
+// (across rescans, for nested-loops inners).
+type NodeBounds struct {
+	Op     exec.Operator
+	Bounds exec.CardBounds
+}
+
+// BoundsSnapshot is the result of one bounds pass over the plan at some
+// instant of the execution: per-node bounds and their sums, which bound
+// total(Q) (Section 5.1).
+type BoundsSnapshot struct {
+	Nodes []NodeBounds
+	// LB and UB bound the total number of GetNext calls the query will
+	// perform: LB <= total(Q) <= UB.
+	LB, UB int64
+
+	opts BoundsOptions
+}
+
+// BoundsOptions tunes the bounds pass.
+type BoundsOptions struct {
+	// DisableDemandCap turns off the demand-capping refinement (for
+	// ablation): by default, a Top operator's limit caps the final
+	// emission of the one-to-one streaming chain beneath it (Top pulls at
+	// most K rows; a Project emits exactly what it is asked for), which
+	// tightens UB substantially on ORDER BY ... LIMIT plans.
+	DisableDemandCap bool
+}
+
+// ComputeBounds derives cardinality bounds for every node of the plan,
+// combining each operator's static rule (FinalBounds) with runtime
+// feedback:
+//
+//   - every node has produced Returned rows already, so LB >= Returned;
+//   - a node at EOF (not subject to rescans) is pinned: LB = UB = Returned;
+//   - nodes inside a rescanned nested-loops inner have their per-run bounds
+//     scaled by a bound on the number of rescans (the driving side's UB),
+//     and are never pinned at EOF;
+//   - every node's emission is bounded by its parent's demand where that
+//     demand is itself bounded (Top/Project chains).
+func ComputeBounds(root exec.Operator) BoundsSnapshot {
+	return ComputeBoundsOpt(root, BoundsOptions{})
+}
+
+// ComputeBoundsOpt is ComputeBounds with explicit options.
+func ComputeBoundsOpt(root exec.Operator, opts BoundsOptions) BoundsSnapshot {
+	var snap BoundsSnapshot
+	snap.opts = opts
+	walkBounds(root, 1, -1, &snap)
+	for _, nb := range snap.Nodes {
+		snap.LB = exec.SatAdd(snap.LB, nb.Bounds.LB)
+		snap.UB = exec.SatAdd(snap.UB, nb.Bounds.UB)
+	}
+	return snap
+}
+
+// walkBounds returns per-run bounds on op's *delivered* rows (what the
+// parent's FinalBounds rule expects) while recording bounds on its GetNext
+// count in the snapshot. The two differ only for scans with embedded
+// predicates. mult bounds how many times this subtree may be re-opened
+// (1 outside nested loops); demandCap bounds how many rows ancestors will
+// ever pull from this node (-1 = unbounded).
+func walkBounds(op exec.Operator, mult, demandCap int64, snap *BoundsSnapshot) exec.CardBounds {
+	children := op.Children()
+	rescanned := make(map[int]bool)
+	if r, ok := op.(exec.Rescanner); ok {
+		for _, i := range r.RescannedChildren() {
+			rescanned[i] = true
+		}
+	}
+	childCaps := demandCaps(op, demandCap, len(children), snap.opts)
+
+	childBounds := make([]exec.CardBounds, len(children))
+	// Non-rescanned children first: a rescanned child's run count is
+	// bounded by the driving (first streaming) child's final cardinality.
+	var driveUB int64 = exec.Unbounded
+	for i, c := range children {
+		if !rescanned[i] {
+			childBounds[i] = walkBounds(c, mult, childCaps[i], snap)
+		}
+	}
+	if stream := op.StreamChildren(); len(stream) > 0 && len(rescanned) > 0 {
+		driveUB = childBounds[stream[0]].UB
+	}
+	for i, c := range children {
+		if rescanned[i] {
+			childBounds[i] = walkBounds(c, exec.SatMul(mult, driveUB), childCaps[i], snap)
+		}
+	}
+
+	rule := op.FinalBounds(childBounds)
+	deliveredRule := rule
+	sameEmission := true
+	if db, ok := op.(exec.DeliveredBounder); ok {
+		deliveredRule = db.DeliveredBounds()
+		sameEmission = deliveredRule == rule
+	}
+	if demandCap >= 0 && mult == 1 {
+		// The parent will never pull more than demandCap rows, so the
+		// node's delivered count — and, when counting equals delivery, its
+		// GetNext count — is bounded by it. The truncating chain stops
+		// early only at child EOF, so the final count is exactly
+		// min(natural, cap): the cap applies to the lower bound too.
+		deliveredRule = capBounds(deliveredRule, demandCap)
+		if sameEmission {
+			rule = capBounds(rule, demandCap)
+		}
+	}
+	rt := op.Runtime()
+
+	var perRun, total exec.CardBounds
+	if mult == 1 {
+		total = refineWithRuntime(rule, rt.Returned, rt.Done && rt.Rescans == 0)
+		perRun = refineWithRuntime(deliveredRule, rt.Delivered, rt.Done && rt.Rescans == 0)
+	} else {
+		// Under a rescanned subtree: per-run bounds stay static, totals
+		// accumulate across runs.
+		perRun = deliveredRule
+		total = exec.CardBounds{LB: rt.Returned, UB: exec.SatMul(rule.UB, mult)}
+		if total.UB < total.LB {
+			total.UB = total.LB
+		}
+	}
+	snap.Nodes = append(snap.Nodes, NodeBounds{Op: op, Bounds: total})
+	return perRun
+}
+
+// demandCaps derives per-child pull bounds from this node's own demand cap.
+// Only operators that pull at most one input row per output row propagate
+// demand: Top pulls at most K (its limit) from its input, and Project pulls
+// exactly what it emits. Everything else (filters, joins, aggregations,
+// blocking consumers) may pull unboundedly more than it emits.
+func demandCaps(op exec.Operator, selfCap int64, nChildren int, opts BoundsOptions) []int64 {
+	caps := make([]int64, nChildren)
+	for i := range caps {
+		caps[i] = -1
+	}
+	if opts.DisableDemandCap || nChildren == 0 {
+		return caps
+	}
+	switch t := op.(type) {
+	case *exec.Top:
+		c := t.K
+		if selfCap >= 0 && selfCap < c {
+			c = selfCap
+		}
+		caps[0] = c
+	case *exec.Project:
+		caps[0] = selfCap
+	}
+	return caps
+}
+
+// capBounds clamps both ends of b at cap.
+func capBounds(b exec.CardBounds, cap int64) exec.CardBounds {
+	if b.LB > cap {
+		b.LB = cap
+	}
+	if b.UB > cap {
+		b.UB = cap
+	}
+	return b
+}
+
+// refineWithRuntime tightens static bounds with execution feedback: at
+// least the observed count; exactly the observed count at EOF.
+func refineWithRuntime(b exec.CardBounds, observed int64, pinned bool) exec.CardBounds {
+	if observed > b.LB {
+		b.LB = observed
+	}
+	if pinned {
+		b.LB, b.UB = observed, observed
+	}
+	if b.UB < b.LB {
+		b.UB = b.LB
+	}
+	return b
+}
+
+// ScannedLeafCardinality sums the cardinalities of the plan's leaf nodes
+// that are scanned exactly once — the denominator of the paper's mu
+// (Section 5.2). Leaves inside rescanned nested-loops inners are excluded.
+// For leaves whose exact cardinality is not static (range scans without
+// runtime completion), the lower bound is used, keeping mu's guarantee
+// direction intact (mu computed this way can only over-estimate).
+func ScannedLeafCardinality(root exec.Operator) int64 {
+	var total int64
+	var walk func(op exec.Operator, underRescan bool)
+	walk = func(op exec.Operator, underRescan bool) {
+		children := op.Children()
+		if len(children) == 0 && !underRescan {
+			b := op.FinalBounds(nil)
+			lb := b.LB
+			rt := op.Runtime()
+			if rt.Done && rt.Rescans == 0 {
+				lb = rt.Returned
+			}
+			total += lb
+			return
+		}
+		rescanned := make(map[int]bool)
+		if r, ok := op.(exec.Rescanner); ok {
+			for _, i := range r.RescannedChildren() {
+				rescanned[i] = true
+			}
+		}
+		for i, c := range children {
+			walk(c, underRescan || rescanned[i])
+		}
+	}
+	walk(root, false)
+	return total
+}
+
+// Mu computes the paper's mu for a completed execution: total(Q) divided by
+// the summed cardinality of the scanned leaves. pmax's ratio error is at
+// most this value (Theorem 5).
+func Mu(root exec.Operator) float64 {
+	leaves := ScannedLeafCardinality(root)
+	if leaves <= 0 {
+		return 1
+	}
+	return float64(exec.TotalCalls(root)) / float64(leaves)
+}
+
+// ExplainBounds renders the plan tree with each node's current cardinality
+// bounds and runtime counters — the Section 5.1 state, made visible. Useful
+// when debugging why pmax or safe behaves as it does on a plan.
+func ExplainBounds(root exec.Operator) string {
+	snap := ComputeBounds(root)
+	byOp := make(map[exec.Operator]exec.CardBounds, len(snap.Nodes))
+	for _, nb := range snap.Nodes {
+		byOp[nb.Op] = nb.Bounds
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "total bounds: LB=%d UB=%d (Curr=%d)\n", snap.LB, snap.UB, exec.TotalCalls(root))
+	var rec func(op exec.Operator, depth int)
+	rec = func(op exec.Operator, depth int) {
+		rt := op.Runtime()
+		nb := byOp[op]
+		ubStr := fmt.Sprintf("%d", nb.UB)
+		if nb.UB >= exec.Unbounded {
+			ubStr = "inf"
+		}
+		fmt.Fprintf(&b, "%s%s  [rows=%d done=%v bounds=[%d,%s]]\n",
+			strings.Repeat("  ", depth), op.Name(), rt.Returned, rt.Done, nb.LB, ubStr)
+		for _, c := range op.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(root, 0)
+	return b.String()
+}

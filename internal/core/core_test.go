@@ -1,0 +1,844 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sqlprogress/internal/expr"
+	"sqlprogress/internal/index"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+
+	"sqlprogress/internal/exec"
+)
+
+// --- fixtures ---------------------------------------------------------------
+
+func intRel(name string, col string, vals []int64) *schema.Relation {
+	rel := schema.NewRelation(name, schema.New(schema.Column{Name: col, Type: sqlval.KindInt}))
+	for _, v := range vals {
+		rel.Append(schema.Row{sqlval.Int(v)})
+	}
+	return rel
+}
+
+func seq(n int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+// example1Plan builds the paper's Figure 2 pipeline:
+// Scan(R1) -> Filter -> INLJoin(index on R2.B). The outer arrival order is
+// controlled by order (nil = stored order).
+func example1Plan(r1, r2 *schema.Relation, passPred expr.Expr, order []int32, linear bool) (*exec.INLJoin, *exec.Scan) {
+	ix := index.BuildHash("hx", r2, 0)
+	scan := exec.NewScanWithOrder(r1, order)
+	var outer exec.Operator = scan
+	if passPred != nil {
+		outer = exec.NewFilter(scan, passPred)
+	}
+	j := exec.NewINLJoin(outer, ix, expr.NewCol(outer.Schema(), r1.Name, "a"), exec.InnerJoin)
+	j.Linear = linear
+	return j, scan
+}
+
+// --- pipelines ----------------------------------------------------------------
+
+func TestPipelinesSinglePipeline(t *testing.T) {
+	r1 := intRel("r1", "a", seq(10))
+	r2 := intRel("r2", "b", seq(10))
+	j, scan := example1Plan(r1, r2, nil, nil, false)
+	ps := Pipelines(j)
+	if len(ps) != 1 {
+		t.Fatalf("pipelines = %d, want 1", len(ps))
+	}
+	if len(ps[0].Drivers) != 1 || ps[0].Drivers[0] != exec.Operator(scan) {
+		t.Errorf("driver should be the R1 scan, got %v", ps[0].Drivers)
+	}
+}
+
+func TestPipelinesHashJoin(t *testing.T) {
+	r1 := intRel("r1", "a", seq(5))
+	r2 := intRel("r2", "b", seq(5))
+	build, probe := exec.NewScan(r1), exec.NewScan(r2)
+	j := exec.NewHashJoin(build, probe,
+		[]expr.Expr{expr.NewCol(build.Schema(), "r1", "a")},
+		[]expr.Expr{expr.NewCol(probe.Schema(), "r2", "b")},
+		exec.InnerJoin)
+	ps := Pipelines(j)
+	if len(ps) != 2 {
+		t.Fatalf("pipelines = %d, want 2 (probe pipeline + build pipeline)", len(ps))
+	}
+	// Root pipeline driven by the probe scan; build pipeline by the build scan.
+	if ps[0].Drivers[0] != exec.Operator(probe) {
+		t.Errorf("root pipeline driver = %v, want probe scan", ps[0].Drivers[0].Name())
+	}
+	if ps[1].Drivers[0] != exec.Operator(build) {
+		t.Errorf("build pipeline driver = %v, want build scan", ps[1].Drivers[0].Name())
+	}
+	drivers := DriverNodes(j)
+	if len(drivers) != 2 {
+		t.Errorf("DriverNodes = %d, want 2", len(drivers))
+	}
+}
+
+func TestPipelinesSortIsDriverOfParent(t *testing.T) {
+	r := intRel("r", "a", seq(5))
+	scan := exec.NewScan(r)
+	srt := exec.NewSort(scan, []exec.SortKey{{Expr: expr.NewCol(scan.Schema(), "r", "a")}})
+	f := exec.NewFilter(srt, expr.Literal(sqlval.Bool(true)))
+	ps := Pipelines(f)
+	if len(ps) != 2 {
+		t.Fatalf("pipelines = %d, want 2", len(ps))
+	}
+	if ps[0].Drivers[0] != exec.Operator(srt) {
+		t.Errorf("parent pipeline driver = %s, want the sort node", ps[0].Drivers[0].Name())
+	}
+	if ps[1].Drivers[0] != exec.Operator(scan) {
+		t.Errorf("sort input pipeline driver = %s, want the scan", ps[1].Drivers[0].Name())
+	}
+}
+
+func TestPipelinesMergeJoinTwoDrivers(t *testing.T) {
+	r1 := intRel("r1", "a", seq(5))
+	r2 := intRel("r2", "b", seq(5))
+	s1, s2 := exec.NewScan(r1), exec.NewScan(r2)
+	j := exec.NewMergeJoin(s1, s2,
+		[]expr.Expr{expr.NewCol(s1.Schema(), "r1", "a")},
+		[]expr.Expr{expr.NewCol(s2.Schema(), "r2", "b")})
+	ps := Pipelines(j)
+	if len(ps) != 1 {
+		t.Fatalf("pipelines = %d, want 1", len(ps))
+	}
+	if len(ps[0].Drivers) != 2 {
+		t.Errorf("merge join pipeline drivers = %d, want 2", len(ps[0].Drivers))
+	}
+}
+
+// --- bounds --------------------------------------------------------------------
+
+func TestBoundsBracketTotalThroughout(t *testing.T) {
+	// Run the Example-1 plan sampling bounds at every call; verify that at
+	// every instant LB <= total(Q) <= UB, LB is non-decreasing and UB
+	// non-increasing.
+	r1vals := seq(50)
+	r2vals := make([]int64, 0, 200)
+	for i := 0; i < 120; i++ {
+		r2vals = append(r2vals, 7) // heavy key
+	}
+	for i := 0; i < 80; i++ {
+		r2vals = append(r2vals, int64(i)) // light keys
+	}
+	r1 := intRel("r1", "a", r1vals)
+	r2 := intRel("r2", "b", r2vals)
+	j, _ := example1Plan(r1, r2, nil, nil, false)
+
+	tracker := NewTracker(j)
+	ctx := exec.NewCtx()
+	var lbs, ubs []int64
+	ctx.OnGetNext = func(int64) {
+		s := tracker.Capture()
+		lbs = append(lbs, s.LB)
+		ubs = append(ubs, s.UB)
+	}
+	if _, err := exec.Run(ctx, j); err != nil {
+		t.Fatal(err)
+	}
+	total := ctx.Calls
+	for i := range lbs {
+		if lbs[i] > total {
+			t.Fatalf("sample %d: LB %d > total %d", i, lbs[i], total)
+		}
+		if ubs[i] < total {
+			t.Fatalf("sample %d: UB %d < total %d", i, ubs[i], total)
+		}
+		if i > 0 && lbs[i] < lbs[i-1] {
+			t.Fatalf("sample %d: LB decreased %d -> %d", i, lbs[i-1], lbs[i])
+		}
+		if i > 0 && ubs[i] > ubs[i-1] {
+			t.Fatalf("sample %d: UB increased %d -> %d", i, ubs[i-1], ubs[i])
+		}
+	}
+	// At the last counted call, LB has reached the total (every produced row
+	// is accounted for); after the run drains EOF marks every node done and
+	// the bounds collapse exactly.
+	if lbs[len(lbs)-1] != total {
+		t.Errorf("final sampled LB = %d, want %d", lbs[len(lbs)-1], total)
+	}
+	snap := ComputeBounds(j)
+	if snap.LB != total || snap.UB != total {
+		t.Errorf("post-run bounds [%d, %d] != total %d", snap.LB, snap.UB, total)
+	}
+}
+
+func TestBoundsScanLeafAnchorsLB(t *testing.T) {
+	r1 := intRel("r1", "a", seq(100))
+	r2 := intRel("r2", "b", seq(100))
+	j, _ := example1Plan(r1, r2, nil, nil, false)
+	snap := ComputeBounds(j)
+	// Before execution: LB at least the outer scan cardinality.
+	if snap.LB < 100 {
+		t.Errorf("initial LB = %d, want >= 100", snap.LB)
+	}
+}
+
+func TestBoundsLinearJoinTightensUB(t *testing.T) {
+	r1 := intRel("r1", "a", seq(100))
+	// Inner relation heavily skewed: max fan-out 1000, so the fan-out bound
+	// is loose and linearity is what tightens the UB.
+	heavy := make([]int64, 1000)
+	for i := range heavy {
+		heavy[i] = 5
+	}
+	r2 := intRel("r2", "b", heavy)
+	jNonLin, _ := example1Plan(r1, r2, nil, nil, false)
+	jLin, _ := example1Plan(r1, r2, nil, nil, true)
+	nl := ComputeBounds(jNonLin)
+	lin := ComputeBounds(jLin)
+	if lin.UB > nl.UB {
+		t.Errorf("linear UB %d should not exceed non-linear UB %d", lin.UB, nl.UB)
+	}
+	// Non-linear: scan 100 + join 100*1000. Linear: scan 100 + max(100,1000).
+	if nl.UB != 100100 {
+		t.Errorf("non-linear UB = %d, want 100100", nl.UB)
+	}
+	if lin.UB != 1100 {
+		t.Errorf("linear UB = %d, want 1100", lin.UB)
+	}
+}
+
+func TestBoundsNLJoinRescannedInner(t *testing.T) {
+	r1 := intRel("r1", "a", seq(10))
+	r2 := intRel("r2", "b", seq(8))
+	s1, s2 := exec.NewScan(r1), exec.NewScan(r2)
+	j := exec.NewNLJoin(s1, s2, expr.Compare(expr.EQ, expr.Col{Index: 0}, expr.Col{Index: 1}))
+
+	tracker := NewTracker(j)
+	ctx := exec.NewCtx()
+	var violations int
+	ctx.OnGetNext = func(int64) {
+		s := tracker.Capture()
+		if s.LB > s.UB {
+			violations++
+		}
+	}
+	if _, err := exec.Run(ctx, j); err != nil {
+		t.Fatal(err)
+	}
+	if violations > 0 {
+		t.Errorf("%d samples with LB > UB", violations)
+	}
+	total := ctx.Calls
+	// 10 outer + 80 inner (rescanned) + 8 matches = 98.
+	if total != 98 {
+		t.Errorf("total = %d, want 98", total)
+	}
+	snap := ComputeBounds(j)
+	if snap.LB > total || snap.UB < total {
+		t.Errorf("final bounds [%d,%d] do not bracket %d", snap.LB, snap.UB, total)
+	}
+}
+
+func TestScannedLeafCardinality(t *testing.T) {
+	r1 := intRel("r1", "a", seq(100))
+	r2 := intRel("r2", "b", seq(50))
+	// Hash join: both leaves scanned.
+	b, p := exec.NewScan(r1), exec.NewScan(r2)
+	hj := exec.NewHashJoin(b, p,
+		[]expr.Expr{expr.NewCol(b.Schema(), "r1", "a")},
+		[]expr.Expr{expr.NewCol(p.Schema(), "r2", "b")}, exec.InnerJoin)
+	if got := ScannedLeafCardinality(hj); got != 150 {
+		t.Errorf("hash join leaf card = %d, want 150", got)
+	}
+	// INL join: only the outer leaf is a counted scan.
+	j, _ := example1Plan(r1, r2, nil, nil, false)
+	if got := ScannedLeafCardinality(j); got != 100 {
+		t.Errorf("INL leaf card = %d, want 100", got)
+	}
+	// NL join: rescanned inner leaf excluded.
+	s1, s2 := exec.NewScan(r1), exec.NewScan(r2)
+	nl := exec.NewNLJoin(s1, s2, nil)
+	if got := ScannedLeafCardinality(nl); got != 100 {
+		t.Errorf("NL leaf card = %d, want 100", got)
+	}
+}
+
+func TestMuMatchesPaperDefinition(t *testing.T) {
+	// Example 2's shape: mu = total / leaf cardinality.
+	r1 := intRel("r1", "a", seq(1000))
+	r2vals := make([]int64, 0, 1000)
+	for i := 0; i < 100; i++ {
+		r2vals = append(r2vals, 5)
+	}
+	r2 := intRel("r2", "b", r2vals)
+	j, _ := example1Plan(r1, r2, nil, nil, false)
+	if _, err := exec.Run(exec.NewCtx(), j); err != nil {
+		t.Fatal(err)
+	}
+	total := exec.TotalCalls(j)
+	// total = 1000 scan + 100 join outputs (the single matching key 5).
+	if total != 1100 {
+		t.Fatalf("total = %d, want 1100", total)
+	}
+	if mu := Mu(j); math.Abs(mu-1.1) > 1e-9 {
+		t.Errorf("mu = %g, want 1.1", mu)
+	}
+}
+
+// --- estimator invariants -------------------------------------------------------
+
+// runMonitored executes the plan under a monitor with all estimators.
+func runMonitored(t *testing.T, root exec.Operator, every int64) *Monitor {
+	t.Helper()
+	m := NewMonitor(root, every, Dne{}, ConstrainedDne{}, Pmax{}, Safe{}, Trivial{}, MuSwitch{}, &VarSwitch{})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() == 0 {
+		t.Fatal("no calls performed")
+	}
+	return m
+}
+
+// zipfFrequencies assigns total observations to n keys with frequency of
+// key rank r proportional to 1/(r+1)^z — the paper's "zipfian distribution
+// on the join attribute". Key 0 is the heaviest.
+func zipfFrequencies(n int, total int64, z float64) []int64 {
+	weights := make([]float64, n)
+	var sum float64
+	for r := 0; r < n; r++ {
+		weights[r] = 1 / math.Pow(float64(r+1), z)
+		sum += weights[r]
+	}
+	out := make([]int64, n)
+	var assigned int64
+	for r := 0; r < n; r++ {
+		out[r] = int64(weights[r] / sum * float64(total))
+		assigned += out[r]
+	}
+	out[0] += total - assigned // rounding remainder to the heavy key
+	return out
+}
+
+func zipfFanouts(n int, z float64, r *rand.Rand) []int64 {
+	fan := zipfFrequencies(n, int64(n), z)
+	r.Shuffle(n, func(i, j int) { fan[i], fan[j] = fan[j], fan[i] })
+	return fan
+}
+
+// skewJoinPlan builds the paper's Section 5 synthetic experiment: R1(A)
+// with unique values, R2(B) zipfian (z=2) over R1's keys, joined by index
+// nested loops with R1 as the outer. Because R1.A is a key the join is
+// linear, which the builder (here: the fixture) declares. orderKind
+// controls the arrival order of R1's tuples.
+func skewJoinPlan(n int, orderKind string) (*exec.INLJoin, int64) {
+	r := rand.New(rand.NewSource(7))
+	r1 := intRel("r1", "a", seq(int64(n)))
+	// R2: |R2| = |R1| observations, key i drawn with zipf(z=2) frequency.
+	fan := zipfFrequencies(n, int64(n), 2.0)
+	var r2vals []int64
+	for i, f := range fan {
+		for k := int64(0); k < f; k++ {
+			r2vals = append(r2vals, int64(i))
+		}
+	}
+	r2 := intRel("r2", "b", r2vals)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	switch orderKind {
+	case "skew-first":
+		// fan is already descending in key rank: stored order is skew-first.
+	case "skew-last":
+		for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	case "random":
+		r.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	j, _ := example1Plan(r1, r2, nil, order, true)
+	return j, int64(len(r2vals))
+}
+
+func TestPmaxNeverUnderestimates(t *testing.T) {
+	// Property 4: progress <= pmax, on every sample, for several orders.
+	for _, kind := range []string{"skew-first", "skew-last", "random"} {
+		j, _ := skewJoinPlan(400, kind)
+		m := runMonitored(t, j, 7)
+		pts, err := m.Series("pmax")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if share := OverestimateShare(pts); share < 1 {
+			t.Errorf("%s: pmax underestimated on %.1f%% of samples", kind, (1-share)*100)
+		}
+	}
+}
+
+func TestPmaxRatioErrorBoundedByMu(t *testing.T) {
+	// Theorem 5: pmax <= mu * progress.
+	for _, kind := range []string{"skew-first", "skew-last", "random"} {
+		j, _ := skewJoinPlan(300, kind)
+		m := runMonitored(t, j, 5)
+		mu := m.Mu()
+		pts, _ := m.Series("pmax")
+		if worst := MaxRatioError(pts); worst > mu+1e-9 {
+			t.Errorf("%s: pmax ratio error %.4f exceeds mu %.4f", kind, worst, mu)
+		}
+	}
+}
+
+func TestSafeRespectsWorstCaseBound(t *testing.T) {
+	// safe's ratio error at each instant is at most sqrt(UB/LB) at that
+	// instant.
+	j, _ := skewJoinPlan(300, "skew-last")
+	tracker := NewTracker(j)
+	ctx := exec.NewCtx()
+	type obs struct {
+		est, bound float64
+		calls      int64
+	}
+	var seen []obs
+	ctx.OnGetNext = func(calls int64) {
+		if calls%11 != 0 {
+			return
+		}
+		s := tracker.Capture()
+		seen = append(seen, obs{est: (Safe{}).Estimate(s), bound: SafeErrorBound(s), calls: calls})
+	}
+	if _, err := exec.Run(ctx, j); err != nil {
+		t.Fatal(err)
+	}
+	total := float64(ctx.Calls)
+	for _, o := range seen {
+		actual := float64(o.calls) / total
+		if r := RatioError(actual, o.est); r > o.bound*(1+1e-9) {
+			t.Errorf("safe ratio error %.4f exceeds bound %.4f at calls=%d", r, o.bound, o.calls)
+		}
+	}
+}
+
+func TestDneAccurateOnUniformData(t *testing.T) {
+	// Theorem 3's regime: low variance per-tuple work => dne nearly exact.
+	n := int64(2000)
+	r1 := intRel("r1", "a", seq(n))
+	r2 := intRel("r2", "b", seq(n)) // every tuple joins exactly once
+	j, _ := example1Plan(r1, r2, nil, nil, false)
+	m := runMonitored(t, j, 13)
+	pts, _ := m.Series("dne")
+	if worst := MaxAbsError(pts); worst > 0.02 {
+		t.Errorf("dne max abs error on uniform data = %.4f, want < 0.02", worst)
+	}
+}
+
+func TestDneUnderestimatesOnSkewFirstOrder(t *testing.T) {
+	// Figure 4's regime: heavy tuples first => dne badly underestimates,
+	// pmax stays within mu.
+	j, _ := skewJoinPlan(500, "skew-first")
+	m := runMonitored(t, j, 7)
+	dnePts, _ := m.Series("dne")
+	pmaxPts, _ := m.Series("pmax")
+	mu := m.Mu()
+	if MaxAbsError(dnePts) < 0.2 {
+		t.Errorf("expected dne to underestimate badly, max abs err = %.4f", MaxAbsError(dnePts))
+	}
+	if MaxRatioError(pmaxPts) > mu+1e-9 {
+		t.Errorf("pmax ratio error %.4f exceeded mu %.4f", MaxRatioError(pmaxPts), mu)
+	}
+	if MaxAbsError(pmaxPts) >= MaxAbsError(dnePts) {
+		t.Errorf("pmax (%.4f) should beat dne (%.4f) here",
+			MaxAbsError(pmaxPts), MaxAbsError(dnePts))
+	}
+}
+
+func TestSafeBeatsDneOnWorstCaseOrder(t *testing.T) {
+	// Figure 5's regime: heavy tuple last => dne overestimates hugely near
+	// the end; safe is substantially better.
+	j, _ := skewJoinPlan(500, "skew-last")
+	m := runMonitored(t, j, 7)
+	dnePts, _ := m.Series("dne")
+	safePts, _ := m.Series("safe")
+	if MaxAbsError(safePts) >= MaxAbsError(dnePts) {
+		t.Errorf("safe max err %.4f should be below dne %.4f",
+			MaxAbsError(safePts), MaxAbsError(dnePts))
+	}
+}
+
+func TestTrivialEstimator(t *testing.T) {
+	if (Trivial{}).Estimate(nil) != 0.5 {
+		t.Error("trivial = 0.5")
+	}
+	if (Trivial{}).Name() != "trivial" {
+		t.Error("name")
+	}
+}
+
+func TestConstrainedDneWithinInterval(t *testing.T) {
+	j, _ := skewJoinPlan(300, "skew-last")
+	tracker := NewTracker(j)
+	ctx := exec.NewCtx()
+	bad := 0
+	ctx.OnGetNext = func(calls int64) {
+		if calls%17 != 0 {
+			return
+		}
+		s := tracker.Capture()
+		lo, hi := s.Interval()
+		est := (ConstrainedDne{}).Estimate(s)
+		if est < lo-1e-12 || est > hi+1e-12 {
+			bad++
+		}
+	}
+	if _, err := exec.Run(ctx, j); err != nil {
+		t.Fatal(err)
+	}
+	if bad > 0 {
+		t.Errorf("%d samples outside the hard interval", bad)
+	}
+}
+
+func TestIntervalContainsTruth(t *testing.T) {
+	j, _ := skewJoinPlan(300, "random")
+	m := runMonitored(t, j, 7)
+	for _, bp := range m.IntervalSeries() {
+		if bp.Actual < bp.Lo-1e-12 || bp.Actual > bp.Hi+1e-12 {
+			t.Fatalf("true progress %.4f outside interval [%.4f, %.4f]", bp.Actual, bp.Lo, bp.Hi)
+		}
+	}
+}
+
+func TestHybridMuSwitchTracksPmaxWhenMuSmall(t *testing.T) {
+	// Uniform 1:1 join: running mu ~2, within threshold 2.1 => pmax used.
+	n := int64(500)
+	r1 := intRel("r1", "a", seq(n))
+	r2 := intRel("r2", "b", seq(n))
+	j, _ := example1Plan(r1, r2, nil, nil, false)
+	tracker := NewTracker(j)
+	ctx := exec.NewCtx()
+	diffs := 0
+	ctx.OnGetNext = func(calls int64) {
+		if calls%13 != 0 {
+			return
+		}
+		s := tracker.Capture()
+		h := (MuSwitch{Threshold: 2.1}).Estimate(s)
+		p := (Pmax{}).Estimate(s)
+		if math.Abs(h-p) > 1e-12 {
+			diffs++
+		}
+	}
+	if _, err := exec.Run(ctx, j); err != nil {
+		t.Fatal(err)
+	}
+	if diffs > 0 {
+		t.Errorf("hybrid deviated from pmax on %d samples despite small mu", diffs)
+	}
+}
+
+func TestVarSwitchStateful(t *testing.T) {
+	j, _ := skewJoinPlan(300, "random")
+	m := NewMonitor(j, 9, &VarSwitch{})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pts := m.SeriesAt(0)
+	if len(pts) == 0 {
+		t.Fatal("no samples")
+	}
+	for _, p := range pts {
+		if p.Est < 0 || p.Est > 1 {
+			t.Fatalf("estimate %v out of range", p.Est)
+		}
+	}
+}
+
+// --- monitor -------------------------------------------------------------------
+
+func TestMonitorSeriesAndErrors(t *testing.T) {
+	r1 := intRel("r1", "a", seq(100))
+	r2 := intRel("r2", "b", seq(100))
+	j, _ := example1Plan(r1, r2, nil, nil, false)
+	m := NewMonitor(j, 10, Dne{}, Pmax{})
+	rows, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 100 {
+		t.Errorf("join rows = %d", len(rows))
+	}
+	if m.Total() != 200 {
+		t.Errorf("total = %d, want 200", m.Total())
+	}
+	if len(m.Samples) != 20 {
+		t.Errorf("samples = %d, want 20", len(m.Samples))
+	}
+	if _, err := m.Series("nope"); err == nil {
+		t.Error("unknown estimator name should error")
+	}
+	pts, err := m.Series("dne")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 20 {
+		t.Errorf("series points = %d", len(pts))
+	}
+}
+
+// --- metrics --------------------------------------------------------------------
+
+func TestMetrics(t *testing.T) {
+	pts := []Point{
+		{Actual: 0.5, Est: 0.25},
+		{Actual: 0.2, Est: 0.4},
+		{Actual: 0.8, Est: 0.8},
+	}
+	if got := MaxRatioError(pts); got != 2 {
+		t.Errorf("MaxRatioError = %g, want 2", got)
+	}
+	if got := AvgRatioError(pts); math.Abs(got-(2+2+1)/3.0) > 1e-12 {
+		t.Errorf("AvgRatioError = %g", got)
+	}
+	if got := MaxAbsError(pts); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("MaxAbsError = %g", got)
+	}
+	if got := AvgAbsError(pts); math.Abs(got-0.15) > 1e-12 {
+		t.Errorf("AvgAbsError = %g", got)
+	}
+	if got := FinalAbsError(pts); got != 0 {
+		t.Errorf("FinalAbsError = %g", got)
+	}
+	if RatioError(0, 0.5) != math.Inf(1) {
+		t.Error("ratio error with zero actual should be +Inf")
+	}
+	if got := RatioErrorAfter(pts, 0.7); got != 1 {
+		t.Errorf("RatioErrorAfter(0.7) = %g", got)
+	}
+	res := RatioErrors(pts)
+	if len(res) != 3 || res[0].Ratio != 2 {
+		t.Errorf("RatioErrors = %v", res)
+	}
+}
+
+func TestThresholdRequirement(t *testing.T) {
+	good := []Point{{Actual: 0.1, Est: 0.2}, {Actual: 0.9, Est: 0.8}}
+	if !SatisfiesThreshold(good, 0.5, 0.05) {
+		t.Error("good series should satisfy tau=0.5, delta=0.05")
+	}
+	bad := []Point{{Actual: 0.1, Est: 0.7}}
+	if SatisfiesThreshold(bad, 0.5, 0.05) {
+		t.Error("overestimate across the threshold should fail")
+	}
+	bad2 := []Point{{Actual: 0.9, Est: 0.3}}
+	if SatisfiesThreshold(bad2, 0.5, 0.05) {
+		t.Error("underestimate across the threshold should fail")
+	}
+	grey := []Point{{Actual: 0.52, Est: 0.4}}
+	if !SatisfiesThreshold(grey, 0.5, 0.05) {
+		t.Error("grey-area samples are unconstrained")
+	}
+	// Section 2.5's conversion: ratio error e implies threshold with
+	// delta = tau*max(1-1/e, e-1).
+	if d := ThresholdFromRatio(0.5, 2); d != 0.5 {
+		t.Errorf("ThresholdFromRatio(0.5, 2) = %g, want 0.5", d)
+	}
+	if d := ThresholdFromRatio(0.5, 1.2); math.Abs(d-0.1) > 1e-12 {
+		t.Errorf("ThresholdFromRatio(0.5, 1.2) = %g, want 0.1", d)
+	}
+}
+
+// --- predictive orders ------------------------------------------------------------
+
+func TestIsCPredictive(t *testing.T) {
+	// Uniform work: every order is predictive.
+	uniform := []int64{2, 2, 2, 2, 2, 2}
+	if !IsCPredictive(uniform, 1.0001) {
+		t.Error("uniform work should be predictive for any c")
+	}
+	// All the work up front: avg after half = ~2x mu => not 1.5-predictive.
+	skewFirst := []int64{10, 10, 1, 1, 1, 1} // mu=4, half-avg=(10+10+1)/3=7
+	if IsCPredictive(skewFirst, 1.5) {
+		t.Error("front-loaded work should not be 1.5-predictive")
+	}
+	if !IsCPredictive(skewFirst, 2) {
+		t.Error("7 <= 2*4, so it is 2-predictive")
+	}
+	skewLast := []int64{1, 1, 1, 1, 10, 10} // half-avg=1, mu=4 => 4x below
+	if IsCPredictive(skewLast, 2) {
+		t.Error("back-loaded work should not be 2-predictive")
+	}
+	if IsCPredictive(nil, 2) != true {
+		t.Error("empty workload trivially predictive")
+	}
+}
+
+func TestTheorem4AtLeastHalfOrdersAre2Predictive(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	workloads := map[string][]int64{
+		"uniform":   make([]int64, 200),
+		"zipfian":   WorkFromJoinFanouts(zipfFanouts(200, 2.0, r)),
+		"one-heavy": append(make([]int64, 199), 10000),
+	}
+	for i := range workloads["uniform"] {
+		workloads["uniform"][i] = 3
+	}
+	for name, w := range workloads {
+		frac := FractionCPredictive(w, 2, 400, 99)
+		if frac < 0.5 {
+			t.Errorf("%s: fraction of 2-predictive orders = %.3f, want >= 0.5", name, frac)
+		}
+	}
+}
+
+func TestProperty2DneErrorBoundedUnderPredictiveOrder(t *testing.T) {
+	// Property 2 exactly: for every 2-predictive order, dne's ratio error
+	// at each tuple boundary after half the input is at most 2.
+	r := rand.New(rand.NewSource(5))
+	work := WorkFromJoinFanouts(zipfFanouts(300, 2.0, r))
+	perm := make([]int64, len(work))
+	copy(perm, work)
+	checked := 0
+	for trial := 0; trial < 200; trial++ {
+		r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if !IsCPredictive(perm, 2) {
+			continue
+		}
+		checked++
+		if err := DneRatioErrorAfterHalf(perm); err > 2+1e-9 {
+			t.Errorf("2-predictive order yielded dne ratio error %.3f after half", err)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no predictive orders sampled")
+	}
+}
+
+func TestWorkStatsHelpers(t *testing.T) {
+	w := []int64{1, 3, 5}
+	if MeanWork(w) != 3 {
+		t.Errorf("mean = %g", MeanWork(w))
+	}
+	if VarianceWork(w) != 8.0/3 {
+		t.Errorf("var = %g", VarianceWork(w))
+	}
+	if MeanWork(nil) != 0 || VarianceWork(nil) != 0 {
+		t.Error("empty workload stats should be 0")
+	}
+	f := WorkFromJoinFanouts([]int64{-1, 0, 4})
+	if f[0] != 1 || f[1] != 2 || f[2] != 6 {
+		t.Errorf("WorkFromJoinFanouts = %v", f)
+	}
+}
+
+func TestDemandCapTightensTopSortPlans(t *testing.T) {
+	// ORDER BY ... LIMIT: Top(10) over Sort over a 1000-row scan. Without
+	// demand capping the sort's UB is the full input; with it, the sort can
+	// emit at most 10 rows.
+	rel := intRel("r", "a", seq(1000))
+	scan := exec.NewScan(rel)
+	srt := exec.NewSort(scan, []exec.SortKey{{Expr: expr.NewCol(scan.Schema(), "r", "a")}})
+	top := exec.NewTop(srt, 10)
+
+	capped := ComputeBounds(top)
+	uncapped := ComputeBoundsOpt(top, BoundsOptions{DisableDemandCap: true})
+	// Capped: scan 1000 + sort <= 10 + top <= 10. Uncapped: + sort 1000.
+	if capped.UB != 1020 {
+		t.Errorf("capped UB = %d, want 1020", capped.UB)
+	}
+	if uncapped.UB != 2010 {
+		t.Errorf("uncapped UB = %d, want 2010", uncapped.UB)
+	}
+
+	// The cap must stay sound: run to completion and verify bracketing at
+	// every sampled instant.
+	tracker := NewTracker(top)
+	ctx := exec.NewCtx()
+	var worstHi int64
+	ctx.OnGetNext = func(int64) {
+		s := tracker.Capture()
+		if s.UB > worstHi {
+			worstHi = s.UB
+		}
+		if s.LB > s.UB {
+			t.Fatal("LB > UB under demand capping")
+		}
+	}
+	if _, err := exec.Run(ctx, top); err != nil {
+		t.Fatal(err)
+	}
+	total := ctx.Calls
+	snap := ComputeBounds(top)
+	if snap.LB != total || snap.UB != total {
+		t.Errorf("final bounds [%d,%d] != total %d", snap.LB, snap.UB, total)
+	}
+}
+
+func TestDemandCapThroughProjectChain(t *testing.T) {
+	// Top -> Project -> Sort: the cap flows through the project onto the
+	// sort.
+	rel := intRel("r", "a", seq(500))
+	scan := exec.NewScan(rel)
+	srt := exec.NewSort(scan, []exec.SortKey{{Expr: expr.NewCol(scan.Schema(), "r", "a")}})
+	proj := exec.NewProject(srt,
+		[]expr.Expr{expr.NewCol(srt.Schema(), "r", "a")},
+		[]string{"a"}, []sqlval.Kind{sqlval.KindInt})
+	top := exec.NewTop(proj, 7)
+	snap := ComputeBounds(top)
+	// scan 500 + sort 7 + project 7 + top 7.
+	if snap.UB != 521 {
+		t.Errorf("UB = %d, want 521", snap.UB)
+	}
+	ctx := exec.NewCtx()
+	if _, err := exec.Run(ctx, top); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Calls > 521 {
+		t.Errorf("actual total %d exceeded the capped UB", ctx.Calls)
+	}
+}
+
+func TestDemandCapDoesNotCrossFilters(t *testing.T) {
+	// Top -> Filter -> Scan: the filter may pull arbitrarily many rows to
+	// emit K, so the scan must stay uncapped.
+	rel := intRel("r", "a", seq(100))
+	scan := exec.NewScan(rel)
+	f := exec.NewFilter(scan, expr.Compare(expr.GE, expr.NewCol(scan.Schema(), "r", "a"), expr.Literal(sqlval.Int(95))))
+	top := exec.NewTop(f, 3)
+	snap := ComputeBounds(top)
+	// scan stays 100; filter capped to 3 (it emits at most what top pulls);
+	// top 3.
+	if snap.UB != 106 {
+		t.Errorf("UB = %d, want 106", snap.UB)
+	}
+	ctx := exec.NewCtx()
+	if _, err := exec.Run(ctx, top); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Calls > 106 {
+		t.Errorf("actual total %d exceeded UB", ctx.Calls)
+	}
+}
+
+func TestExplainBounds(t *testing.T) {
+	r1 := intRel("r1", "a", seq(10))
+	r2 := intRel("r2", "b", seq(10))
+	j, _ := example1Plan(r1, r2, nil, nil, true)
+	out := ExplainBounds(j)
+	if !regexpMustContain(out, "total bounds: LB=") || !regexpMustContain(out, "Scan(r1)") {
+		t.Errorf("explain = %q", out)
+	}
+	if _, err := exec.Run(exec.NewCtx(), j); err != nil {
+		t.Fatal(err)
+	}
+	out = ExplainBounds(j)
+	if !regexpMustContain(out, "done=true") {
+		t.Errorf("post-run explain = %q", out)
+	}
+}
+
+func regexpMustContain(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sqlprogress/internal/exec"
+)
+
+// This file implements the inter-query feedback direction the paper
+// sketches in Section 6.4: "use inter-query feedback, either across
+// different runs of the same query, or across runs of similar looking
+// physical plans... to bound the values of mu, the values of the variance,
+// or even to detect whether the tuple arrival order is predictive."
+//
+// A FeedbackStore accumulates per-plan-signature observations from
+// completed executions; FeedbackSwitch consults it to pick the estimator
+// whose regime the previous runs of this plan shape fell into. Theorems 7
+// and 8 show the current run alone can never justify the choice — history
+// is heuristic evidence, which is exactly the paper's framing.
+
+// PlanSignature canonicalizes a physical plan's shape: operator names in
+// pre-order with leaf identities, ignoring runtime state. Different runs of
+// the same query — and structurally identical plans over the same tables —
+// share a signature.
+func PlanSignature(root exec.Operator) string {
+	var parts []string
+	var walk func(op exec.Operator, depth int)
+	walk = func(op exec.Operator, depth int) {
+		parts = append(parts, fmt.Sprintf("%d:%s", depth, op.Name()))
+		for _, c := range op.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return strings.Join(parts, "|")
+}
+
+// RunStats is what one completed execution contributes.
+type RunStats struct {
+	// Mu is the realized average work per scanned input tuple.
+	Mu float64
+	// WorkVariance is the realized variance of per-driver-tuple work
+	// (normalized by the squared mean: a coefficient-of-variation squared),
+	// measured by the monitor when variance tracking is on.
+	WorkVariance float64
+	// Total is total(Q).
+	Total int64
+}
+
+// PlanHistory aggregates the observed runs of one plan signature.
+type PlanHistory struct {
+	Runs   int
+	MuMax  float64
+	MuMean float64
+	VarMax float64
+	muSum  float64
+}
+
+// FeedbackStore is a concurrency-safe in-memory store of plan histories.
+// (Persisting it across processes is a serialization away; the paper's
+// question is what to do with the information, which Observe/Recommend
+// answer.)
+type FeedbackStore struct {
+	mu    sync.Mutex
+	plans map[string]*PlanHistory
+}
+
+// NewFeedbackStore returns an empty store.
+func NewFeedbackStore() *FeedbackStore {
+	return &FeedbackStore{plans: make(map[string]*PlanHistory)}
+}
+
+// Observe folds one completed run into the history for the plan's
+// signature.
+func (f *FeedbackStore) Observe(root exec.Operator, rs RunStats) {
+	sig := PlanSignature(root)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := f.plans[sig]
+	if h == nil {
+		h = &PlanHistory{}
+		f.plans[sig] = h
+	}
+	h.Runs++
+	h.muSum += rs.Mu
+	h.MuMean = h.muSum / float64(h.Runs)
+	if rs.Mu > h.MuMax {
+		h.MuMax = rs.Mu
+	}
+	if rs.WorkVariance > h.VarMax {
+		h.VarMax = rs.WorkVariance
+	}
+}
+
+// ObserveRun is the convenience entry point after a monitored run: it
+// derives RunStats from the completed plan.
+func (f *FeedbackStore) ObserveRun(root exec.Operator) {
+	f.Observe(root, RunStats{Mu: Mu(root), Total: exec.TotalCalls(root)})
+}
+
+// History returns the recorded history for the plan's signature (nil when
+// unseen).
+func (f *FeedbackStore) History(root exec.Operator) *PlanHistory {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := f.plans[PlanSignature(root)]
+	if h == nil {
+		return nil
+	}
+	cp := *h
+	return &cp
+}
+
+// Signatures lists recorded signatures (sorted; for inspection).
+func (f *FeedbackStore) Signatures() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.plans))
+	for s := range f.plans {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Recommend picks the estimator the history argues for:
+//
+//   - history of small mu (max observed below the mu threshold) -> pmax,
+//     whose error is bounded by mu (Theorem 5);
+//   - history of small per-tuple variance -> dne (Theorem 3's regime);
+//   - no history, or history outside both regimes -> safe (worst-case
+//     optimal).
+func (f *FeedbackStore) Recommend(root exec.Operator, muThreshold, varThreshold float64) Estimator {
+	if muThreshold <= 0 {
+		muThreshold = 1.5
+	}
+	if varThreshold <= 0 {
+		varThreshold = 0.05
+	}
+	h := f.History(root)
+	switch {
+	case h == nil || h.Runs == 0:
+		return Safe{}
+	case h.MuMax <= muThreshold:
+		return Pmax{}
+	case h.VarMax > 0 && h.VarMax <= varThreshold:
+		return Dne{}
+	default:
+		return Safe{}
+	}
+}
+
+// FeedbackSwitch is an Estimator that delegates to the store's
+// recommendation, frozen at construction (per the paper, switching *within*
+// a run cannot be justified either — Theorems 7/8 — so the choice is made
+// once, from history).
+type FeedbackSwitch struct {
+	inner Estimator
+}
+
+// NewFeedbackSwitch resolves the recommendation for this plan now.
+func NewFeedbackSwitch(store *FeedbackStore, root exec.Operator) *FeedbackSwitch {
+	return &FeedbackSwitch{inner: store.Recommend(root, 0, 0)}
+}
+
+// Name implements Estimator.
+func (fs *FeedbackSwitch) Name() string { return "feedback(" + fs.inner.Name() + ")" }
+
+// Estimate implements Estimator.
+func (fs *FeedbackSwitch) Estimate(s *State) float64 { return fs.inner.Estimate(s) }
+
+// Chosen exposes the delegate (for reporting).
+func (fs *FeedbackSwitch) Chosen() Estimator { return fs.inner }

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/expr"
+)
+
+func TestPlanSignatureStableAcrossRuns(t *testing.T) {
+	j1, _ := skewJoinPlan(200, "stored")
+	j2, _ := skewJoinPlan(200, "skew-last") // same shape, different order
+	sig1 := PlanSignature(j1)
+	if sig1 == "" {
+		t.Fatal("empty signature")
+	}
+	if sig1 != PlanSignature(j2) {
+		t.Error("structurally identical plans should share a signature")
+	}
+	// Execute one and re-sign: runtime state must not leak into the
+	// signature.
+	if _, err := exec.Run(exec.NewCtx(), j1); err != nil {
+		t.Fatal(err)
+	}
+	if PlanSignature(j1) != sig1 {
+		t.Error("signature changed after execution")
+	}
+	// A different shape signs differently.
+	r1 := intRel("x1", "a", seq(10))
+	other := exec.NewScan(r1)
+	if PlanSignature(other) == sig1 {
+		t.Error("different plans should not collide (in general)")
+	}
+}
+
+func TestFeedbackStoreObserveAndHistory(t *testing.T) {
+	store := NewFeedbackStore()
+	j, _ := skewJoinPlan(300, "stored")
+	if store.History(j) != nil {
+		t.Error("no history before observation")
+	}
+	if _, err := exec.Run(exec.NewCtx(), j); err != nil {
+		t.Fatal(err)
+	}
+	store.ObserveRun(j)
+	h := store.History(j)
+	if h == nil || h.Runs != 1 {
+		t.Fatalf("history = %+v", h)
+	}
+	if h.MuMax < 1 || math.Abs(h.MuMean-h.MuMax) > 1e-12 {
+		t.Errorf("mu stats = %+v", h)
+	}
+	// Second run of the same shape accumulates.
+	j2, _ := skewJoinPlan(300, "skew-last")
+	if _, err := exec.Run(exec.NewCtx(), j2); err != nil {
+		t.Fatal(err)
+	}
+	store.ObserveRun(j2)
+	if h := store.History(j); h.Runs != 2 {
+		t.Errorf("runs = %d, want 2", h.Runs)
+	}
+	if len(store.Signatures()) != 1 {
+		t.Errorf("signatures = %v", store.Signatures())
+	}
+}
+
+func TestFeedbackRecommendation(t *testing.T) {
+	store := NewFeedbackStore()
+	j, _ := skewJoinPlan(300, "stored")
+
+	// Unseen plan: safe (worst-case optimal is the only defensible default).
+	if got := store.Recommend(j, 0, 0).Name(); got != "safe" {
+		t.Errorf("cold recommendation = %s, want safe", got)
+	}
+
+	// History of small mu: pmax (its Theorem-5 bound is tight).
+	store.Observe(j, RunStats{Mu: 1.1, Total: 1000})
+	if got := store.Recommend(j, 1.5, 0).Name(); got != "pmax" {
+		t.Errorf("small-mu recommendation = %s, want pmax", got)
+	}
+
+	// A later large-mu run disqualifies pmax; small variance picks dne.
+	store.Observe(j, RunStats{Mu: 4.0, WorkVariance: 0.01, Total: 1000})
+	if got := store.Recommend(j, 1.5, 0.05).Name(); got != "dne" {
+		t.Errorf("low-variance recommendation = %s, want dne", got)
+	}
+
+	// Large mu and large variance: back to safe.
+	store.Observe(j, RunStats{Mu: 4.0, WorkVariance: 3, Total: 1000})
+	if got := store.Recommend(j, 1.5, 0.05).Name(); got != "safe" {
+		t.Errorf("hostile-history recommendation = %s, want safe", got)
+	}
+}
+
+func TestFeedbackSwitchDelegates(t *testing.T) {
+	store := NewFeedbackStore()
+	j, _ := skewJoinPlan(200, "stored")
+	store.Observe(j, RunStats{Mu: 1.05})
+	fs := NewFeedbackSwitch(store, j)
+	if fs.Chosen().Name() != "pmax" {
+		t.Fatalf("chosen = %s", fs.Chosen().Name())
+	}
+	if fs.Name() != "feedback(pmax)" {
+		t.Errorf("name = %s", fs.Name())
+	}
+	// Delegation: estimates match pmax exactly over a fresh run of the
+	// same shape.
+	j2, _ := skewJoinPlan(200, "stored")
+	tracker := NewTracker(j2)
+	ctx := exec.NewCtx()
+	diffs := 0
+	ctx.OnGetNext = func(calls int64) {
+		if calls%17 != 0 {
+			return
+		}
+		s := tracker.Capture()
+		if math.Abs(fs.Estimate(s)-(Pmax{}).Estimate(s)) > 1e-15 {
+			diffs++
+		}
+	}
+	if _, err := exec.Run(ctx, j2); err != nil {
+		t.Fatal(err)
+	}
+	if diffs != 0 {
+		t.Errorf("feedback switch deviated from its delegate on %d samples", diffs)
+	}
+}
+
+func TestFeedbackImprovesSecondRun(t *testing.T) {
+	// End-to-end Section 6.4 story: first run of a low-mu query uses safe
+	// (cold start) and pays its insurance; the second run, informed by
+	// history, uses pmax and is much more accurate.
+	store := NewFeedbackStore()
+
+	// Low-mu fixture: |R2| = |R1|/10, so mu ≈ 1.1 (pmax's regime).
+	mkPlan := func() *exec.INLJoin {
+		n := int64(400)
+		r1 := intRel("r1", "a", seq(n))
+		var r2vals []int64
+		for i := int64(0); i < n/10; i++ {
+			r2vals = append(r2vals, i)
+		}
+		r2 := intRel("r2", "b", r2vals)
+		j, _ := example1Plan(r1, r2, nil, nil, true)
+		return j
+	}
+
+	run := func() (est Estimator, pts []Point) {
+		j := mkPlan()
+		est = NewFeedbackSwitch(store, j)
+		m := NewMonitor(j, 11, est)
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		store.ObserveRun(j)
+		return est, m.SeriesAt(0)
+	}
+
+	first, firstPts := run()
+	if first.(*FeedbackSwitch).Chosen().Name() != "safe" {
+		t.Fatalf("first run chose %s", first.(*FeedbackSwitch).Chosen().Name())
+	}
+	second, secondPts := run()
+	if second.(*FeedbackSwitch).Chosen().Name() != "pmax" {
+		t.Fatalf("second run chose %s", second.(*FeedbackSwitch).Chosen().Name())
+	}
+	if MaxAbsError(secondPts) >= MaxAbsError(firstPts) {
+		t.Errorf("second run (pmax, %.4f) should beat first (safe, %.4f) on this low-mu query",
+			MaxAbsError(secondPts), MaxAbsError(firstPts))
+	}
+}
+
+func TestDneDynamicAdaptsToStablePerTupleCost(t *testing.T) {
+	// Every R1 tuple joins exactly 3 R2 rows: per-tuple work is constant at
+	// 4 but far from 1. Plain dne is exact here too (uniform), but
+	// dne-dynamic must also be exact, having learned the per-tuple cost.
+	n := int64(500)
+	r1 := intRel("r1", "a", seq(n))
+	var r2vals []int64
+	for i := int64(0); i < n; i++ {
+		r2vals = append(r2vals, i, i, i)
+	}
+	r2 := intRel("r2", "b", r2vals)
+	j, _ := example1Plan(r1, r2, nil, nil, true)
+	m := NewMonitor(j, 7, DneDynamic{}, Dne{})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	dyn := m.SeriesAt(0)
+	if worst := MaxAbsError(dyn); worst > 0.03 {
+		t.Errorf("dne-dynamic max abs err = %.4f on constant per-tuple cost", worst)
+	}
+}
+
+func TestDneDynamicVsDneOnLateRamp(t *testing.T) {
+	// Work per tuple is 1 for the first half and 11 for the second half
+	// (ramp). After the ramp begins, dynamic dne re-learns the average and
+	// converges; plain dne keeps using the driver fraction. Both must stay
+	// within [0, 1] and dynamic should be at least as good overall.
+	n := 600
+	r1 := intRel("r1", "a", seq(int64(n)))
+	var r2vals []int64
+	for i := n / 2; i < n; i++ {
+		for k := 0; k < 10; k++ {
+			r2vals = append(r2vals, int64(i))
+		}
+	}
+	r2 := intRel("r2", "b", r2vals)
+	j, _ := example1Plan(r1, r2, nil, nil, true)
+	m := NewMonitor(j, 9, DneDynamic{}, Dne{})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	dyn, plain := m.SeriesAt(0), m.SeriesAt(1)
+	for _, p := range append(append([]Point{}, dyn...), plain...) {
+		if p.Est < 0 || p.Est > 1 {
+			t.Fatalf("estimate %v out of range", p.Est)
+		}
+	}
+	if AvgAbsError(dyn) > AvgAbsError(plain)+1e-9 {
+		t.Errorf("dynamic avg err %.4f should not exceed plain dne %.4f",
+			AvgAbsError(dyn), AvgAbsError(plain))
+	}
+}
+
+func TestDneDynamicMultiPipeline(t *testing.T) {
+	// Hash join: build pipeline finishes first and is pinned exactly;
+	// dynamic dne must account for both pipelines.
+	r1 := intRel("r1", "a", seq(400))
+	r2 := intRel("r2", "b", seq(400))
+	b, p := exec.NewScan(r1), exec.NewScan(r2)
+	hj := exec.NewHashJoin(b, p,
+		[]expr.Expr{expr.NewCol(b.Schema(), "r1", "a")},
+		[]expr.Expr{expr.NewCol(p.Schema(), "r2", "b")}, exec.InnerJoin)
+	hj.Linear = true
+	m := NewMonitor(hj, 13, DneDynamic{})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pts := m.SeriesAt(0)
+	if worst := MaxAbsError(pts); worst > 0.25 {
+		t.Errorf("dne-dynamic max err %.4f on a uniform hash join", worst)
+	}
+	last := pts[len(pts)-1]
+	if RatioError(last.Actual, last.Est) > 1.05 {
+		t.Errorf("dne-dynamic should converge, final (%.3f, %.3f)", last.Actual, last.Est)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import "math"
+
+// RatioError is the paper's accuracy measure (Section 2.5): for actual
+// progress a and estimate e, max(a/e, e/a); an estimator yields ratio error
+// r when every instant's error is at most r.
+func RatioError(actual, est float64) float64 {
+	if actual <= 0 || est <= 0 {
+		return math.Inf(1)
+	}
+	if est > actual {
+		return est / actual
+	}
+	return actual / est
+}
+
+// MaxRatioError returns the worst ratio error over a series.
+func MaxRatioError(pts []Point) float64 {
+	worst := 1.0
+	for _, p := range pts {
+		if r := RatioError(p.Actual, p.Est); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// AvgRatioError returns the mean ratio error over a series.
+func AvgRatioError(pts []Point) float64 {
+	if len(pts) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += RatioError(p.Actual, p.Est)
+	}
+	return sum / float64(len(pts))
+}
+
+// MaxAbsError returns the worst absolute error |est - actual| over a series
+// (the metric of the paper's Table 1, as a fraction of total progress).
+func MaxAbsError(pts []Point) float64 {
+	var worst float64
+	for _, p := range pts {
+		if d := math.Abs(p.Est - p.Actual); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// AvgAbsError returns the mean absolute error over a series.
+func AvgAbsError(pts []Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += math.Abs(p.Est - p.Actual)
+	}
+	return sum / float64(len(pts))
+}
+
+// FinalAbsError returns the absolute error at the last sample (Figure 7's
+// "off by 20% even at the end").
+func FinalAbsError(pts []Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	p := pts[len(pts)-1]
+	return math.Abs(p.Est - p.Actual)
+}
+
+// SatisfiesThreshold checks the paper's threshold requirement (Section 2.5)
+// over a series: whenever actual < tau-delta the estimate must be < tau,
+// and whenever actual > tau+delta the estimate must be > tau. Estimates in
+// the grey area are unconstrained.
+func SatisfiesThreshold(pts []Point, tau, delta float64) bool {
+	for _, p := range pts {
+		if p.Actual < tau-delta && p.Est >= tau {
+			return false
+		}
+		if p.Actual > tau+delta && p.Est <= tau {
+			return false
+		}
+	}
+	return true
+}
+
+// ThresholdFromRatio converts a ratio-error guarantee into the threshold
+// guarantee it implies: a ratio error of e satisfies any threshold tau with
+// delta = tau * max(1 - 1/e, e - 1) (Section 2.5).
+func ThresholdFromRatio(tau, e float64) (delta float64) {
+	a, b := 1-1/e, e-1
+	if a > b {
+		return tau * a
+	}
+	return tau * b
+}
+
+// OverestimateShare returns the fraction of samples where the estimate was
+// at or above the truth (pmax should be 1.0 by Property 4).
+func OverestimateShare(pts []Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range pts {
+		if p.Est >= p.Actual-1e-12 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(pts))
+}
+
+// RatioErrorSeries maps a series to per-sample ratio errors keyed by actual
+// progress — Figure 6's shape (error decaying over execution).
+type RatioPoint struct {
+	Actual, Ratio float64
+}
+
+// RatioErrors computes the per-sample ratio-error series.
+func RatioErrors(pts []Point) []RatioPoint {
+	out := make([]RatioPoint, len(pts))
+	for i, p := range pts {
+		out[i] = RatioPoint{Actual: p.Actual, Ratio: RatioError(p.Actual, p.Est)}
+	}
+	return out
+}
+
+// RatioErrorAfter returns the worst ratio error among samples with actual
+// progress >= frac (e.g. Figure 6 reads the error after 30% of execution).
+func RatioErrorAfter(pts []Point, frac float64) float64 {
+	worst := 1.0
+	for _, p := range pts {
+		if p.Actual >= frac {
+			if r := RatioError(p.Actual, p.Est); r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}

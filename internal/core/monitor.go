@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/schema"
+)
+
+// Sample is one observation of the execution: the instant (in GetNext
+// calls), the bounds, and each estimator's output.
+type Sample struct {
+	Calls     int64
+	LB, UB    int64
+	Estimates []float64 // parallel to Monitor.Estimators
+}
+
+// Monitor samples a set of estimators while a plan executes. Attach its
+// Hook to the execution context (or use Run), then read Series / errors
+// after completion.
+type Monitor struct {
+	// Every is the sampling period in GetNext calls.
+	Every int64
+	// Estimators are evaluated at every sample, in order.
+	Estimators []Estimator
+
+	tracker *Tracker
+	root    exec.Operator
+	Samples []Sample
+	total   int64
+}
+
+// NewMonitor builds a monitor for the plan rooted at root, sampling every
+// `every` GetNext calls (minimum 1).
+func NewMonitor(root exec.Operator, every int64, ests ...Estimator) *Monitor {
+	if every < 1 {
+		every = 1
+	}
+	return &Monitor{
+		Every:      every,
+		Estimators: ests,
+		tracker:    NewTracker(root),
+		root:       root,
+	}
+}
+
+// Hook returns the callback to install as exec.Ctx.OnGetNext.
+func (m *Monitor) Hook() func(int64) {
+	return func(calls int64) {
+		if calls%m.Every != 0 {
+			return
+		}
+		m.capture(calls)
+	}
+}
+
+func (m *Monitor) capture(calls int64) {
+	s := m.tracker.Capture()
+	sample := Sample{Calls: calls, LB: s.LB, UB: s.UB, Estimates: make([]float64, len(m.Estimators))}
+	for i, e := range m.Estimators {
+		sample.Estimates[i] = e.Estimate(s)
+	}
+	m.Samples = append(m.Samples, sample)
+}
+
+// Run executes the plan to completion under this monitor and returns the
+// root's output rows.
+func (m *Monitor) Run() ([]schema.Row, error) {
+	ctx := exec.NewCtx()
+	ctx.OnGetNext = m.Hook()
+	rows, err := exec.Run(ctx, m.root)
+	if err != nil {
+		return nil, err
+	}
+	m.total = ctx.Calls
+	return rows, nil
+}
+
+// SetTotal records total(Q) when the plan was executed outside Run.
+func (m *Monitor) SetTotal(total int64) { m.total = total }
+
+// Total returns total(Q) (valid after the run completes).
+func (m *Monitor) Total() int64 { return m.total }
+
+// Mu returns the paper's mu for the completed execution.
+func (m *Monitor) Mu() float64 { return Mu(m.root) }
+
+// Point pairs the true progress at a sample with an estimate.
+type Point struct {
+	Actual, Est float64
+}
+
+// Series returns (actual, estimate) points for the named estimator; valid
+// after the run completes.
+func (m *Monitor) Series(name string) ([]Point, error) {
+	idx := -1
+	for i, e := range m.Estimators {
+		if e.Name() == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("monitor: no estimator %q", name)
+	}
+	return m.SeriesAt(idx), nil
+}
+
+// SeriesAt returns the points for estimator index i.
+func (m *Monitor) SeriesAt(i int) []Point {
+	out := make([]Point, len(m.Samples))
+	for j, s := range m.Samples {
+		out[j] = Point{Actual: float64(s.Calls) / float64(m.total), Est: s.Estimates[i]}
+	}
+	return out
+}
+
+// BoundsSeries returns, per sample, the true progress and the hard interval
+// [Curr/UB, Curr/LB] that held at that instant.
+type BoundsPoint struct {
+	Actual, Lo, Hi float64
+}
+
+// IntervalSeries returns the hard progress interval per sample.
+func (m *Monitor) IntervalSeries() []BoundsPoint {
+	out := make([]BoundsPoint, len(m.Samples))
+	for j, s := range m.Samples {
+		lo := float64(s.Calls) / float64(s.UB)
+		hi := float64(s.Calls) / float64(s.LB)
+		if hi > 1 {
+			hi = 1
+		}
+		out[j] = BoundsPoint{
+			Actual: float64(s.Calls) / float64(m.total),
+			Lo:     lo,
+			Hi:     hi,
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+// Package core implements the paper's contribution: progress estimation for
+// SQL queries under the GetNext model.
+//
+// It provides
+//
+//   - pipeline decomposition of an operator tree with driver-node
+//     identification (Section 4.1),
+//   - continuously-refined lower/upper bounds on every node's cardinality
+//     and hence on total(Q) (Section 5.1),
+//   - the estimators dne (Definition 1), pmax (Definition 3), safe
+//     (Definition 5), the trivial estimator, and the heuristic combinations
+//     of Section 6.4,
+//   - a Monitor that samples estimates during execution, and error metrics
+//     (ratio error, threshold requirement, absolute errors) to evaluate
+//     them (Section 2.5).
+package core
+
+import "sqlprogress/internal/exec"
+
+// Pipeline is a maximal set of concurrently-executing operators in a serial
+// execution of the plan, in the sense of [5, 13]: blocking inputs (hash-join
+// build sides, sort and hash-aggregation inputs) and rescanned nested-loops
+// inners start new pipelines.
+type Pipeline struct {
+	// Root is the topmost operator of the pipeline (the plan root, or a
+	// node whose output feeds a blocking consumer).
+	Root exec.Operator
+	// Ops lists every operator in the pipeline, in pre-order from Root.
+	Ops []exec.Operator
+	// Drivers are the pipeline's input nodes — operators with no streaming
+	// children: base-table leaves, or blocking operators (a completed sort)
+	// whose output drives this pipeline. dne measures progress at these
+	// nodes. A pipeline can have several drivers (e.g. both inputs of a
+	// merge join), the case the paper's footnote 1 notes.
+	Drivers []exec.Operator
+}
+
+// Pipelines decomposes the operator tree rooted at root. The root's own
+// pipeline comes first; sub-pipelines follow in pre-order.
+func Pipelines(root exec.Operator) []Pipeline {
+	var out []*Pipeline
+	var decompose func(op exec.Operator)
+	decompose = func(op exec.Operator) {
+		p := &Pipeline{Root: op}
+		out = append(out, p)
+		var collect func(o exec.Operator)
+		collect = func(o exec.Operator) {
+			p.Ops = append(p.Ops, o)
+			stream := make(map[int]bool)
+			for _, i := range o.StreamChildren() {
+				stream[i] = true
+			}
+			if len(stream) == 0 {
+				p.Drivers = append(p.Drivers, o)
+			}
+			for i, c := range o.Children() {
+				if stream[i] {
+					collect(c)
+				} else {
+					decompose(c)
+				}
+			}
+		}
+		collect(op)
+	}
+	decompose(root)
+	res := make([]Pipeline, len(out))
+	for i, p := range out {
+		res[i] = *p
+	}
+	return res
+}
+
+// DriverNodes returns the drivers of every pipeline of the plan, the node
+// set over which dne aggregates.
+func DriverNodes(root exec.Operator) []exec.Operator {
+	var out []exec.Operator
+	for _, p := range Pipelines(root) {
+		out = append(out, p.Drivers...)
+	}
+	return out
+}

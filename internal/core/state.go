@@ -1,0 +1,216 @@
+package core
+
+import (
+	"sqlprogress/internal/exec"
+)
+
+// DriverState is the progress-relevant view of one driver node.
+type DriverState struct {
+	// Returned is how many rows the driver has produced so far (k_i).
+	Returned int64
+	// Total is the estimated number of rows the driver will produce (N_i):
+	// exact for completed nodes and full scans, otherwise the plan-time
+	// estimate clamped into the node's current bounds.
+	Total float64
+	// Done reports whether the driver has finished.
+	Done bool
+}
+
+// State is an instantaneous snapshot of everything a progress estimator is
+// allowed to see: the execution feedback (Curr, per-driver counts, leaf
+// consumption) and the statistics-derived bounds. Estimators are pure
+// functions of State (plus their own history), never of the data instance —
+// the paper's Section 2.4 restriction.
+type State struct {
+	// Curr is the number of GetNext calls performed so far.
+	Curr int64
+	// LB and UB bound total(Q) at this instant (Section 5.1).
+	LB, UB int64
+	// Drivers holds one entry per driver node across all pipelines.
+	Drivers []DriverState
+	// LeafCard is the summed cardinality of scanned leaves (mu's
+	// denominator).
+	LeafCard int64
+	// LeafConsumed is the number of leaf rows consumed so far (for the
+	// running estimate of mu used by heuristic switching).
+	LeafConsumed int64
+	// Pipelines holds per-pipeline progress, in Pipelines(root) order; the
+	// dynamic dne refinement (DneDynamic) scales each pipeline's driver
+	// total by its observed per-driver-tuple work.
+	Pipelines []PipelineState
+}
+
+// PipelineState is the progress-relevant view of one pipeline.
+type PipelineState struct {
+	// Work is the GetNext calls performed by the pipeline's operators so
+	// far.
+	Work int64
+	// DriverReturned and DriverTotal aggregate the pipeline's driver nodes
+	// (rows consumed, estimated final rows).
+	DriverReturned int64
+	DriverTotal    float64
+	// EstWork is the plan-time estimate of the pipeline's total work (sum
+	// of member nodes' estimated cardinalities clamped into their bounds).
+	EstWork float64
+	// Done reports that every member operator reached EOF.
+	Done bool
+}
+
+// Interval returns hard bounds on the true progress at this instant:
+// Curr/UB <= progress <= Curr/LB. Any estimator may be constrained into it.
+func (s *State) Interval() (lo, hi float64) {
+	if s.Curr <= 0 {
+		return 0, 1
+	}
+	lo = float64(s.Curr) / float64(s.UB)
+	hi = float64(s.Curr) / float64(s.LB)
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// MuRunning is the average work per consumed leaf tuple so far — the
+// observable proxy for mu used by heuristic estimator switching (Section
+// 6.4). Theorem 7 shows no estimator can bound the true mu from it.
+func (s *State) MuRunning() float64 {
+	if s.LeafConsumed <= 0 {
+		return 1
+	}
+	return float64(s.Curr) / float64(s.LeafConsumed)
+}
+
+// Tracker captures States from a running plan. It performs one bounds pass
+// per capture, so capturing every GetNext call costs O(plan size) — callers
+// sample every N calls instead (see Monitor).
+type Tracker struct {
+	root      exec.Operator
+	drivers   []exec.Operator
+	leaves    []exec.Operator // leaves outside rescanned subtrees
+	pipelines []Pipeline
+}
+
+// NewTracker prepares a tracker for the plan rooted at root (the plan
+// structure is fixed; only runtime counters change between captures).
+func NewTracker(root exec.Operator) *Tracker {
+	t := &Tracker{root: root, pipelines: Pipelines(root)}
+	for _, p := range t.pipelines {
+		t.drivers = append(t.drivers, p.Drivers...)
+	}
+	var walk func(op exec.Operator, underRescan bool)
+	walk = func(op exec.Operator, underRescan bool) {
+		children := op.Children()
+		if len(children) == 0 && !underRescan {
+			t.leaves = append(t.leaves, op)
+			return
+		}
+		rescanned := make(map[int]bool)
+		if r, ok := op.(exec.Rescanner); ok {
+			for _, i := range r.RescannedChildren() {
+				rescanned[i] = true
+			}
+		}
+		for i, c := range children {
+			walk(c, underRescan || rescanned[i])
+		}
+	}
+	walk(root, false)
+	return t
+}
+
+// Capture snapshots the current State.
+func (t *Tracker) Capture() *State {
+	snap := ComputeBounds(t.root)
+	byOp := make(map[exec.Operator]exec.CardBounds, len(snap.Nodes))
+	for _, nb := range snap.Nodes {
+		byOp[nb.Op] = nb.Bounds
+	}
+	s := &State{
+		Curr: exec.TotalCalls(t.root),
+		LB:   snap.LB,
+		UB:   snap.UB,
+	}
+	if s.LB < 1 {
+		s.LB = 1
+	}
+	if s.UB < s.LB {
+		s.UB = s.LB
+	}
+	for _, d := range t.drivers {
+		rt := d.Runtime()
+		ds := DriverState{
+			Returned: rt.Returned,
+			Done:     rt.Done && rt.Rescans == 0,
+			Total:    estimateNodeTotal(d, byOp[d]),
+		}
+		s.Drivers = append(s.Drivers, ds)
+	}
+	for _, l := range t.leaves {
+		b := byOp[l]
+		s.LeafCard += b.LB
+		s.LeafConsumed += l.Runtime().Returned
+	}
+	for _, p := range t.pipelines {
+		ps := PipelineState{Done: true}
+		for _, op := range p.Ops {
+			rt := op.Runtime()
+			ps.Work += rt.Returned
+			ps.EstWork += estimateNodeTotal(op, byOp[op])
+			if !rt.Done || rt.Rescans > 0 {
+				ps.Done = false
+			}
+		}
+		for _, d := range p.Drivers {
+			ps.DriverReturned += d.Runtime().Returned
+			ps.DriverTotal += estimateNodeTotal(d, byOp[d])
+		}
+		s.Pipelines = append(s.Pipelines, ps)
+	}
+	return s
+}
+
+// estimateNodeTotal estimates a node's final GetNext count: exact when the
+// node finished or its bounds pin it, otherwise the plan-time estimate
+// clamped into the current hard bounds (falling back to the bounds midpoint
+// or lower bound).
+func estimateNodeTotal(op exec.Operator, b exec.CardBounds) float64 {
+	rt := op.Runtime()
+	var total float64
+	switch {
+	case rt.Done && rt.Rescans == 0:
+		total = float64(rt.Returned)
+	case b.LB == b.UB:
+		total = float64(b.LB)
+	default:
+		est := op.EstimatedCard()
+		switch {
+		case est >= 0:
+			total = clampF(float64(est), float64(b.LB), float64(b.UB))
+		case b.UB >= exec.Unbounded:
+			total = float64(maxI64(b.LB, 1))
+		default:
+			total = float64(b.LB+b.UB) / 2
+		}
+	}
+	if total < 1 {
+		total = 1
+	}
+	return total
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

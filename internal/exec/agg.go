@@ -1,0 +1,305 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"sqlprogress/internal/expr"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// aggOutputSchema builds the schema for an aggregation: group columns first
+// (types taken from the child where resolvable), then one column per
+// aggregate.
+func aggOutputSchema(groupNames []string, groupTypes []sqlval.Kind, aggs []expr.Agg) *schema.Schema {
+	cols := make([]schema.Column, 0, len(groupNames)+len(aggs))
+	for i, n := range groupNames {
+		cols = append(cols, schema.Column{Name: n, Type: groupTypes[i]})
+	}
+	for _, a := range aggs {
+		cols = append(cols, schema.Column{Name: a.Name, Type: a.OutputType()})
+	}
+	return schema.New(cols...)
+}
+
+// HashAgg is a blocking hash aggregation (gamma): Open drains the child into
+// per-group accumulators; Next streams one row per group in sorted group-key
+// order (deterministic output for testing and benchmarking).
+type HashAgg struct {
+	base
+	child      Operator
+	GroupBy    []expr.Expr
+	Aggs       []expr.Agg
+	groupNames []string
+
+	groups map[uint64][]*aggGroup
+	out    []*aggGroup
+	pos    int
+}
+
+type aggGroup struct {
+	key    []sqlval.Value
+	states []*expr.AggState
+}
+
+// NewHashAgg builds a hash aggregation. groupNames and groupTypes describe
+// the group-by output columns and must match GroupBy's arity; at least one
+// group column is required (use StreamAgg for scalar aggregates).
+func NewHashAgg(child Operator, groupBy []expr.Expr, groupNames []string, groupTypes []sqlval.Kind, aggs []expr.Agg) *HashAgg {
+	if len(groupBy) == 0 {
+		panic("hashagg: scalar aggregation belongs to StreamAgg")
+	}
+	if len(groupBy) != len(groupNames) || len(groupBy) != len(groupTypes) {
+		panic("hashagg: group arity mismatch")
+	}
+	return &HashAgg{
+		base:       newBase(aggOutputSchema(groupNames, groupTypes, aggs)),
+		child:      child,
+		GroupBy:    groupBy,
+		Aggs:       aggs,
+		groupNames: groupNames,
+	}
+}
+
+// Open implements Operator.
+func (a *HashAgg) Open(ctx *Ctx) error {
+	a.reopen()
+	a.groups = make(map[uint64][]*aggGroup)
+	a.out = nil
+	a.pos = 0
+	if err := a.child.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		row, ok, err := a.child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		a.fold(row)
+	}
+	// Deterministic emission order: sort groups by key.
+	a.out = make([]*aggGroup, 0, len(a.groups))
+	for _, bucket := range a.groups {
+		a.out = append(a.out, bucket...)
+	}
+	sort.Slice(a.out, func(i, j int) bool {
+		return compareKeyVals(a.out[i].key, a.out[j].key) < 0
+	})
+	return nil
+}
+
+func (a *HashAgg) fold(row schema.Row) {
+	key := make([]sqlval.Value, len(a.GroupBy))
+	var h uint64 = 1469598103934665603
+	for i, g := range a.GroupBy {
+		key[i] = g.Eval(row)
+		h = h*1099511628211 ^ sqlval.Hash(key[i])
+	}
+	var grp *aggGroup
+	for _, g := range a.groups[h] {
+		if compareKeyVals(g.key, key) == 0 {
+			grp = g
+			break
+		}
+	}
+	if grp == nil {
+		grp = &aggGroup{key: key, states: make([]*expr.AggState, len(a.Aggs))}
+		for i, ag := range a.Aggs {
+			grp.states[i] = expr.NewAggState(ag)
+		}
+		a.groups[h] = append(a.groups[h], grp)
+	}
+	for _, s := range grp.states {
+		s.Add(row)
+	}
+}
+
+// Next implements Operator.
+func (a *HashAgg) Next(ctx *Ctx) (schema.Row, bool, error) {
+	if a.pos >= len(a.out) {
+		return a.eof()
+	}
+	g := a.out[a.pos]
+	a.pos++
+	row := make(schema.Row, 0, len(g.key)+len(g.states))
+	row = append(row, g.key...)
+	for _, s := range g.states {
+		row = append(row, s.Result())
+	}
+	return a.emit(ctx, row)
+}
+
+// Close implements Operator.
+func (a *HashAgg) Close() error {
+	a.groups, a.out = nil, nil
+	return a.child.Close()
+}
+
+// Children implements Operator.
+func (a *HashAgg) Children() []Operator { return []Operator{a.child} }
+
+// Name implements Operator.
+func (a *HashAgg) Name() string {
+	return fmt.Sprintf("HashAgg(groups=%d, aggs=%d)", len(a.GroupBy), len(a.Aggs))
+}
+
+// FinalBounds implements Operator: between one group (if any input) and one
+// group per input row.
+func (a *HashAgg) FinalBounds(ch []CardBounds) CardBounds {
+	lb := ch[0].LB
+	if lb > 1 {
+		lb = 1
+	}
+	return CardBounds{LB: lb, UB: ch[0].UB}
+}
+
+// StreamChildren implements Operator.
+func (a *HashAgg) StreamChildren() []int { return nil }
+
+// BlockingChildren implements Operator.
+func (a *HashAgg) BlockingChildren() []int { return []int{0} }
+
+// StreamAgg aggregates an input already grouped (sorted) on the group-by
+// keys, emitting each group as it completes; with no group-by keys it is the
+// scalar aggregate, emitting exactly one row even for empty input.
+type StreamAgg struct {
+	base
+	child   Operator
+	GroupBy []expr.Expr
+	Aggs    []expr.Agg
+
+	cur      *aggGroup
+	pending  schema.Row
+	done     bool
+	emitted1 bool // scalar: have we emitted the single row
+}
+
+// NewStreamAgg builds a stream aggregation; groupBy may be empty for scalar
+// aggregation. For grouped aggregation the child must be sorted on groupBy.
+func NewStreamAgg(child Operator, groupBy []expr.Expr, groupNames []string, groupTypes []sqlval.Kind, aggs []expr.Agg) *StreamAgg {
+	if len(groupBy) != len(groupNames) || len(groupBy) != len(groupTypes) {
+		panic("streamagg: group arity mismatch")
+	}
+	return &StreamAgg{
+		base:    newBase(aggOutputSchema(groupNames, groupTypes, aggs)),
+		child:   child,
+		GroupBy: groupBy,
+		Aggs:    aggs,
+	}
+}
+
+// Open implements Operator.
+func (s *StreamAgg) Open(ctx *Ctx) error {
+	s.reopen()
+	s.cur, s.pending = nil, nil
+	s.done, s.emitted1 = false, false
+	return s.child.Open(ctx)
+}
+
+func (s *StreamAgg) newGroup(row schema.Row) *aggGroup {
+	key := make([]sqlval.Value, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		key[i] = g.Eval(row)
+	}
+	grp := &aggGroup{key: key, states: make([]*expr.AggState, len(s.Aggs))}
+	for i, ag := range s.Aggs {
+		grp.states[i] = expr.NewAggState(ag)
+	}
+	return grp
+}
+
+func (s *StreamAgg) groupRow(g *aggGroup) schema.Row {
+	row := make(schema.Row, 0, len(g.key)+len(g.states))
+	row = append(row, g.key...)
+	for _, st := range g.states {
+		row = append(row, st.Result())
+	}
+	return row
+}
+
+// Next implements Operator.
+func (s *StreamAgg) Next(ctx *Ctx) (schema.Row, bool, error) {
+	if s.done {
+		return s.eof()
+	}
+	for {
+		row, ok, err := s.child.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			s.done = true
+			if s.cur != nil {
+				return s.emit(ctx, s.groupRow(s.cur))
+			}
+			if len(s.GroupBy) == 0 && !s.emitted1 {
+				// Scalar aggregate over empty input still yields one row.
+				s.emitted1 = true
+				return s.emit(ctx, s.groupRow(s.newGroup(nil)))
+			}
+			return s.eof()
+		}
+		if s.cur == nil {
+			s.cur = s.newGroup(row)
+			s.cur.addRow(row)
+			s.emitted1 = true
+			continue
+		}
+		if len(s.GroupBy) > 0 {
+			key := make([]sqlval.Value, len(s.GroupBy))
+			for i, g := range s.GroupBy {
+				key[i] = g.Eval(row)
+			}
+			if compareKeyVals(key, s.cur.key) != 0 {
+				out := s.groupRow(s.cur)
+				s.cur = s.newGroup(row)
+				s.cur.addRow(row)
+				return s.emit(ctx, out)
+			}
+		}
+		s.cur.addRow(row)
+	}
+}
+
+func (g *aggGroup) addRow(row schema.Row) {
+	for _, st := range g.states {
+		st.Add(row)
+	}
+}
+
+// Close implements Operator.
+func (s *StreamAgg) Close() error { return s.child.Close() }
+
+// Children implements Operator.
+func (s *StreamAgg) Children() []Operator { return []Operator{s.child} }
+
+// Name implements Operator.
+func (s *StreamAgg) Name() string {
+	if len(s.GroupBy) == 0 {
+		return fmt.Sprintf("ScalarAgg(aggs=%d)", len(s.Aggs))
+	}
+	return fmt.Sprintf("StreamAgg(groups=%d, aggs=%d)", len(s.GroupBy), len(s.Aggs))
+}
+
+// FinalBounds implements Operator.
+func (s *StreamAgg) FinalBounds(ch []CardBounds) CardBounds {
+	if len(s.GroupBy) == 0 {
+		return CardBounds{LB: 1, UB: 1}
+	}
+	lb := ch[0].LB
+	if lb > 1 {
+		lb = 1
+	}
+	return CardBounds{LB: lb, UB: ch[0].UB}
+}
+
+// StreamChildren implements Operator: grouped stream aggregation emits while
+// consuming, so its input shares the pipeline.
+func (s *StreamAgg) StreamChildren() []int { return []int{0} }
+
+// BlockingChildren implements Operator.
+func (s *StreamAgg) BlockingChildren() []int { return nil }

@@ -1,0 +1,101 @@
+package exec
+
+import (
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// Distinct eliminates duplicate rows, streaming: the first occurrence of
+// each row passes through in input order, later duplicates are dropped. It
+// is a linear operator (output at most input) and, unlike a sort-based
+// dedup, pipelines — it shares its input's pipeline.
+type Distinct struct {
+	base
+	child Operator
+	seen  map[uint64][]schema.Row
+}
+
+// NewDistinct wraps child with duplicate elimination over all columns.
+func NewDistinct(child Operator) *Distinct {
+	return &Distinct{base: newBase(child.Schema()), child: child}
+}
+
+// Open implements Operator.
+func (d *Distinct) Open(ctx *Ctx) error {
+	d.reopen()
+	d.seen = make(map[uint64][]schema.Row)
+	return d.child.Open(ctx)
+}
+
+func rowHash(row schema.Row) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, v := range row {
+		h = h*1099511628211 ^ sqlval.Hash(v)
+	}
+	return h
+}
+
+func rowsEqual(a, b schema.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if sqlval.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Next implements Operator.
+func (d *Distinct) Next(ctx *Ctx) (schema.Row, bool, error) {
+	for {
+		row, ok, err := d.child.Next(ctx)
+		if err != nil || !ok {
+			if !ok {
+				d.rt.Done = true
+			}
+			return nil, false, err
+		}
+		h := rowHash(row)
+		dup := false
+		for _, prev := range d.seen[h] {
+			if rowsEqual(prev, row) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		d.seen[h] = append(d.seen[h], row)
+		return d.emit(ctx, row)
+	}
+}
+
+// Close implements Operator.
+func (d *Distinct) Close() error {
+	d.seen = nil
+	return d.child.Close()
+}
+
+// Children implements Operator.
+func (d *Distinct) Children() []Operator { return []Operator{d.child} }
+
+// Name implements Operator.
+func (d *Distinct) Name() string { return "Distinct" }
+
+// FinalBounds implements Operator.
+func (d *Distinct) FinalBounds(ch []CardBounds) CardBounds {
+	lb := ch[0].LB
+	if lb > 1 {
+		lb = 1
+	}
+	return CardBounds{LB: lb, UB: ch[0].UB}
+}
+
+// StreamChildren implements Operator.
+func (d *Distinct) StreamChildren() []int { return []int{0} }
+
+// BlockingChildren implements Operator.
+func (d *Distinct) BlockingChildren() []int { return nil }

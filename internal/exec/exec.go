@@ -1,0 +1,264 @@
+// Package exec implements a Volcano-style iterator executor with per-operator
+// GetNext accounting — the paper's model of work (Section 2.2).
+//
+// Every physical operator implements Operator. A GetNext call is one
+// successful Next() returning a row, attributed to the operator that returned
+// it; EOF probes are not counted. The counted nodes are exactly the plan-tree
+// operators: for an index nested loops join the inner index lookup is an
+// access path inside the join, not a counted node, matching the paper's
+// arithmetic in Example 1.
+//
+// Rows returned by operators remain valid indefinitely: they are either fresh
+// allocations or references into immutable base relations. Operators never
+// reuse row buffers.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+
+	"sqlprogress/internal/schema"
+)
+
+// ErrCanceled is returned by Next once the execution context has been
+// canceled. The paper's motivating use case — watching the progress
+// estimate and deciding to terminate — needs a termination path.
+var ErrCanceled = errors.New("exec: query canceled")
+
+// Ctx carries per-execution state: the global GetNext counter and an optional
+// observation hook used by progress estimators to sample the execution.
+type Ctx struct {
+	// Calls is the total number of GetNext calls performed so far across all
+	// operators (the paper's Curr).
+	Calls int64
+	// OnGetNext, when non-nil, is invoked after every counted call. Progress
+	// monitors use it to sample estimates at regular points of the
+	// execution.
+	OnGetNext func(calls int64)
+
+	canceled atomic.Bool
+}
+
+// NewCtx returns a fresh execution context.
+func NewCtx() *Ctx { return &Ctx{} }
+
+// Cancel requests termination. It is safe to call from the OnGetNext
+// callback or from another goroutine; the execution stops at the next
+// counted GetNext call with ErrCanceled.
+func (c *Ctx) Cancel() { c.canceled.Store(true) }
+
+// Canceled reports whether Cancel was called.
+func (c *Ctx) Canceled() bool { return c.canceled.Load() }
+
+func (c *Ctx) tick() {
+	c.Calls++
+	if c.OnGetNext != nil {
+		c.OnGetNext(c.Calls)
+	}
+}
+
+// RuntimeStats is the execution feedback a node exposes; progress estimators
+// may read it at any instant (it is exactly the "execution trace seen so
+// far" the paper allows).
+type RuntimeStats struct {
+	// Returned counts GetNext calls this node has performed over its
+	// lifetime, accumulated across rescans. For scans with embedded
+	// predicates this includes scanned-but-filtered rows.
+	Returned int64
+	// Delivered counts rows actually handed to the parent. It equals
+	// Returned except for scans with embedded predicates.
+	Delivered int64
+	// Done reports that the node has reached EOF. For nodes inside a
+	// rescanned nested-loops inner it refers to the current rescan only.
+	Done bool
+	// Rescans counts how many times the node was re-opened.
+	Rescans int64
+}
+
+// CardBounds is a closed interval bounding a node's final output cardinality
+// (total rows it will have produced when the query completes).
+type CardBounds struct {
+	LB, UB int64
+}
+
+// Unbounded is the UB used when no finite bound is derivable.
+const Unbounded = math.MaxInt64 / 4
+
+// SatMul multiplies with saturation at Unbounded (cardinality products
+// overflow quickly on adversarial plans).
+func SatMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a >= Unbounded || b >= Unbounded || a > Unbounded/b {
+		return Unbounded
+	}
+	return a * b
+}
+
+// SatAdd adds with saturation at Unbounded.
+func SatAdd(a, b int64) int64 {
+	if a >= Unbounded || b >= Unbounded || a+b >= Unbounded {
+		return Unbounded
+	}
+	return a + b
+}
+
+// Operator is a physical operator node under the iterator model.
+type Operator interface {
+	// Open prepares the operator (and recursively its inputs) for
+	// iteration. Blocking operators perform their build work here, issuing
+	// counted GetNext calls against their inputs.
+	Open(ctx *Ctx) error
+	// Next returns the next row, or ok=false at end of stream.
+	Next(ctx *Ctx) (row schema.Row, ok bool, err error)
+	// Close releases resources. Operators support Close-then-Open rescans.
+	Close() error
+
+	// Schema describes the rows the operator produces.
+	Schema() *schema.Schema
+	// Children returns the operator's counted plan-tree inputs.
+	Children() []Operator
+	// Name is a short physical-operator name for plan explanation.
+	Name() string
+
+	// Runtime exposes execution feedback for progress estimation.
+	Runtime() *RuntimeStats
+	// FinalBounds returns static bounds on this node's final GetNext-call
+	// count given bounds on its children's *delivered* rows (ordered as
+	// Children()). The progress layer tightens the result with runtime
+	// feedback. For every operator except scans with embedded predicates,
+	// the call count equals the delivered-row count.
+	FinalBounds(children []CardBounds) CardBounds
+	// EstimatedCard is the plan-time cardinality estimate for this node
+	// (-1 when the builder provided none).
+	EstimatedCard() int64
+	// SetEstimatedCard records the plan-time estimate.
+	SetEstimatedCard(int64)
+	// StreamChildren lists the child indexes executing in the same pipeline
+	// as this node (e.g. a hash join's probe side).
+	StreamChildren() []int
+	// BlockingChildren lists the child indexes fully consumed before this
+	// node produces output (e.g. a hash join's build side, a sort's input).
+	BlockingChildren() []int
+}
+
+// base carries the bookkeeping shared by all operators.
+type base struct {
+	rt  RuntimeStats
+	sch *schema.Schema
+	est int64
+}
+
+func newBase(sch *schema.Schema) base { return base{sch: sch, est: -1} }
+
+// Runtime implements Operator.
+func (b *base) Runtime() *RuntimeStats { return &b.rt }
+
+// Schema implements Operator.
+func (b *base) Schema() *schema.Schema { return b.sch }
+
+// EstimatedCard implements Operator.
+func (b *base) EstimatedCard() int64 { return b.est }
+
+// SetEstimatedCard implements Operator.
+func (b *base) SetEstimatedCard(v int64) { b.est = v }
+
+// emit counts and returns one produced row, honouring cancellation. The
+// produced row still counts (the work happened) so bounds invariants hold
+// at the instant of cancellation.
+func (b *base) emit(ctx *Ctx, row schema.Row) (schema.Row, bool, error) {
+	if ctx.canceled.Load() {
+		return nil, false, ErrCanceled
+	}
+	b.rt.Returned++
+	b.rt.Delivered++
+	ctx.tick()
+	return row, true, nil
+}
+
+// eof marks the node done and returns end-of-stream.
+func (b *base) eof() (schema.Row, bool, error) {
+	b.rt.Done = true
+	return nil, false, nil
+}
+
+// reopen resets per-run state for a rescan.
+func (b *base) reopen() {
+	if b.rt.Done || b.rt.Returned > 0 {
+		b.rt.Rescans++
+	}
+	b.rt.Done = false
+}
+
+// Run drains an operator tree to completion, returning all produced root
+// rows. It is the standard way tests and examples execute a plan.
+func Run(ctx *Ctx, op Operator) ([]schema.Row, error) {
+	if ctx == nil {
+		ctx = NewCtx()
+	}
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	var out []schema.Row
+	for {
+		row, ok, err := op.Next(ctx)
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, row)
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Walk visits op and all descendants in pre-order.
+func Walk(op Operator, visit func(Operator)) {
+	visit(op)
+	for _, c := range op.Children() {
+		Walk(c, visit)
+	}
+}
+
+// TotalCalls sums Returned over the tree: the total GetNext calls performed
+// so far (Curr; after completion, total(Q)).
+func TotalCalls(op Operator) int64 {
+	var total int64
+	Walk(op, func(o Operator) { total += o.Runtime().Returned })
+	return total
+}
+
+// Explain renders the operator tree with runtime counters, one node per
+// line, children indented.
+func Explain(op Operator) string {
+	var b strings.Builder
+	var rec func(o Operator, depth int)
+	rec = func(o Operator, depth int) {
+		rt := o.Runtime()
+		fmt.Fprintf(&b, "%s%s  [rows=%d done=%v est=%d]\n",
+			strings.Repeat("  ", depth), o.Name(), rt.Returned, rt.Done, o.EstimatedCard())
+		for _, c := range o.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(op, 0)
+	return b.String()
+}
+
+// DeliveredBounder is implemented by operators whose delivered-row count
+// can be lower than their GetNext count — scans with embedded predicates.
+// DeliveredBounds bounds the rows the node will hand to its parent; the
+// progress layer uses it (instead of FinalBounds) when propagating child
+// cardinalities upward.
+type DeliveredBounder interface {
+	DeliveredBounds() CardBounds
+}

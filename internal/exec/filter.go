@@ -1,0 +1,186 @@
+package exec
+
+import (
+	"fmt"
+
+	"sqlprogress/internal/expr"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// Filter passes through rows whose predicate evaluates to TRUE (sigma). It is
+// a linear operator: its output is at most its input.
+type Filter struct {
+	base
+	child Operator
+	Pred  expr.Expr
+}
+
+// NewFilter wraps child with a selection predicate.
+func NewFilter(child Operator, pred expr.Expr) *Filter {
+	return &Filter{base: newBase(child.Schema()), child: child, Pred: pred}
+}
+
+// Open implements Operator.
+func (f *Filter) Open(ctx *Ctx) error {
+	f.reopen()
+	return f.child.Open(ctx)
+}
+
+// Next implements Operator.
+func (f *Filter) Next(ctx *Ctx) (schema.Row, bool, error) {
+	for {
+		row, ok, err := f.child.Next(ctx)
+		if err != nil || !ok {
+			if !ok {
+				f.rt.Done = true
+			}
+			return nil, false, err
+		}
+		if expr.Truthy(f.Pred.Eval(row)) {
+			return f.emit(ctx, row)
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.child.Close() }
+
+// Children implements Operator.
+func (f *Filter) Children() []Operator { return []Operator{f.child} }
+
+// Name implements Operator.
+func (f *Filter) Name() string { return fmt.Sprintf("Filter(%s)", f.Pred) }
+
+// FinalBounds implements Operator: 0 to everything the child produces.
+func (f *Filter) FinalBounds(ch []CardBounds) CardBounds {
+	return CardBounds{LB: 0, UB: ch[0].UB}
+}
+
+// StreamChildren implements Operator.
+func (f *Filter) StreamChildren() []int { return []int{0} }
+
+// BlockingChildren implements Operator.
+func (f *Filter) BlockingChildren() []int { return nil }
+
+// Project computes one output expression per column (pi). It is one-to-one.
+type Project struct {
+	base
+	child Operator
+	Exprs []expr.Expr
+}
+
+// NewProject builds a projection; names and types give the output schema.
+func NewProject(child Operator, exprs []expr.Expr, names []string, types []sqlval.Kind) *Project {
+	if len(exprs) != len(names) || len(exprs) != len(types) {
+		panic("project: exprs/names/types arity mismatch")
+	}
+	cols := make([]schema.Column, len(exprs))
+	for i := range cols {
+		cols[i] = schema.Column{Name: names[i], Type: types[i]}
+	}
+	return &Project{base: newBase(schema.New(cols...)), child: child, Exprs: exprs}
+}
+
+// Open implements Operator.
+func (p *Project) Open(ctx *Ctx) error {
+	p.reopen()
+	return p.child.Open(ctx)
+}
+
+// Next implements Operator.
+func (p *Project) Next(ctx *Ctx) (schema.Row, bool, error) {
+	row, ok, err := p.child.Next(ctx)
+	if err != nil || !ok {
+		if !ok {
+			p.rt.Done = true
+		}
+		return nil, false, err
+	}
+	out := make(schema.Row, len(p.Exprs))
+	for i, e := range p.Exprs {
+		out[i] = e.Eval(row)
+	}
+	return p.emit(ctx, out)
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.child.Close() }
+
+// Children implements Operator.
+func (p *Project) Children() []Operator { return []Operator{p.child} }
+
+// Name implements Operator.
+func (p *Project) Name() string { return fmt.Sprintf("Project(%d cols)", len(p.Exprs)) }
+
+// FinalBounds implements Operator: exactly the child's cardinality.
+func (p *Project) FinalBounds(ch []CardBounds) CardBounds { return ch[0] }
+
+// StreamChildren implements Operator.
+func (p *Project) StreamChildren() []int { return []int{0} }
+
+// BlockingChildren implements Operator.
+func (p *Project) BlockingChildren() []int { return nil }
+
+// Top emits the first K rows of its input (LIMIT).
+type Top struct {
+	base
+	child Operator
+	K     int64
+	n     int64
+}
+
+// NewTop builds a LIMIT K operator.
+func NewTop(child Operator, k int64) *Top {
+	return &Top{base: newBase(child.Schema()), child: child, K: k}
+}
+
+// Open implements Operator.
+func (t *Top) Open(ctx *Ctx) error {
+	t.reopen()
+	t.n = 0
+	return t.child.Open(ctx)
+}
+
+// Next implements Operator.
+func (t *Top) Next(ctx *Ctx) (schema.Row, bool, error) {
+	if t.n >= t.K {
+		return t.eof()
+	}
+	row, ok, err := t.child.Next(ctx)
+	if err != nil || !ok {
+		if !ok {
+			t.rt.Done = true
+		}
+		return nil, false, err
+	}
+	t.n++
+	return t.emit(ctx, row)
+}
+
+// Close implements Operator.
+func (t *Top) Close() error { return t.child.Close() }
+
+// Children implements Operator.
+func (t *Top) Children() []Operator { return []Operator{t.child} }
+
+// Name implements Operator.
+func (t *Top) Name() string { return fmt.Sprintf("Top(%d)", t.K) }
+
+// FinalBounds implements Operator.
+func (t *Top) FinalBounds(ch []CardBounds) CardBounds {
+	lb, ub := ch[0].LB, ch[0].UB
+	if lb > t.K {
+		lb = t.K
+	}
+	if ub > t.K {
+		ub = t.K
+	}
+	return CardBounds{LB: lb, UB: ub}
+}
+
+// StreamChildren implements Operator.
+func (t *Top) StreamChildren() []int { return []int{0} }
+
+// BlockingChildren implements Operator.
+func (t *Top) BlockingChildren() []int { return nil }

@@ -1,0 +1,248 @@
+package exec
+
+import (
+	"fmt"
+
+	"sqlprogress/internal/expr"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// JoinMode selects the join semantics shared by the join operators.
+type JoinMode uint8
+
+// Join modes. Semi and Anti implement EXISTS / NOT EXISTS semantics
+// (a NULL probe key finds no match, so Anti emits it).
+const (
+	InnerJoin JoinMode = iota
+	SemiJoin
+	AntiJoin
+	LeftOuterJoin
+)
+
+func (m JoinMode) String() string {
+	return [...]string{"inner", "semi", "anti", "leftouter"}[m]
+}
+
+// HashJoin is the classic build/probe hash join. The build side is fully
+// consumed during Open (a blocking input, forming its own pipeline in the
+// paper's decomposition); the probe side streams. This is the paper's
+// canonical "scan-based" join (Section 5.4): both inputs are scanned exactly
+// once, so total work is tightly bounded.
+//
+// Output: probe columns followed by build columns (probe-only for semi/anti).
+// For LeftOuterJoin the probe side is preserved.
+type HashJoin struct {
+	base
+	build, probe         Operator
+	buildKeys, probeKeys []expr.Expr
+	Mode                 JoinMode
+	// Linear is set by the builder when the join is known to produce at
+	// most max(|build|, |probe|) rows (e.g. key–foreign-key joins).
+	Linear bool
+
+	table      map[uint64][]schema.Row
+	matches    []schema.Row
+	matchIdx   int
+	curProbe   schema.Row
+	pad        schema.Row // NULL padding for left outer
+	emittedCur bool       // left outer: did curProbe match anything
+}
+
+// NewHashJoin builds a hash join; buildKeys/probeKeys are evaluated against
+// the respective child rows and must have equal arity.
+func NewHashJoin(build, probe Operator, buildKeys, probeKeys []expr.Expr, mode JoinMode) *HashJoin {
+	if len(buildKeys) != len(probeKeys) || len(buildKeys) == 0 {
+		panic("hashjoin: key arity mismatch or empty keys")
+	}
+	var sch *schema.Schema
+	switch mode {
+	case SemiJoin, AntiJoin:
+		sch = probe.Schema()
+	default:
+		sch = probe.Schema().Concat(build.Schema())
+	}
+	return &HashJoin{
+		base:  newBase(sch),
+		build: build, probe: probe,
+		buildKeys: buildKeys, probeKeys: probeKeys,
+		Mode: mode,
+	}
+}
+
+func hashKeys(keys []expr.Expr, row schema.Row) (uint64, bool) {
+	var h uint64 = 1469598103934665603
+	for _, k := range keys {
+		v := k.Eval(row)
+		if v.IsNull() {
+			return 0, false
+		}
+		h = h*1099511628211 ^ sqlval.Hash(v)
+	}
+	return h, true
+}
+
+func keysEqual(aKeys []expr.Expr, a schema.Row, bKeys []expr.Expr, b schema.Row) bool {
+	for i := range aKeys {
+		av, bv := aKeys[i].Eval(a), bKeys[i].Eval(b)
+		if av.IsNull() || bv.IsNull() || sqlval.Compare(av, bv) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Open implements Operator: drains the build side into the hash table.
+func (j *HashJoin) Open(ctx *Ctx) error {
+	j.reopen()
+	j.table = make(map[uint64][]schema.Row)
+	j.matches, j.matchIdx, j.curProbe = nil, 0, nil
+	if err := j.build.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		row, ok, err := j.build.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if h, ok := hashKeys(j.buildKeys, row); ok {
+			j.table[h] = append(j.table[h], row)
+		}
+	}
+	j.pad = make(schema.Row, j.build.Schema().Len()) // zero Values are NULL
+	return j.probe.Open(ctx)
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next(ctx *Ctx) (schema.Row, bool, error) {
+	for {
+		// Drain pending matches for the current probe row.
+		if j.matchIdx < len(j.matches) {
+			b := j.matches[j.matchIdx]
+			j.matchIdx++
+			j.emittedCur = true
+			return j.emit(ctx, schema.ConcatRows(j.curProbe, b))
+		}
+		if j.Mode == LeftOuterJoin && j.curProbe != nil && !j.emittedCur {
+			row := schema.ConcatRows(j.curProbe, j.pad)
+			j.curProbe = nil
+			return j.emit(ctx, row)
+		}
+		probe, ok, err := j.probe.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			j.rt.Done = true
+			return nil, false, nil
+		}
+		j.curProbe, j.emittedCur = probe, false
+		found := j.lookup(probe)
+		switch j.Mode {
+		case SemiJoin:
+			if len(found) > 0 {
+				j.curProbe = nil
+				return j.emit(ctx, probe)
+			}
+		case AntiJoin:
+			if len(found) == 0 {
+				j.curProbe = nil
+				return j.emit(ctx, probe)
+			}
+		default:
+			j.matches, j.matchIdx = found, 0
+		}
+	}
+}
+
+func (j *HashJoin) lookup(probe schema.Row) []schema.Row {
+	h, ok := hashKeys(j.probeKeys, probe)
+	if !ok {
+		return nil
+	}
+	bucket := j.table[h]
+	if len(bucket) == 0 {
+		return nil
+	}
+	out := make([]schema.Row, 0, len(bucket))
+	for _, b := range bucket {
+		if keysEqual(j.probeKeys, probe, j.buildKeys, b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	err1 := j.build.Close()
+	err2 := j.probe.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Children implements Operator: build side first.
+func (j *HashJoin) Children() []Operator { return []Operator{j.build, j.probe} }
+
+// Name implements Operator.
+func (j *HashJoin) Name() string {
+	return fmt.Sprintf("HashJoin[%s%s]", j.Mode, linTag(j.Linear))
+}
+
+func linTag(l bool) string {
+	if l {
+		return ",linear"
+	}
+	return ""
+}
+
+// FinalBounds implements Operator.
+func (j *HashJoin) FinalBounds(ch []CardBounds) CardBounds {
+	build, probe := ch[0], ch[1]
+	switch j.Mode {
+	case SemiJoin, AntiJoin:
+		return CardBounds{LB: 0, UB: probe.UB}
+	case LeftOuterJoin:
+		// Matched output obeys the inner-join bound; every unmatched probe
+		// row additionally emits one padded row, so the total can exceed
+		// max(inputs) even for key joins — add the probe side.
+		matched := SatMul(build.UB, probe.UB)
+		if j.Linear {
+			matched = minI64(matched, maxI64(build.UB, probe.UB))
+		}
+		ub := SatAdd(matched, probe.UB)
+		return CardBounds{LB: probe.LB, UB: ub}
+	default:
+		ub := SatMul(build.UB, probe.UB)
+		if j.Linear {
+			ub = minI64(ub, maxI64(build.UB, probe.UB))
+		}
+		return CardBounds{LB: 0, UB: ub}
+	}
+}
+
+// StreamChildren implements Operator: the probe side shares this pipeline.
+func (j *HashJoin) StreamChildren() []int { return []int{1} }
+
+// BlockingChildren implements Operator: the build side is its own pipeline.
+func (j *HashJoin) BlockingChildren() []int { return []int{0} }
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

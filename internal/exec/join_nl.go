@@ -1,0 +1,245 @@
+package exec
+
+import (
+	"fmt"
+
+	"sqlprogress/internal/expr"
+	"sqlprogress/internal/index"
+	"sqlprogress/internal/schema"
+)
+
+// INLJoin is an index nested loops join: for every outer row it seeks an
+// index on the inner base relation. The inner lookup is an access path, not
+// a counted plan node — only the join's own output counts, matching the
+// paper's Example 1 accounting. This is the paper's canonical nested-
+// iteration operator, the one that makes worst-case progress estimation
+// impossible (Section 3).
+type INLJoin struct {
+	base
+	outer    Operator
+	Idx      *index.Hash
+	OuterKey expr.Expr
+	Mode     JoinMode
+	// Linear marks key–foreign-key joins (output at most the larger input).
+	Linear bool
+
+	matches  []int32
+	matchIdx int
+	curOuter schema.Row
+	pad      schema.Row
+}
+
+// NewINLJoin builds an index nested loops join probing idx with the value of
+// outerKey for each outer row.
+func NewINLJoin(outer Operator, idx *index.Hash, outerKey expr.Expr, mode JoinMode) *INLJoin {
+	var sch *schema.Schema
+	switch mode {
+	case SemiJoin, AntiJoin:
+		sch = outer.Schema()
+	default:
+		sch = outer.Schema().Concat(idx.Rel.Schema())
+	}
+	return &INLJoin{base: newBase(sch), outer: outer, Idx: idx, OuterKey: outerKey, Mode: mode}
+}
+
+// Open implements Operator.
+func (j *INLJoin) Open(ctx *Ctx) error {
+	j.reopen()
+	j.matches, j.matchIdx, j.curOuter = nil, 0, nil
+	j.pad = make(schema.Row, j.Idx.Rel.Schema().Len())
+	return j.outer.Open(ctx)
+}
+
+// Next implements Operator.
+func (j *INLJoin) Next(ctx *Ctx) (schema.Row, bool, error) {
+	for {
+		if j.matchIdx < len(j.matches) {
+			inner := j.Idx.Rel.Rows[j.matches[j.matchIdx]]
+			j.matchIdx++
+			return j.emit(ctx, schema.ConcatRows(j.curOuter, inner))
+		}
+		if j.Mode == LeftOuterJoin && j.curOuter != nil && len(j.matches) == 0 {
+			row := schema.ConcatRows(j.curOuter, j.pad)
+			j.curOuter = nil
+			return j.emit(ctx, row)
+		}
+		outer, ok, err := j.outer.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			j.rt.Done = true
+			return nil, false, nil
+		}
+		j.curOuter = outer
+		found := j.Idx.Lookup(j.OuterKey.Eval(outer))
+		switch j.Mode {
+		case SemiJoin:
+			if len(found) > 0 {
+				return j.emit(ctx, outer)
+			}
+		case AntiJoin:
+			if len(found) == 0 {
+				return j.emit(ctx, outer)
+			}
+		default:
+			j.matches, j.matchIdx = found, 0
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *INLJoin) Close() error { return j.outer.Close() }
+
+// Children implements Operator: only the outer side is a counted plan node.
+func (j *INLJoin) Children() []Operator { return []Operator{j.outer} }
+
+// Name implements Operator.
+func (j *INLJoin) Name() string {
+	return fmt.Sprintf("INLJoin[%s%s](%s)", j.Mode, linTag(j.Linear), j.Idx)
+}
+
+// FinalBounds implements Operator. The inner relation is visible through the
+// index: its cardinality and maximum per-key fan-out bound the output.
+func (j *INLJoin) FinalBounds(ch []CardBounds) CardBounds {
+	outer := ch[0]
+	innerCard := j.Idx.Rel.Cardinality()
+	switch j.Mode {
+	case SemiJoin, AntiJoin:
+		return CardBounds{LB: 0, UB: outer.UB}
+	case LeftOuterJoin:
+		// Matched output obeys the inner-join bound; unmatched outer rows
+		// pad, so the outer side is added on top.
+		matched := minI64(SatMul(outer.UB, j.Idx.MaxFanout()), SatMul(outer.UB, innerCard))
+		if j.Linear {
+			matched = minI64(matched, maxI64(outer.UB, innerCard))
+		}
+		return CardBounds{LB: outer.LB, UB: SatAdd(matched, outer.UB)}
+	default:
+		fan := j.Idx.MaxFanout()
+		ub := minI64(SatMul(outer.UB, fan), SatMul(outer.UB, innerCard))
+		if j.Linear {
+			ub = minI64(ub, maxI64(outer.UB, innerCard))
+		}
+		return CardBounds{LB: 0, UB: ub}
+	}
+}
+
+// StreamChildren implements Operator.
+func (j *INLJoin) StreamChildren() []int { return []int{0} }
+
+// BlockingChildren implements Operator.
+func (j *INLJoin) BlockingChildren() []int { return nil }
+
+// NLJoin is a naive nested loops join with an arbitrary predicate: the inner
+// subtree is re-opened for every outer row, and, unlike INLJoin's access
+// path, the inner is a counted subtree — its GetNext calls accumulate across
+// rescans. Provided for completeness; the paper's analysis uses INL.
+type NLJoin struct {
+	base
+	outer, inner Operator
+	Pred         expr.Expr // evaluated over the concatenated row; nil = cross
+	curOuter     schema.Row
+	innerOpen    bool
+}
+
+// NewNLJoin builds a nested loops join.
+func NewNLJoin(outer, inner Operator, pred expr.Expr) *NLJoin {
+	return &NLJoin{
+		base:  newBase(outer.Schema().Concat(inner.Schema())),
+		outer: outer, inner: inner, Pred: pred,
+	}
+}
+
+// Open implements Operator.
+func (j *NLJoin) Open(ctx *Ctx) error {
+	j.reopen()
+	j.curOuter = nil
+	j.innerOpen = false
+	return j.outer.Open(ctx)
+}
+
+// Next implements Operator.
+func (j *NLJoin) Next(ctx *Ctx) (schema.Row, bool, error) {
+	for {
+		if j.curOuter == nil {
+			outer, ok, err := j.outer.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.rt.Done = true
+				return nil, false, nil
+			}
+			j.curOuter = outer
+			if j.innerOpen {
+				if err := j.inner.Close(); err != nil {
+					return nil, false, err
+				}
+			}
+			if err := j.inner.Open(ctx); err != nil {
+				return nil, false, err
+			}
+			j.innerOpen = true
+		}
+		inner, ok, err := j.inner.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			j.curOuter = nil
+			continue
+		}
+		joined := schema.ConcatRows(j.curOuter, inner)
+		if j.Pred == nil || expr.Truthy(j.Pred.Eval(joined)) {
+			return j.emit(ctx, joined)
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *NLJoin) Close() error {
+	var err1 error
+	if j.innerOpen {
+		err1 = j.inner.Close()
+		j.innerOpen = false
+	}
+	err2 := j.outer.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Children implements Operator.
+func (j *NLJoin) Children() []Operator { return []Operator{j.outer, j.inner} }
+
+// Name implements Operator.
+func (j *NLJoin) Name() string { return "NLJoin" }
+
+// FinalBounds implements Operator. Child bounds for the inner subtree are
+// per-rescan; the progress layer accounts for rescanning via
+// RescannedChildren.
+func (j *NLJoin) FinalBounds(ch []CardBounds) CardBounds {
+	return CardBounds{LB: 0, UB: SatMul(ch[0].UB, ch[1].UB)}
+}
+
+// StreamChildren implements Operator.
+func (j *NLJoin) StreamChildren() []int { return []int{0} }
+
+// BlockingChildren implements Operator.
+func (j *NLJoin) BlockingChildren() []int { return nil }
+
+// RescannedChildren reports that the inner subtree is re-opened per outer
+// row; the progress layer must scale its per-run bounds by the outer
+// cardinality and must not pin its totals at EOF.
+func (j *NLJoin) RescannedChildren() []int { return []int{1} }
+
+// Rescanner is implemented by operators that re-open some child once per
+// driving row (nested iteration over a counted subtree).
+type Rescanner interface {
+	// RescannedChildren returns the child indexes that are re-opened; the
+	// driving side bounding the number of rescans is the operator's first
+	// stream child.
+	RescannedChildren() []int
+}

@@ -1,0 +1,262 @@
+package exec
+
+import (
+	"fmt"
+
+	"sqlprogress/internal/expr"
+	"sqlprogress/internal/index"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// Scan is a full table scan over a base relation. It is the canonical leaf:
+// its final cardinality is known exactly from the catalog, so its bounds are
+// tight from the start — the anchor of the paper's LB (Section 5.2).
+type Scan struct {
+	base
+	Rel *schema.Relation
+	pos int
+	// Order optionally permutes the scan: row i of the scan is
+	// Rel.Rows[Order[i]]. The paper's Section 4/5 experiments control the
+	// arrival order of driver tuples (skew-first, skew-last, random) through
+	// exactly such a permutation of the stored relation.
+	Order []int32
+	// Pred is an optional predicate pushed into the scan, the way
+	// commercial engines embed single-table predicates in the access
+	// operator. Every scanned row costs one GetNext call (the row was
+	// read), but only passing rows are delivered to the parent — so the
+	// scan's count stays its full cardinality, matching the paper's "the
+	// outer relation has to be scanned once" accounting, while no separate
+	// sigma node inflates total(Q).
+	Pred      expr.Expr
+	delivered *CardBounds
+}
+
+// NewScan builds a table scan.
+func NewScan(rel *schema.Relation) *Scan {
+	return &Scan{base: newBase(rel.Schema()), Rel: rel}
+}
+
+// NewScanWithOrder builds a table scan that visits rows in the given
+// permutation order.
+func NewScanWithOrder(rel *schema.Relation, order []int32) *Scan {
+	if order != nil && len(order) != len(rel.Rows) {
+		panic(fmt.Sprintf("scan %s: order length %d != %d rows", rel.Name, len(order), len(rel.Rows)))
+	}
+	return &Scan{base: newBase(rel.Schema()), Rel: rel, Order: order}
+}
+
+// Open implements Operator.
+func (s *Scan) Open(*Ctx) error {
+	s.reopen()
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *Scan) Next(ctx *Ctx) (schema.Row, bool, error) {
+	for s.pos < len(s.Rel.Rows) {
+		i := s.pos
+		s.pos++
+		if s.Order != nil {
+			i = int(s.Order[i])
+		}
+		row := s.Rel.Rows[i]
+		if s.Pred != nil && !expr.Truthy(s.Pred.Eval(row)) {
+			// The row was scanned (one GetNext of work) but not delivered.
+			if ctx.Canceled() {
+				return nil, false, ErrCanceled
+			}
+			s.rt.Returned++
+			ctx.tick()
+			continue
+		}
+		return s.emit(ctx, row)
+	}
+	return s.eof()
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error { return nil }
+
+// Children implements Operator.
+func (s *Scan) Children() []Operator { return nil }
+
+// Name implements Operator.
+func (s *Scan) Name() string { return fmt.Sprintf("Scan(%s)", s.Rel.Name) }
+
+// FinalBounds implements Operator: a full scan performs exactly one GetNext
+// per stored row.
+func (s *Scan) FinalBounds([]CardBounds) CardBounds {
+	n := s.Rel.Cardinality()
+	return CardBounds{LB: n, UB: n}
+}
+
+// SetDeliveredBounds records statistics-derived bounds on the rows an
+// embedded predicate lets through (e.g. from histograms).
+func (s *Scan) SetDeliveredBounds(b CardBounds) { s.delivered = &b }
+
+// DeliveredBounds implements DeliveredBounder.
+func (s *Scan) DeliveredBounds() CardBounds {
+	if s.Pred == nil {
+		return s.FinalBounds(nil)
+	}
+	if s.delivered != nil {
+		return *s.delivered
+	}
+	return CardBounds{LB: 0, UB: s.Rel.Cardinality()}
+}
+
+// StreamChildren implements Operator.
+func (s *Scan) StreamChildren() []int { return nil }
+
+// BlockingChildren implements Operator.
+func (s *Scan) BlockingChildren() []int { return nil }
+
+// RangeScan is a leaf that scans an ordered index over [Lo, Hi]. Its exact
+// cardinality is only discovered at Open; plan-time bounds come from
+// histogram bucket boundaries (Section 5.1, footnote 2) supplied by the
+// builder through SetStaticBounds.
+type RangeScan struct {
+	base
+	Idx            *index.Ordered
+	Lo, Hi         *sqlval.Value
+	LoIncl, HiIncl bool
+	rng            index.Range
+	pos            int
+	static         *CardBounds
+	// Pred is an optional residual predicate embedded in the scan, with the
+	// same accounting as Scan.Pred.
+	Pred expr.Expr
+}
+
+// NewRangeScan builds a range scan over an ordered index; nil bounds are
+// open ends.
+func NewRangeScan(idx *index.Ordered, lo, hi *sqlval.Value, loIncl, hiIncl bool) *RangeScan {
+	return &RangeScan{
+		base: newBase(idx.Rel.Schema()),
+		Idx:  idx, Lo: lo, Hi: hi, LoIncl: loIncl, HiIncl: hiIncl,
+	}
+}
+
+// SetStaticBounds records plan-time cardinality bounds (from histograms).
+func (r *RangeScan) SetStaticBounds(b CardBounds) { r.static = &b }
+
+// Open implements Operator.
+func (r *RangeScan) Open(*Ctx) error {
+	r.reopen()
+	r.rng = r.Idx.SeekRange(r.Lo, r.Hi, r.LoIncl, r.HiIncl)
+	r.pos = r.rng.Start
+	return nil
+}
+
+// Next implements Operator.
+func (r *RangeScan) Next(ctx *Ctx) (schema.Row, bool, error) {
+	for r.pos < r.rng.End {
+		row := r.Idx.Rel.Rows[r.Idx.At(r.pos)]
+		r.pos++
+		if r.Pred != nil && !expr.Truthy(r.Pred.Eval(row)) {
+			if ctx.Canceled() {
+				return nil, false, ErrCanceled
+			}
+			r.rt.Returned++
+			ctx.tick()
+			continue
+		}
+		return r.emit(ctx, row)
+	}
+	return r.eof()
+}
+
+// Close implements Operator.
+func (r *RangeScan) Close() error { return nil }
+
+// Children implements Operator.
+func (r *RangeScan) Children() []Operator { return nil }
+
+// Name implements Operator.
+func (r *RangeScan) Name() string {
+	lo, hi := "-inf", "+inf"
+	if r.Lo != nil {
+		lo = r.Lo.String()
+	}
+	if r.Hi != nil {
+		hi = r.Hi.String()
+	}
+	return fmt.Sprintf("RangeScan(%s, [%s, %s])", r.Idx, lo, hi)
+}
+
+// FinalBounds implements Operator. Without histogram bounds the range could
+// be anywhere from empty to the whole relation.
+func (r *RangeScan) FinalBounds([]CardBounds) CardBounds {
+	if r.static != nil {
+		return *r.static
+	}
+	return CardBounds{LB: 0, UB: r.Idx.Rel.Cardinality()}
+}
+
+// DeliveredBounds implements DeliveredBounder.
+func (r *RangeScan) DeliveredBounds() CardBounds {
+	b := r.FinalBounds(nil)
+	if r.Pred != nil {
+		b.LB = 0
+	}
+	return b
+}
+
+// StreamChildren implements Operator.
+func (r *RangeScan) StreamChildren() []int { return nil }
+
+// BlockingChildren implements Operator.
+func (r *RangeScan) BlockingChildren() []int { return nil }
+
+// Values is a leaf producing a fixed set of rows (useful in tests and for
+// VALUES lists).
+type Values struct {
+	base
+	RowsData []schema.Row
+	pos      int
+}
+
+// NewValues builds a constant-rows leaf.
+func NewValues(sch *schema.Schema, rows []schema.Row) *Values {
+	return &Values{base: newBase(sch), RowsData: rows}
+}
+
+// Open implements Operator.
+func (v *Values) Open(*Ctx) error {
+	v.reopen()
+	v.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (v *Values) Next(ctx *Ctx) (schema.Row, bool, error) {
+	if v.pos >= len(v.RowsData) {
+		return v.eof()
+	}
+	row := v.RowsData[v.pos]
+	v.pos++
+	return v.emit(ctx, row)
+}
+
+// Close implements Operator.
+func (v *Values) Close() error { return nil }
+
+// Children implements Operator.
+func (v *Values) Children() []Operator { return nil }
+
+// Name implements Operator.
+func (v *Values) Name() string { return fmt.Sprintf("Values(%d)", len(v.RowsData)) }
+
+// FinalBounds implements Operator.
+func (v *Values) FinalBounds([]CardBounds) CardBounds {
+	n := int64(len(v.RowsData))
+	return CardBounds{LB: n, UB: n}
+}
+
+// StreamChildren implements Operator.
+func (v *Values) StreamChildren() []int { return nil }
+
+// BlockingChildren implements Operator.
+func (v *Values) BlockingChildren() []int { return nil }

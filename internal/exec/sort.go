@@ -1,0 +1,99 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"sqlprogress/internal/expr"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// SortKey is one ordering term.
+type SortKey struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// Sort is a blocking full sort: Open drains the child (counted GetNext
+// calls), sorts, and Next streams the result. Its output cardinality equals
+// its input cardinality exactly, so once the build completes the node's
+// bounds collapse — the refinement that drives pmax's convergence on
+// multi-pipeline plans (Figure 6).
+type Sort struct {
+	base
+	child Operator
+	Keys  []SortKey
+	rows  []schema.Row
+	pos   int
+}
+
+// NewSort builds a sort operator.
+func NewSort(child Operator, keys []SortKey) *Sort {
+	return &Sort{base: newBase(child.Schema()), child: child, Keys: keys}
+}
+
+// Open implements Operator.
+func (s *Sort) Open(ctx *Ctx) error {
+	s.reopen()
+	s.rows = s.rows[:0]
+	s.pos = 0
+	if err := s.child.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		row, ok, err := s.child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, row)
+	}
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		for _, k := range s.Keys {
+			c := sqlval.Compare(k.Expr.Eval(s.rows[i]), k.Expr.Eval(s.rows[j]))
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next(ctx *Ctx) (schema.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return s.eof()
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return s.emit(ctx, row)
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.rows = nil
+	return s.child.Close()
+}
+
+// Children implements Operator.
+func (s *Sort) Children() []Operator { return []Operator{s.child} }
+
+// Name implements Operator.
+func (s *Sort) Name() string { return fmt.Sprintf("Sort(%d keys)", len(s.Keys)) }
+
+// FinalBounds implements Operator: exactly the child's cardinality.
+func (s *Sort) FinalBounds(ch []CardBounds) CardBounds { return ch[0] }
+
+// StreamChildren implements Operator.
+func (s *Sort) StreamChildren() []int { return nil }
+
+// BlockingChildren implements Operator: the input is fully consumed during
+// Open, ending its pipeline.
+func (s *Sort) BlockingChildren() []int { return []int{0} }

@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sqlprogress/internal/catalog"
+	"sqlprogress/internal/core"
+	"sqlprogress/internal/datagen"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/expr"
+	"sqlprogress/internal/plan"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/skyserver"
+	"sqlprogress/internal/sqlval"
+	"sqlprogress/internal/tpch"
+)
+
+// paperTab2 is Table 2 as reported (1 GB TPC-H, z = 2, SQL Server 2005
+// plans).
+var paperTab2 = map[int]float64{
+	1: 1.989, 2: 1.213, 3: 1.886, 4: 1.003, 5: 1.007, 6: 1.008, 7: 1.538,
+	8: 1.432, 9: 1.021, 10: 1.004, 11: 1.014, 12: 1.001, 13: 2.019,
+	14: 1.001, 15: 1.149, 16: 1.157, 17: 1.020, 18: 2.771, 19: 1.025,
+	20: 1.159, 21: 2.782,
+}
+
+// Tab2 reproduces Table 2: mu values for the TPC-H suite.
+func Tab2(opts Options) Result {
+	cat := tpch.Generate(tpch.Config{SF: opts.TPCHScale, Z: opts.Zipf, Seed: opts.Seed})
+	var rows [][]string
+	var small int
+	for _, q := range tpch.Queries() {
+		op, err := tpch.BuildQuery(cat, q.Num)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := exec.Run(exec.NewCtx(), op); err != nil {
+			panic(fmt.Sprintf("Q%d: %v", q.Num, err))
+		}
+		mu := core.Mu(op)
+		if mu < 1.5 {
+			small++
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", q.Num), f3(mu), f3(paperTab2[q.Num]),
+		})
+	}
+	return Result{
+		ID:      "tab2",
+		Title:   "mu values for TPCH",
+		Headers: []string{"query", "mu (measured)", "mu (paper)"},
+		Rows:    rows,
+		Notes: []string{
+			fmt.Sprintf("%d of %d queries have mu < 1.5 — the \"good for pmax\" regime is common (paper: 17/21)",
+				small, len(rows)),
+		},
+		Metrics: map[string]float64{"queries_mu_below_1.5": float64(small)},
+	}
+}
+
+// paperTab3 is Table 3 as reported.
+var paperTab3 = map[int]float64{
+	3: 1.008, 6: 1.428, 14: 1.078, 18: 1.79, 22: 1.246, 28: 1.044, 32: 1.253,
+}
+
+// Tab3 reproduces Table 3: mu values for the SkyServer long-running
+// queries.
+func Tab3(opts Options) Result {
+	cat := skyserver.Generate(skyserver.Config{PhotoObj: opts.SkyServerRows, Seed: opts.Seed})
+	var rows [][]string
+	for _, q := range skyserver.Queries() {
+		op, err := skyserver.BuildQuery(cat, q.Num)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := exec.Run(exec.NewCtx(), op); err != nil {
+			panic(fmt.Sprintf("skyserver %d: %v", q.Num, err))
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", q.Num), f3(core.Mu(op)), f3(paperTab3[q.Num]),
+		})
+	}
+	return Result{
+		ID:      "tab3",
+		Title:   "mu values for Sky Server",
+		Headers: []string{"query", "mu (measured)", "mu (paper)"},
+		Rows:    rows,
+		Notes:   []string{"synthetic astronomy data set standing in for the SDSS personal edition (see DESIGN.md)"},
+		Metrics: map[string]float64{"queries": float64(len(rows))},
+	}
+}
+
+// Thm1 demonstrates the Theorem 1 lower bound executably. The adversarial
+// twin instances R11/R12 differ in one tuple t (placed after 90% of the
+// rows) yet share their statistics; the query is the paper's Figure 2 plan,
+// sigma(A = v OR A = v') followed by an index nested loops join whose inner
+// holds 9N rows of v'. At the instant before t is read, every estimator
+// must output the same value on both instances — but the true progress is
+// ~0.9 on R11 and ~0.09 on R12, so some instance suffers a large error.
+// safe minimizes the worst case (Theorem 6).
+func Thm1(opts Options) Result {
+	n := opts.SynthRows
+	pos := n * 9 / 10
+	tw := datagen.NewAdversarialTwins(n, pos, int64(n)*9)
+
+	type run struct {
+		estimates []float64 // estimate per estimator at the prefix instant
+		actual    float64   // true progress at that instant
+	}
+	names := []string{"trivial", "dne", "pmax", "safe"}
+	mkEsts := func() []core.Estimator {
+		return []core.Estimator{core.Trivial{}, core.Dne{}, core.Pmax{}, core.Safe{}}
+	}
+	prefix := int64(pos) // GetNext calls performed when t is about to be read
+
+	measure := func(r1 *schema.Relation) run {
+		cat := catalog.New(nil)
+		cat.AddRelation(r1)
+		cat.AddRelation(tw.R2)
+		// R1.A holds distinct values in the construction, so the join is
+		// linear — Example 1 is carried out within the linear-join class,
+		// which is what keeps safe's UB (and its optimal worst-case error,
+		// ~sqrt(11)) finite.
+		cat.DeclareUnique("r1", "a")
+		b := plan.NewBuilder(cat)
+		node := b.Scan("r1").
+			Filter(0.001, func(s *schema.Schema) expr.Expr {
+				return expr.Or(
+					expr.Compare(expr.EQ, expr.NewCol(s, "", "a"), expr.Literal(sqlval.Int(tw.V))),
+					expr.Compare(expr.EQ, expr.NewCol(s, "", "a"), expr.Literal(sqlval.Int(tw.VPrime))))
+			}).
+			INLJoin("r2", "b", "a", exec.InnerJoin)
+		tracker := core.NewTracker(node.Op)
+		ests := mkEsts()
+		out := run{estimates: make([]float64, len(ests))}
+		ctx := exec.NewCtx()
+		captured := false
+		ctx.OnGetNext = func(calls int64) {
+			if calls == prefix && !captured {
+				captured = true
+				s := tracker.Capture()
+				for i, e := range ests {
+					out.estimates[i] = e.Estimate(s)
+				}
+			}
+		}
+		if _, err := exec.Run(ctx, node.Op); err != nil {
+			panic(err)
+		}
+		out.actual = float64(prefix) / float64(ctx.Calls)
+		return out
+	}
+
+	r11 := measure(tw.R11)
+	r12 := measure(tw.R12)
+
+	var rows [][]string
+	var safeWorst, bestOther float64
+	bestOther = math.Inf(1)
+	for i, name := range names {
+		// Indistinguishability: estimates at the shared prefix agree.
+		diff := math.Abs(r11.estimates[i] - r12.estimates[i])
+		worst := math.Max(
+			core.RatioError(r11.actual, r11.estimates[i]),
+			core.RatioError(r12.actual, r12.estimates[i]))
+		if name == "safe" {
+			safeWorst = worst
+		} else if worst < bestOther {
+			bestOther = worst
+		}
+		rows = append(rows, []string{
+			name,
+			f3(r11.estimates[i]),
+			f3(r11.actual), f3(r12.actual),
+			f3(worst),
+			fmt.Sprintf("%.1e", diff),
+		})
+	}
+	return Result{
+		ID:      "thm1",
+		Title:   "Theorem 1 lower bound: indistinguishable twin instances",
+		Headers: []string{"estimator", "estimate@prefix", "actual(R11)", "actual(R12)", "worst ratio err", "|est(R11)-est(R12)|"},
+		Rows:    rows,
+		Notes: []string{
+			"every estimator returns the same value on both instances at the shared prefix (last column ≈ 0)",
+			fmt.Sprintf("safe's worst-case ratio error %.3f vs best alternative %.3f (Theorem 6: safe is worst-case optimal)",
+				safeWorst, bestOther),
+		},
+		Metrics: map[string]float64{
+			"safe_worst_ratio":       safeWorst,
+			"best_other_worst_ratio": bestOther,
+		},
+	}
+}
+
+// Thm4 measures the predictive-order results of Section 4.2: for several
+// per-tuple work distributions, at least half of all arrival orders are
+// 2-predictive (Theorem 4), and under a 2-predictive order dne's ratio
+// error after half the input is bounded (Property 2).
+func Thm4(opts Options) Result {
+	n := opts.SynthRows
+	if n > 5000 {
+		n = 5000
+	}
+	workloads := []struct {
+		name string
+		work []int64
+	}{
+		{"uniform", uniformWork(n, 2)},
+		{"zipf z=1", datagen.ZipfFrequencies(n, int64(3*n), 1)},
+		{"zipf z=2", datagen.ZipfFrequencies(n, int64(3*n), 2)},
+		{"one-heavy", oneHeavy(n)},
+	}
+	trials := 300
+	var rows [][]string
+	for _, w := range workloads {
+		frac := core.FractionCPredictive(w.work, 2, trials, opts.Seed)
+		// Worst dne error over sampled predictive orders.
+		worst := worstDneOverPredictive(w.work, trials, opts.Seed+1)
+		rows = append(rows, []string{
+			w.name,
+			f3(frac),
+			f3(worst),
+		})
+	}
+	metrics := map[string]float64{}
+	for _, row := range rows {
+		if v, err := strconvParse(row[1]); err == nil {
+			metrics["frac_"+row[0]] = v
+		}
+	}
+	return Result{
+		ID:      "thm4",
+		Title:   "Fraction of 2-predictive orders and dne error under them",
+		Headers: []string{"workload", "frac 2-predictive (>=0.5 by Thm 4)", "worst dne ratio err after half (Prop 2: <=~2)"},
+		Rows:    rows,
+		Metrics: metrics,
+	}
+}
+
+func strconvParse(s string) (float64, error) {
+	var v float64
+	_, err := fmt.Sscanf(s, "%f", &v)
+	return v, err
+}
+
+func uniformWork(n int, w int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = w
+	}
+	return out
+}
+
+func oneHeavy(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	out[0] = int64(n) * 10
+	return out
+}
+
+func worstDneOverPredictive(work []int64, trials int, seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	perm := make([]int64, len(work))
+	copy(perm, work)
+	worst := 1.0
+	for t := 0; t < trials; t++ {
+		r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if !core.IsCPredictive(perm, 2) {
+			continue
+		}
+		if e := core.DneRatioErrorAfterHalf(perm); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// Thm3 measures Theorem 3 and its discussion: under a random arrival order
+// dne is correct in expectation at every instant (mean signed error ~ 0),
+// and the spread of its error is governed by the per-tuple work variance —
+// tiny for uniform work, substantial for zipf z=2 (where one tuple carries
+// ~60% of all work), collapsing to zero at completion in both cases. This
+// is also the paper's Section 7 bridge to online aggregation: ripple-join-
+// style random delivery is what makes dne trustworthy.
+func Thm3(opts Options) Result {
+	n := opts.SynthRows
+	trials := 40
+	fracs := []float64{0.1, 0.5, 0.9, 0.99}
+
+	mkZipf := func() []int64 {
+		w := datagen.ZipfFrequencies(n, int64(n), opts.Zipf)
+		for i := range w {
+			w[i]++ // +1 scan call per tuple
+		}
+		return w
+	}
+	mkUniform := func() []int64 {
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = 2
+		}
+		return w
+	}
+
+	type stats struct{ absErr, signErr []float64 }
+	measure := func(work []int64, seed int64) stats {
+		var total int64
+		for _, w := range work {
+			total += w
+		}
+		r := rand.New(rand.NewSource(seed))
+		perm := make([]int64, len(work))
+		copy(perm, work)
+		st := stats{absErr: make([]float64, len(fracs)), signErr: make([]float64, len(fracs))}
+		for t := 0; t < trials; t++ {
+			r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			var done int64
+			k := 0
+			for fi, f := range fracs {
+				target := int(f * float64(n))
+				for k < target {
+					done += perm[k]
+					k++
+				}
+				actual := float64(done) / float64(total)
+				dne := float64(k) / float64(n)
+				st.absErr[fi] += math.Abs(dne-actual) / float64(trials)
+				st.signErr[fi] += (dne - actual) / float64(trials)
+			}
+		}
+		return st
+	}
+
+	uni := measure(mkUniform(), opts.Seed)
+	zipf := measure(mkZipf(), opts.Seed+1)
+
+	rows := make([][]string, len(fracs))
+	for i, f := range fracs {
+		rows[i] = []string{
+			f3(f),
+			f3(uni.absErr[i]), f3(uni.signErr[i]),
+			f3(zipf.absErr[i]), f3(zipf.signErr[i]),
+		}
+	}
+	return Result{
+		ID:      "thm3",
+		Title:   "dne under random arrival orders (Theorem 3 / online aggregation)",
+		Headers: []string{"fraction", "uniform |err|", "uniform signed", "zipf z=2 |err|", "zipf z=2 signed"},
+		Rows:    rows,
+		Notes: []string{
+			"signed errors ~ 0 at every checkpoint: dne is unbiased under random orders (Theorem 3)",
+			"absolute spread tracks the per-tuple work variance (uniform ~ 0; zipf substantial mid-run, collapsing near completion)",
+		},
+		Metrics: map[string]float64{
+			"uniform_abs_at_50pc": uni.absErr[1],
+			"zipf_abs_at_50pc":    zipf.absErr[1],
+			"zipf_abs_at_99pc":    zipf.absErr[3],
+			"zipf_signed_at_50pc": zipf.signErr[1],
+		},
+	}
+}

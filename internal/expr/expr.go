@@ -1,0 +1,422 @@
+// Package expr provides scalar expression trees evaluated against rows, with
+// SQL three-valued logic, plus aggregate function descriptors used by the
+// aggregation operators.
+//
+// Column references are positional (resolved against an operator's output
+// schema at plan-build time), so evaluation in the executor's inner loop is a
+// slice index, not a name lookup.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// Expr is a scalar expression evaluated against a row.
+type Expr interface {
+	// Eval computes the expression's value for the given row.
+	Eval(row schema.Row) sqlval.Value
+	// String renders the expression for plan explanation.
+	String() string
+}
+
+// Col is a positional column reference. DisplayName is used only for
+// rendering.
+type Col struct {
+	Index       int
+	DisplayName string
+}
+
+// NewCol builds a column reference resolved against sch.
+func NewCol(sch *schema.Schema, table, name string) Col {
+	i := sch.MustColIndex(table, name)
+	return Col{Index: i, DisplayName: sch.Columns[i].QualifiedName()}
+}
+
+// Eval implements Expr.
+func (c Col) Eval(row schema.Row) sqlval.Value { return row[c.Index] }
+
+// String implements Expr.
+func (c Col) String() string {
+	if c.DisplayName != "" {
+		return c.DisplayName
+	}
+	return fmt.Sprintf("$%d", c.Index)
+}
+
+// Lit is a literal constant.
+type Lit struct{ V sqlval.Value }
+
+// Literal wraps a value as an expression.
+func Literal(v sqlval.Value) Lit { return Lit{V: v} }
+
+// Eval implements Expr.
+func (l Lit) Eval(schema.Row) sqlval.Value { return l.V }
+
+// String implements Expr.
+func (l Lit) String() string { return l.V.String() }
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Cmp is a comparison between two sub-expressions with SQL NULL semantics:
+// any comparison involving NULL is NULL (unknown).
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Compare builds a comparison expression.
+func Compare(op CmpOp, l, r Expr) Cmp { return Cmp{Op: op, L: l, R: r} }
+
+// Eval implements Expr.
+func (c Cmp) Eval(row schema.Row) sqlval.Value {
+	a, b := c.L.Eval(row), c.R.Eval(row)
+	if a.IsNull() || b.IsNull() {
+		return sqlval.Null()
+	}
+	r := sqlval.Compare(a, b)
+	switch c.Op {
+	case EQ:
+		return sqlval.Bool(r == 0)
+	case NE:
+		return sqlval.Bool(r != 0)
+	case LT:
+		return sqlval.Bool(r < 0)
+	case LE:
+		return sqlval.Bool(r <= 0)
+	case GT:
+		return sqlval.Bool(r > 0)
+	case GE:
+		return sqlval.Bool(r >= 0)
+	}
+	return sqlval.Null()
+}
+
+// String implements Expr.
+func (c Cmp) String() string { return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R) }
+
+// BoolOp enumerates logical connectives.
+type BoolOp uint8
+
+// Logical connectives.
+const (
+	AndOp BoolOp = iota
+	OrOp
+)
+
+// Logic is an AND/OR over two sub-expressions with three-valued semantics.
+type Logic struct {
+	Op   BoolOp
+	L, R Expr
+}
+
+// And builds conjunctions (left-deep) over one or more expressions.
+func And(es ...Expr) Expr { return fold(AndOp, es) }
+
+// Or builds disjunctions (left-deep) over one or more expressions.
+func Or(es ...Expr) Expr { return fold(OrOp, es) }
+
+func fold(op BoolOp, es []Expr) Expr {
+	if len(es) == 0 {
+		return Literal(sqlval.Bool(op == AndOp)) // empty AND = TRUE, empty OR = FALSE
+	}
+	e := es[0]
+	for _, n := range es[1:] {
+		e = Logic{Op: op, L: e, R: n}
+	}
+	return e
+}
+
+// Eval implements Expr with Kleene logic.
+func (l Logic) Eval(row schema.Row) sqlval.Value {
+	a := l.L.Eval(row)
+	// Short-circuit where three-valued logic allows.
+	if l.Op == AndOp && isFalse(a) {
+		return sqlval.Bool(false)
+	}
+	if l.Op == OrOp && isTrue(a) {
+		return sqlval.Bool(true)
+	}
+	b := l.R.Eval(row)
+	switch l.Op {
+	case AndOp:
+		switch {
+		case isFalse(b):
+			return sqlval.Bool(false)
+		case a.IsNull() || b.IsNull():
+			return sqlval.Null()
+		default:
+			return sqlval.Bool(true)
+		}
+	default: // OrOp
+		switch {
+		case isTrue(b):
+			return sqlval.Bool(true)
+		case a.IsNull() || b.IsNull():
+			return sqlval.Null()
+		default:
+			return sqlval.Bool(false)
+		}
+	}
+}
+
+// String implements Expr.
+func (l Logic) String() string {
+	op := "AND"
+	if l.Op == OrOp {
+		op = "OR"
+	}
+	return fmt.Sprintf("(%s %s %s)", l.L, op, l.R)
+}
+
+func isTrue(v sqlval.Value) bool  { return v.Kind() == sqlval.KindBool && v.AsBool() }
+func isFalse(v sqlval.Value) bool { return v.Kind() == sqlval.KindBool && !v.AsBool() }
+
+// Truthy reports whether a predicate result accepts a row (TRUE; FALSE and
+// NULL reject, per SQL WHERE semantics).
+func Truthy(v sqlval.Value) bool { return isTrue(v) }
+
+// Not negates a boolean expression (NULL stays NULL).
+type Not struct{ E Expr }
+
+// Eval implements Expr.
+func (n Not) Eval(row schema.Row) sqlval.Value {
+	v := n.E.Eval(row)
+	if v.IsNull() {
+		return sqlval.Null()
+	}
+	return sqlval.Bool(!v.AsBool())
+}
+
+// String implements Expr.
+func (n Not) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	AddOp ArithOp = iota
+	SubOp
+	MulOp
+	DivOp
+)
+
+func (o ArithOp) String() string { return [...]string{"+", "-", "*", "/"}[o] }
+
+// Arith is a binary arithmetic expression with NULL propagation.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// NewArith builds an arithmetic expression.
+func NewArith(op ArithOp, l, r Expr) Arith { return Arith{Op: op, L: l, R: r} }
+
+// Eval implements Expr.
+func (a Arith) Eval(row schema.Row) sqlval.Value {
+	x, y := a.L.Eval(row), a.R.Eval(row)
+	switch a.Op {
+	case AddOp:
+		return sqlval.Add(x, y)
+	case SubOp:
+		return sqlval.Sub(x, y)
+	case MulOp:
+		return sqlval.Mul(x, y)
+	default:
+		return sqlval.Div(x, y)
+	}
+}
+
+// String implements Expr.
+func (a Arith) String() string { return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R) }
+
+// IsNull tests a sub-expression for NULL (never returns NULL itself).
+type IsNull struct {
+	E      Expr
+	Negate bool // IS NOT NULL
+}
+
+// Eval implements Expr.
+func (i IsNull) Eval(row schema.Row) sqlval.Value {
+	n := i.E.Eval(row).IsNull()
+	if i.Negate {
+		n = !n
+	}
+	return sqlval.Bool(n)
+}
+
+// String implements Expr.
+func (i IsNull) String() string {
+	if i.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", i.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", i.E)
+}
+
+// InList tests membership of E in a literal list (NULL semantics: NULL
+// operand yields NULL; a miss with NULLs in the list yields NULL).
+type InList struct {
+	E    Expr
+	List []Expr
+}
+
+// Eval implements Expr.
+func (in InList) Eval(row schema.Row) sqlval.Value {
+	v := in.E.Eval(row)
+	if v.IsNull() {
+		return sqlval.Null()
+	}
+	sawNull := false
+	for _, le := range in.List {
+		lv := le.Eval(row)
+		if lv.IsNull() {
+			sawNull = true
+			continue
+		}
+		if sqlval.Compare(v, lv) == 0 {
+			return sqlval.Bool(true)
+		}
+	}
+	if sawNull {
+		return sqlval.Null()
+	}
+	return sqlval.Bool(false)
+}
+
+// String implements Expr.
+func (in InList) String() string {
+	parts := make([]string, len(in.List))
+	for i, e := range in.List {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("(%s IN (%s))", in.E, strings.Join(parts, ", "))
+}
+
+// Like matches a string against a SQL LIKE pattern with % and _ wildcards.
+type Like struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+}
+
+// Eval implements Expr.
+func (l Like) Eval(row schema.Row) sqlval.Value {
+	v := l.E.Eval(row)
+	if v.IsNull() {
+		return sqlval.Null()
+	}
+	m := likeMatch(v.AsString(), l.Pattern)
+	if l.Negate {
+		m = !m
+	}
+	return sqlval.Bool(m)
+}
+
+// String implements Expr.
+func (l Like) String() string {
+	op := "LIKE"
+	if l.Negate {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("(%s %s '%s')", l.E, op, l.Pattern)
+}
+
+// likeMatch implements LIKE with % (any run) and _ (any single rune) using
+// iterative backtracking over the last % seen (the classic glob algorithm).
+func likeMatch(s, p string) bool {
+	sr, pr := []rune(s), []rune(p)
+	si, pi := 0, 0
+	star, mark := -1, 0
+	for si < len(sr) {
+		switch {
+		case pi < len(pr) && (pr[pi] == '_' || pr[pi] == sr[si]):
+			si++
+			pi++
+		case pi < len(pr) && pr[pi] == '%':
+			star, mark = pi, si
+			pi++
+		case star >= 0:
+			mark++
+			si = mark
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pr) && pr[pi] == '%' {
+		pi++
+	}
+	return pi == len(pr)
+}
+
+// Case is a searched CASE expression: the first WHEN whose condition is TRUE
+// selects its result; otherwise Else (NULL when absent).
+type Case struct {
+	Whens []When
+	Else  Expr
+}
+
+// When is one CASE arm.
+type When struct {
+	Cond, Result Expr
+}
+
+// Eval implements Expr.
+func (c Case) Eval(row schema.Row) sqlval.Value {
+	for _, w := range c.Whens {
+		if Truthy(w.Cond.Eval(row)) {
+			return w.Result.Eval(row)
+		}
+	}
+	if c.Else != nil {
+		return c.Else.Eval(row)
+	}
+	return sqlval.Null()
+}
+
+// String implements Expr.
+func (c Case) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range c.Whens {
+		fmt.Fprintf(&b, " WHEN %s THEN %s", w.Cond, w.Result)
+	}
+	if c.Else != nil {
+		fmt.Fprintf(&b, " ELSE %s", c.Else)
+	}
+	b.WriteString(" END")
+	return b.String()
+}

@@ -1,0 +1,180 @@
+// Package index provides in-memory secondary indexes over relations: a hash
+// index for equality lookups (index nested loops joins) and an ordered index
+// for range scans and seeks (clustered-index range scans, merge join inputs).
+//
+// Indexes store row positions into the base relation rather than rows, so a
+// relation with several indexes is stored once.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// Hash is an equality index on one column of a relation.
+type Hash struct {
+	Name    string
+	Rel     *schema.Relation
+	ColIdx  int
+	buckets map[uint64][]int32
+	// maxFanout is the largest number of rows sharing one key; progress
+	// bounds use it to cap an INL join's worst-case output.
+	maxFanout int64
+}
+
+// BuildHash constructs a hash index on column col of rel.
+func BuildHash(name string, rel *schema.Relation, col int) *Hash {
+	h := &Hash{Name: name, Rel: rel, ColIdx: col, buckets: make(map[uint64][]int32)}
+	for i, row := range rel.Rows {
+		v := row[col]
+		if v.IsNull() {
+			continue // NULLs never match an equality seek
+		}
+		k := sqlval.Hash(v)
+		h.buckets[k] = append(h.buckets[k], int32(i))
+	}
+	for _, b := range h.buckets {
+		// A bucket may mix hash-colliding keys; the true per-key fanout is
+		// bounded by the bucket size, which is what matters for an upper
+		// bound.
+		if n := int64(len(b)); n > h.maxFanout {
+			h.maxFanout = n
+		}
+	}
+	return h
+}
+
+// Lookup returns the positions of rows whose indexed column equals v.
+func (h *Hash) Lookup(v sqlval.Value) []int32 {
+	if v.IsNull() {
+		return nil
+	}
+	bucket := h.buckets[sqlval.Hash(v)]
+	if len(bucket) == 0 {
+		return nil
+	}
+	// Filter hash collisions.
+	out := bucket[:0:0]
+	for _, pos := range bucket {
+		if sqlval.Compare(h.Rel.Rows[pos][h.ColIdx], v) == 0 {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// MaxFanout returns an upper bound on rows matching any single key.
+func (h *Hash) MaxFanout() int64 { return h.maxFanout }
+
+// String identifies the index in plan explanations.
+func (h *Hash) String() string {
+	return fmt.Sprintf("hash(%s.%s)", h.Rel.Name, h.Rel.Sch.Columns[h.ColIdx].Name)
+}
+
+// Ordered is a sorted index on one column, supporting point and range seeks.
+type Ordered struct {
+	Name   string
+	Rel    *schema.Relation
+	ColIdx int
+	// pos holds row positions sorted by the indexed column (NULLs first,
+	// matching sqlval.Compare).
+	pos []int32
+}
+
+// BuildOrdered constructs an ordered index on column col of rel.
+func BuildOrdered(name string, rel *schema.Relation, col int) *Ordered {
+	o := &Ordered{Name: name, Rel: rel, ColIdx: col, pos: make([]int32, len(rel.Rows))}
+	for i := range o.pos {
+		o.pos[i] = int32(i)
+	}
+	sort.SliceStable(o.pos, func(i, j int) bool {
+		return sqlval.Compare(rel.Rows[o.pos[i]][col], rel.Rows[o.pos[j]][col]) < 0
+	})
+	return o
+}
+
+// Len returns the number of indexed rows.
+func (o *Ordered) Len() int { return len(o.pos) }
+
+// At returns the i-th row position in index order.
+func (o *Ordered) At(i int) int32 { return o.pos[i] }
+
+// key returns the indexed value of the i-th entry.
+func (o *Ordered) key(i int) sqlval.Value { return o.Rel.Rows[o.pos[i]][o.ColIdx] }
+
+// LowerBound returns the first index position whose key is >= v.
+func (o *Ordered) LowerBound(v sqlval.Value) int {
+	return sort.Search(len(o.pos), func(i int) bool {
+		return sqlval.Compare(o.key(i), v) >= 0
+	})
+}
+
+// UpperBound returns the first index position whose key is > v.
+func (o *Ordered) UpperBound(v sqlval.Value) int {
+	return sort.Search(len(o.pos), func(i int) bool {
+		return sqlval.Compare(o.key(i), v) > 0
+	})
+}
+
+// Range describes a half-open [Start, End) span of index positions.
+type Range struct{ Start, End int }
+
+// Count returns the number of entries in the range.
+func (r Range) Count() int { return r.End - r.Start }
+
+// SeekEqual returns the span of positions whose key equals v.
+func (o *Ordered) SeekEqual(v sqlval.Value) Range {
+	return Range{Start: o.LowerBound(v), End: o.UpperBound(v)}
+}
+
+// SeekRange returns the span of positions in [lo, hi], where a nil bound is
+// open and the Incl flags control bound inclusivity.
+func (o *Ordered) SeekRange(lo, hi *sqlval.Value, loIncl, hiIncl bool) Range {
+	start := 0
+	if lo != nil {
+		if loIncl {
+			start = o.LowerBound(*lo)
+		} else {
+			start = o.UpperBound(*lo)
+		}
+	} else {
+		// Skip NULLs: a range predicate never matches NULL.
+		start = o.UpperBound(sqlval.Null())
+	}
+	end := len(o.pos)
+	if hi != nil {
+		if hiIncl {
+			end = o.UpperBound(*hi)
+		} else {
+			end = o.LowerBound(*hi)
+		}
+	}
+	if end < start {
+		end = start
+	}
+	return Range{Start: start, End: end}
+}
+
+// MaxFanout returns an upper bound on rows matching any single key.
+func (o *Ordered) MaxFanout() int64 {
+	best, run := int64(0), int64(0)
+	for i := 0; i < len(o.pos); i++ {
+		if i > 0 && sqlval.Compare(o.key(i), o.key(i-1)) == 0 {
+			run++
+		} else {
+			run = 1
+		}
+		if run > best {
+			best = run
+		}
+	}
+	return best
+}
+
+// String identifies the index in plan explanations.
+func (o *Ordered) String() string {
+	return fmt.Sprintf("ordered(%s.%s)", o.Rel.Name, o.Rel.Sch.Columns[o.ColIdx].Name)
+}

@@ -1,0 +1,340 @@
+// Package plan provides a fluent builder for physical plans over a catalog.
+// It is how the TPC-H/SkyServer plans, the experiment harness and the SQL
+// compiler construct operator trees: the builder resolves columns, builds
+// the indexes an access path needs, marks joins linear when the catalog's
+// key declarations prove it (Section 5.1's "if we know that any of the join
+// operators is linear"), attaches histogram-derived bounds to range scans,
+// and fills in plan-time cardinality estimates for dne's driver totals.
+package plan
+
+import (
+	"fmt"
+
+	"sqlprogress/internal/catalog"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/expr"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// Builder creates plan nodes bound to one catalog.
+type Builder struct {
+	cat *catalog.Catalog
+}
+
+// NewBuilder returns a builder over the catalog.
+func NewBuilder(cat *catalog.Catalog) *Builder { return &Builder{cat: cat} }
+
+// Catalog exposes the underlying catalog.
+func (b *Builder) Catalog() *catalog.Catalog { return b.cat }
+
+// Node is one operator with builder context; all composition methods return
+// a new Node wrapping the composed operator.
+type Node struct {
+	b *Builder
+	// Op is the physical operator this node wraps.
+	Op exec.Operator
+	// est is the plan-time row estimate carried for composition.
+	est float64
+}
+
+// Schema returns the node's output schema.
+func (n Node) Schema() *schema.Schema { return n.Op.Schema() }
+
+// Est returns the node's plan-time output-row estimate.
+func (n Node) Est() float64 { return n.est }
+
+// PredFn builds a predicate against the node's schema, letting call sites
+// reference columns by name without pre-resolving indexes.
+type PredFn func(sch *schema.Schema) expr.Expr
+
+func (n Node) finish(op exec.Operator, est float64) Node {
+	if est < 1 {
+		est = 1
+	}
+	op.SetEstimatedCard(int64(est))
+	return Node{b: n.b, Op: op, est: est}
+}
+
+// defaultFilterSelectivity is the classic System-R guess used when no
+// histogram applies; the paper's point is that dne survives such errors.
+const defaultFilterSelectivity = 1.0 / 3
+
+// Scan builds a full table scan.
+func (b *Builder) Scan(table string) Node {
+	rel := b.cat.MustRelation(table)
+	op := exec.NewScan(rel)
+	op.SetEstimatedCard(rel.Cardinality())
+	return Node{b: b, Op: op, est: float64(rel.Cardinality())}
+}
+
+// ScanOrdered builds a full table scan with a controlled arrival order.
+func (b *Builder) ScanOrdered(table string, order []int32) Node {
+	rel := b.cat.MustRelation(table)
+	op := exec.NewScanWithOrder(rel, order)
+	op.SetEstimatedCard(rel.Cardinality())
+	return Node{b: b, Op: op, est: float64(rel.Cardinality())}
+}
+
+// ScanFiltered builds a table scan with an embedded predicate (pushed
+// selection). sel is the selectivity estimate used for downstream
+// cardinality estimates; pass 0 for the default guess.
+func (b *Builder) ScanFiltered(table string, sel float64, pred PredFn) Node {
+	rel := b.cat.MustRelation(table)
+	op := exec.NewScan(rel)
+	op.Pred = pred(rel.Schema())
+	op.SetEstimatedCard(rel.Cardinality())
+	if sel <= 0 || sel > 1 {
+		sel = defaultFilterSelectivity
+	}
+	return Node{b: b, Op: op, est: float64(rel.Cardinality()) * sel}
+}
+
+// ScanFilteredOrdered combines ScanFiltered and ScanOrdered.
+func (b *Builder) ScanFilteredOrdered(table string, order []int32, sel float64, pred PredFn) Node {
+	rel := b.cat.MustRelation(table)
+	op := exec.NewScanWithOrder(rel, order)
+	op.Pred = pred(rel.Schema())
+	op.SetEstimatedCard(rel.Cardinality())
+	if sel <= 0 || sel > 1 {
+		sel = defaultFilterSelectivity
+	}
+	return Node{b: b, Op: op, est: float64(rel.Cardinality()) * sel}
+}
+
+// RangeScan builds an ordered-index range scan over [lo, hi] (nil = open),
+// with histogram-derived static bounds attached when statistics exist.
+func (b *Builder) RangeScan(table, column string, lo, hi *sqlval.Value, loIncl, hiIncl bool) Node {
+	ix, err := b.cat.BuildOrderedIndex(table, column)
+	if err != nil {
+		panic(err)
+	}
+	op := exec.NewRangeScan(ix, lo, hi, loIncl, hiIncl)
+	est := float64(ix.Rel.Cardinality())
+	if ts := b.cat.Stats(table); ts != nil {
+		ci, _ := ix.Rel.Sch.ColIndex("", column)
+		if h := ts.Histogram(ci); h != nil {
+			re := h.EstimateRange(lo, hi, loIncl, hiIncl)
+			op.SetStaticBounds(exec.CardBounds{LB: re.LB, UB: re.UB})
+			est = re.Est
+		}
+	}
+	op.SetEstimatedCard(int64(est))
+	return Node{b: b, Op: op, est: est}
+}
+
+// Filter wraps the node in an explicit selection operator (a counted sigma
+// node, as in the paper's Figure 2). sel estimates its selectivity.
+func (n Node) Filter(sel float64, pred PredFn) Node {
+	if sel <= 0 || sel > 1 {
+		sel = defaultFilterSelectivity
+	}
+	op := exec.NewFilter(n.Op, pred(n.Schema()))
+	return n.finish(op, n.est*sel)
+}
+
+// Project wraps the node in a projection.
+func (n Node) Project(exprs []expr.Expr, names []string, kinds []sqlval.Kind) Node {
+	op := exec.NewProject(n.Op, exprs, names, kinds)
+	return n.finish(op, n.est)
+}
+
+// Top limits output to k rows.
+func (n Node) Top(k int64) Node {
+	op := exec.NewTop(n.Op, k)
+	est := n.est
+	if float64(k) < est {
+		est = float64(k)
+	}
+	return n.finish(op, est)
+}
+
+// cols resolves a comma-free column list against a schema.
+func cols(sch *schema.Schema, names ...string) []expr.Expr {
+	out := make([]expr.Expr, len(names))
+	for i, name := range names {
+		out[i] = expr.NewCol(sch, "", name)
+	}
+	return out
+}
+
+// columnBase returns the base table and column a schema column refers to,
+// for linearity detection.
+func columnBase(sch *schema.Schema, name string) (table, col string) {
+	i, err := sch.ColIndex("", name)
+	if err != nil || i < 0 {
+		return "", name
+	}
+	return sch.Columns[i].Table, sch.Columns[i].Name
+}
+
+// joinLinear checks whether an equi-join on the named columns is provably
+// linear from the catalog's unique-key declarations.
+func (b *Builder) joinLinear(aSch *schema.Schema, aCol string, bSch *schema.Schema, bCol string) bool {
+	at, ac := columnBase(aSch, aCol)
+	bt, bc := columnBase(bSch, bCol)
+	if at == "" || bt == "" {
+		return false
+	}
+	return b.cat.JoinIsLinear(at, ac, bt, bc)
+}
+
+// HashJoin joins n (probe side) with build on probeCol = buildCol. Linearity
+// is detected from catalog key declarations.
+func (n Node) HashJoin(build Node, probeCol, buildCol string, mode exec.JoinMode) Node {
+	op := exec.NewHashJoin(build.Op, n.Op,
+		cols(build.Schema(), buildCol), cols(n.Schema(), probeCol), mode)
+	op.Linear = n.b.joinLinear(n.Schema(), probeCol, build.Schema(), buildCol)
+	return n.finish(op, joinEstimate(mode, n.est, build.est, op.Linear))
+}
+
+// HashJoinMulti is HashJoin with composite keys.
+func (n Node) HashJoinMulti(build Node, probeCols, buildCols []string, mode exec.JoinMode) Node {
+	op := exec.NewHashJoin(build.Op, n.Op,
+		cols(build.Schema(), buildCols...), cols(n.Schema(), probeCols...), mode)
+	op.Linear = len(probeCols) > 0 &&
+		n.b.joinLinear(n.Schema(), probeCols[0], build.Schema(), buildCols[0])
+	return n.finish(op, joinEstimate(mode, n.est, build.est, op.Linear))
+}
+
+// INLJoin joins n (outer) against an index on innerTable.innerCol, seeking
+// with outerCol's value — the paper's nested-iteration access path.
+func (n Node) INLJoin(innerTable, innerCol, outerCol string, mode exec.JoinMode) Node {
+	ix, err := n.b.cat.BuildHashIndex(innerTable, innerCol)
+	if err != nil {
+		panic(err)
+	}
+	op := exec.NewINLJoin(n.Op, ix, expr.NewCol(n.Schema(), "", outerCol), mode)
+	op.Linear = n.b.joinLinear(n.Schema(), outerCol, ix.Rel.Schema(), innerCol)
+	innerEst := float64(ix.Rel.Cardinality())
+	return n.finish(op, joinEstimate(mode, n.est, innerEst, op.Linear))
+}
+
+// Cross builds a cross product via nested loops (the inner side is
+// re-scanned per outer row).
+func (b *Builder) Cross(outer, inner Node) Node {
+	op := exec.NewNLJoin(outer.Op, inner.Op, nil)
+	return outer.finish(op, outer.est*inner.est)
+}
+
+// MergeJoin joins two sorted inputs on leftCol = rightCol.
+func (n Node) MergeJoin(right Node, leftCol, rightCol string) Node {
+	op := exec.NewMergeJoin(n.Op, right.Op,
+		cols(n.Schema(), leftCol), cols(right.Schema(), rightCol))
+	op.Linear = n.b.joinLinear(n.Schema(), leftCol, right.Schema(), rightCol)
+	return n.finish(op, joinEstimate(exec.InnerJoin, n.est, right.est, op.Linear))
+}
+
+// joinEstimate is the builder's coarse cardinality model: FK joins pass
+// through the bigger side scaled by the smaller side's filtered fraction;
+// everything else uses a fixed reduction. The paper's Section 7 stresses
+// progress estimation must tolerate the errors such models make.
+func joinEstimate(mode exec.JoinMode, probe, other float64, linear bool) float64 {
+	switch mode {
+	case exec.SemiJoin, exec.AntiJoin:
+		return probe / 2
+	case exec.LeftOuterJoin:
+		if probe > other {
+			return probe
+		}
+		return other
+	default:
+		if linear {
+			if probe > other {
+				return probe
+			}
+			return other
+		}
+		return probe * other / 100
+	}
+}
+
+// Sort sorts by the named columns ascending.
+func (n Node) Sort(by ...string) Node {
+	keys := make([]exec.SortKey, len(by))
+	for i, c := range by {
+		keys[i] = exec.SortKey{Expr: expr.NewCol(n.Schema(), "", c)}
+	}
+	return n.finish(exec.NewSort(n.Op, keys), n.est)
+}
+
+// SortKeys sorts by explicit keys (for descending or computed orders).
+func (n Node) SortKeys(keys ...exec.SortKey) Node {
+	return n.finish(exec.NewSort(n.Op, keys), n.est)
+}
+
+// AggSpec names one aggregate for the builder.
+type AggSpec struct {
+	Kind expr.AggKind
+	Col  string // empty for COUNT(*)
+	As   string
+}
+
+func (n Node) buildAggs(specs []AggSpec) []expr.Agg {
+	aggs := make([]expr.Agg, len(specs))
+	for i, s := range specs {
+		a := expr.Agg{Kind: s.Kind, Name: s.As}
+		if s.Kind != expr.AggCountStar {
+			a.Arg = expr.NewCol(n.Schema(), "", s.Col)
+		}
+		if a.Name == "" {
+			a.Name = fmt.Sprintf("agg%d", i)
+		}
+		aggs[i] = a
+	}
+	return aggs
+}
+
+func (n Node) groupMeta(by []string) ([]expr.Expr, []string, []sqlval.Kind) {
+	gb := make([]expr.Expr, len(by))
+	names := make([]string, len(by))
+	kinds := make([]sqlval.Kind, len(by))
+	for i, c := range by {
+		idx := n.Schema().MustColIndex("", c)
+		gb[i] = expr.Col{Index: idx, DisplayName: c}
+		names[i] = n.Schema().Columns[idx].Name
+		kinds[i] = n.Schema().Columns[idx].Type
+	}
+	return gb, names, kinds
+}
+
+// HashAgg groups by the named columns with the given aggregates. groupsEst
+// estimates the number of groups (0 = a tenth of the input).
+func (n Node) HashAgg(groupsEst float64, by []string, specs ...AggSpec) Node {
+	gb, names, kinds := n.groupMeta(by)
+	op := exec.NewHashAgg(n.Op, gb, names, kinds, n.buildAggs(specs))
+	if groupsEst <= 0 {
+		groupsEst = n.est / 10
+	}
+	return n.finish(op, groupsEst)
+}
+
+// StreamAgg groups an input already sorted by the named columns.
+func (n Node) StreamAgg(groupsEst float64, by []string, specs ...AggSpec) Node {
+	gb, names, kinds := n.groupMeta(by)
+	op := exec.NewStreamAgg(n.Op, gb, names, kinds, n.buildAggs(specs))
+	if groupsEst <= 0 {
+		groupsEst = n.est / 10
+	}
+	return n.finish(op, groupsEst)
+}
+
+// ScalarAgg computes aggregates over the whole input (one output row).
+func (n Node) ScalarAgg(specs ...AggSpec) Node {
+	op := exec.NewStreamAgg(n.Op, nil, nil, nil, n.buildAggs(specs))
+	return n.finish(op, 1)
+}
+
+// Col builds a column reference against this node's schema (for predicates).
+func (n Node) Col(name string) expr.Col { return expr.NewCol(n.Schema(), "", name) }
+
+// Wrap attaches a directly-constructed operator (typically one consuming
+// n.Op) to the builder context, with an output-row estimate (<= 0 inherits
+// n's estimate). It is the escape hatch for compilers that build operators
+// the fluent methods do not cover.
+func (n Node) Wrap(op exec.Operator, est float64) Node {
+	if est <= 0 {
+		est = n.est
+	}
+	return n.finish(op, est)
+}

@@ -1,0 +1,251 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Select is the root AST node: one SELECT statement.
+type Select struct {
+	// Distinct requests duplicate elimination over the select list.
+	Distinct bool
+	// Items are the select-list entries.
+	Items []SelectItem
+	// From is the table list with any explicit joins.
+	From []TableRef
+	// Where is the filter predicate (nil when absent).
+	Where Node
+	// GroupBy lists grouping expressions.
+	GroupBy []Node
+	// Having filters groups (nil when absent).
+	Having Node
+	// OrderBy lists ordering terms.
+	OrderBy []OrderTerm
+	// Limit is the row limit (-1 when absent).
+	Limit int64
+}
+
+// SelectItem is one projection: an expression with an optional alias, or *.
+type SelectItem struct {
+	Star bool
+	Expr Node
+	As   string
+}
+
+// TableRef is one FROM entry: a base table with optional alias and any
+// number of explicit JOINs hanging off it.
+type TableRef struct {
+	Table string
+	Alias string
+	Joins []JoinClause
+}
+
+// JoinClause is an explicit JOIN ... ON.
+type JoinClause struct {
+	// Kind is "inner" or "left".
+	Kind  string
+	Table string
+	Alias string
+	On    Node
+}
+
+// OrderTerm is one ORDER BY entry.
+type OrderTerm struct {
+	Expr Node
+	Desc bool
+}
+
+// Node is an expression AST node.
+type Node interface {
+	// String renders the node as SQL-ish text (used in tests and errors).
+	String() string
+}
+
+// ColNode references a column, optionally qualified.
+type ColNode struct {
+	Table, Name string
+}
+
+func (c *ColNode) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// IntNode is an integer literal.
+type IntNode struct{ V int64 }
+
+func (l *IntNode) String() string { return fmt.Sprintf("%d", l.V) }
+
+// FloatNode is a floating-point literal.
+type FloatNode struct{ V float64 }
+
+func (l *FloatNode) String() string { return fmt.Sprintf("%g", l.V) }
+
+// StringNode is a string literal.
+type StringNode struct{ V string }
+
+func (l *StringNode) String() string { return "'" + l.V + "'" }
+
+// BoolNode is TRUE/FALSE.
+type BoolNode struct{ V bool }
+
+func (l *BoolNode) String() string {
+	if l.V {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// NullNode is the NULL literal.
+type NullNode struct{}
+
+func (*NullNode) String() string { return "NULL" }
+
+// DateNode is DATE 'YYYY-MM-DD'.
+type DateNode struct{ Text string }
+
+func (l *DateNode) String() string { return "DATE '" + l.Text + "'" }
+
+// BinNode is a binary operation: arithmetic (+ - * /), comparison
+// (= <> < <= > >=), or logical (AND OR).
+type BinNode struct {
+	Op   string
+	L, R Node
+}
+
+func (b *BinNode) String() string { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+
+// NotNode negates a predicate.
+type NotNode struct{ E Node }
+
+func (n *NotNode) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
+
+// LikeNode is [NOT] LIKE with a literal pattern.
+type LikeNode struct {
+	E       Node
+	Pattern string
+	Negate  bool
+}
+
+func (l *LikeNode) String() string {
+	op := "LIKE"
+	if l.Negate {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("(%s %s '%s')", l.E, op, l.Pattern)
+}
+
+// InNode is [NOT] IN over a literal list or a subquery.
+type InNode struct {
+	E      Node
+	List   []Node
+	Sub    *Select
+	Negate bool
+}
+
+func (in *InNode) String() string {
+	op := "IN"
+	if in.Negate {
+		op = "NOT IN"
+	}
+	if in.Sub != nil {
+		return fmt.Sprintf("(%s %s (<subquery>))", in.E, op)
+	}
+	parts := make([]string, len(in.List))
+	for i, n := range in.List {
+		parts[i] = n.String()
+	}
+	return fmt.Sprintf("(%s %s (%s))", in.E, op, strings.Join(parts, ", "))
+}
+
+// BetweenNode is [NOT] BETWEEN lo AND hi.
+type BetweenNode struct {
+	E, Lo, Hi Node
+	Negate    bool
+}
+
+func (b *BetweenNode) String() string {
+	op := "BETWEEN"
+	if b.Negate {
+		op = "NOT BETWEEN"
+	}
+	return fmt.Sprintf("(%s %s %s AND %s)", b.E, op, b.Lo, b.Hi)
+}
+
+// IsNullNode is IS [NOT] NULL.
+type IsNullNode struct {
+	E      Node
+	Negate bool
+}
+
+func (n *IsNullNode) String() string {
+	if n.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", n.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", n.E)
+}
+
+// CaseNode is a searched CASE expression.
+type CaseNode struct {
+	Whens []CaseWhen
+	Else  Node
+}
+
+// CaseWhen is one WHEN arm.
+type CaseWhen struct{ Cond, Result Node }
+
+func (c *CaseNode) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range c.Whens {
+		fmt.Fprintf(&sb, " WHEN %s THEN %s", w.Cond, w.Result)
+	}
+	if c.Else != nil {
+		fmt.Fprintf(&sb, " ELSE %s", c.Else)
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+// ExistsNode is [NOT] EXISTS (subquery).
+type ExistsNode struct {
+	Sub    *Select
+	Negate bool
+}
+
+func (e *ExistsNode) String() string {
+	if e.Negate {
+		return "(NOT EXISTS (<subquery>))"
+	}
+	return "(EXISTS (<subquery>))"
+}
+
+// FuncNode is a scalar function call (UPPER, SUBSTR, YEAR, ...).
+type FuncNode struct {
+	Name string // as written; resolved case-insensitively
+	Args []Node
+}
+
+func (f *FuncNode) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return strings.ToUpper(f.Name) + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// AggNode is an aggregate call: COUNT(*) or COUNT/SUM/AVG/MIN/MAX(expr).
+type AggNode struct {
+	Func string // upper-case
+	Star bool
+	Arg  Node
+}
+
+func (a *AggNode) String() string {
+	if a.Star {
+		return a.Func + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, a.Arg)
+}

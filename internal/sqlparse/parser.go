@@ -1,0 +1,595 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*Select, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, input: input}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input starting with %q", p.peek().Text)
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks  []Token
+	pos   int
+	input string
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+// next consumes and returns the current token; at EOF it keeps returning
+// the EOF token rather than running past the slice.
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().Kind == TokEOF }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sqlparse: %s (at offset %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+}
+
+// kw reports whether the next token is the given keyword.
+func (p *parser) kw(word string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Text == word
+}
+
+// acceptKw consumes the keyword when present.
+func (p *parser) acceptKw(word string) bool {
+	if p.kw(word) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(word string) error {
+	if !p.acceptKw(word) {
+		return p.errf("expected %s, found %q", word, p.peek().Text)
+	}
+	return nil
+}
+
+// op reports whether the next token is the given operator/punctuation.
+func (p *parser) op(text string) bool {
+	t := p.peek()
+	return t.Kind == TokOp && t.Text == text
+}
+
+func (p *parser) acceptOp(text string) bool {
+	if p.op(text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(text string) error {
+	if !p.acceptOp(text) {
+		return p.errf("expected %q, found %q", text, p.peek().Text)
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.acceptKw("DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, ref)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			term := OrderTerm{Expr: e}
+			if p.acceptKw("DESC") {
+				term.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, term)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		t := p.peek()
+		if t.Kind != TokNumber {
+			return nil, p.errf("expected a number after LIMIT, found %q", t.Text)
+		}
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad LIMIT %q", t.Text)
+		}
+		p.next()
+		sel.Limit = v
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKw("AS") {
+		t := p.next()
+		if t.Kind != TokIdent {
+			return SelectItem{}, p.errf("expected alias after AS, found %q", t.Text)
+		}
+		item.As = t.Text
+	} else if p.peek().Kind == TokIdent {
+		item.As = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return TableRef{}, p.errf("expected table name, found %q", t.Text)
+	}
+	ref := TableRef{Table: t.Text}
+	if p.peek().Kind == TokIdent {
+		ref.Alias = p.next().Text
+	} else if p.acceptKw("AS") {
+		a := p.next()
+		if a.Kind != TokIdent {
+			return TableRef{}, p.errf("expected alias, found %q", a.Text)
+		}
+		ref.Alias = a.Text
+	}
+	for {
+		kind := ""
+		switch {
+		case p.kw("JOIN"):
+			p.next()
+			kind = "inner"
+		case p.kw("INNER"):
+			p.next()
+			if err := p.expectKw("JOIN"); err != nil {
+				return TableRef{}, err
+			}
+			kind = "inner"
+		case p.kw("LEFT"):
+			p.next()
+			p.acceptKw("OUTER")
+			if err := p.expectKw("JOIN"); err != nil {
+				return TableRef{}, err
+			}
+			kind = "left"
+		default:
+			return ref, nil
+		}
+		jt := p.next()
+		if jt.Kind != TokIdent {
+			return TableRef{}, p.errf("expected joined table name, found %q", jt.Text)
+		}
+		jc := JoinClause{Kind: kind, Table: jt.Text}
+		if p.peek().Kind == TokIdent {
+			jc.Alias = p.next().Text
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return TableRef{}, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return TableRef{}, err
+		}
+		jc.On = on
+		ref.Joins = append(ref.Joins, jc)
+	}
+}
+
+// Expression grammar (lowest to highest precedence):
+//   expr     := orTerm (OR orTerm)*
+//   orTerm   := andTerm (AND andTerm)*
+//   andTerm  := NOT andTerm | predicate
+//   predicate:= additive [cmpOp additive | LIKE | IN | BETWEEN | IS NULL]
+//   additive := multiplicative ((+|-) multiplicative)*
+//   mult     := primary ((*|/) primary)*
+//   primary  := literal | column | aggregate | CASE | EXISTS | (expr) | (select)
+
+func (p *parser) parseExpr() (Node, error) {
+	left, err := p.parseAndTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		right, err := p.parseAndTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinNode{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAndTerm() (Node, error) {
+	left, err := p.parseNotTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		right, err := p.parseNotTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinNode{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNotTerm() (Node, error) {
+	if p.acceptKw("NOT") {
+		e, err := p.parseNotTerm()
+		if err != nil {
+			return nil, err
+		}
+		return &NotNode{E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+var cmpOps = map[string]bool{"=": true, "<>": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) parsePredicate() (Node, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	negate := false
+	if p.kw("NOT") {
+		// NOT LIKE / NOT IN / NOT BETWEEN.
+		save := p.pos
+		p.next()
+		if !p.kw("LIKE") && !p.kw("IN") && !p.kw("BETWEEN") {
+			p.pos = save
+			return left, nil
+		}
+		negate = true
+	}
+	switch {
+	case p.peek().Kind == TokOp && cmpOps[p.peek().Text]:
+		op := p.next().Text
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinNode{Op: op, L: left, R: right}, nil
+	case p.acceptKw("LIKE"):
+		t := p.next()
+		if t.Kind != TokString {
+			return nil, p.errf("LIKE requires a string pattern, found %q", t.Text)
+		}
+		return &LikeNode{E: left, Pattern: t.Text, Negate: negate}, nil
+	case p.acceptKw("IN"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		if p.kw("SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &InNode{E: left, Sub: sub, Negate: negate}, nil
+		}
+		var list []Node
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InNode{E: left, List: list, Negate: negate}, nil
+	case p.acceptKw("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenNode{E: left, Lo: lo, Hi: hi, Negate: negate}, nil
+	case p.kw("IS"):
+		p.next()
+		neg := p.acceptKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullNode{E: left, Negate: neg}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Node, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.op("+") || p.op("-") {
+		op := p.next().Text
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinNode{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (Node, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.op("*") || p.op("/") {
+		op := p.next().Text
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinNode{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+var aggFuncs = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		if strings.Contains(t.Text, ".") {
+			v, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return &FloatNode{V: v}, nil
+		}
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &IntNode{V: v}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &StringNode{V: t.Text}, nil
+	case t.Kind == TokKeyword && t.Text == "NULL":
+		p.next()
+		return &NullNode{}, nil
+	case t.Kind == TokKeyword && (t.Text == "TRUE" || t.Text == "FALSE"):
+		p.next()
+		return &BoolNode{V: t.Text == "TRUE"}, nil
+	case t.Kind == TokKeyword && t.Text == "DATE":
+		p.next()
+		s := p.next()
+		if s.Kind != TokString {
+			return nil, p.errf("DATE requires a 'YYYY-MM-DD' string, found %q", s.Text)
+		}
+		return &DateNode{Text: s.Text}, nil
+	case t.Kind == TokKeyword && aggFuncs[t.Text]:
+		fn := p.next().Text
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		if p.acceptOp("*") {
+			if fn != "COUNT" {
+				return nil, p.errf("%s(*) is not valid", fn)
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &AggNode{Func: fn, Star: true}, nil
+		}
+		p.acceptKw("DISTINCT")
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &AggNode{Func: fn, Arg: arg}, nil
+	case t.Kind == TokKeyword && t.Text == "CASE":
+		return p.parseCase()
+	case t.Kind == TokKeyword && t.Text == "EXISTS":
+		p.next()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &ExistsNode{Sub: sub}, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.acceptOp(".") {
+			c := p.next()
+			if c.Kind != TokIdent {
+				return nil, p.errf("expected column after %q.", t.Text)
+			}
+			return &ColNode{Table: t.Text, Name: c.Text}, nil
+		}
+		if p.acceptOp("(") {
+			// Scalar function call.
+			fn := &FuncNode{Name: t.Text}
+			if !p.acceptOp(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fn.Args = append(fn.Args, arg)
+					if !p.acceptOp(",") {
+						break
+					}
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+			}
+			return fn, nil
+		}
+		return &ColNode{Name: t.Text}, nil
+	case p.op("("):
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.op("-"):
+		p.next()
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		switch lit := e.(type) {
+		case *IntNode:
+			return &IntNode{V: -lit.V}, nil
+		case *FloatNode:
+			return &FloatNode{V: -lit.V}, nil
+		}
+		return &BinNode{Op: "-", L: &IntNode{V: 0}, R: e}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.Text)
+}
+
+func (p *parser) parseCase() (Node, error) {
+	if err := p.expectKw("CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseNode{}
+	for p.acceptKw("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, CaseWhen{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.acceptKw("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,240 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) *Select {
+	t.Helper()
+	sel, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return sel
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, 1.5 FROM t WHERE b <> 'x''y' -- comment\n AND c >= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"SELECT", "a", ",", "1.5", "FROM", "t", "WHERE", "b", "<>", "x'y", "AND", "c", ">=", "2", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("token texts = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[9] != TokString {
+		t.Errorf("escaped string kind = %v", kinds[9])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := Lex("SELECT a ; b"); err == nil {
+		t.Error("unexpected character should fail")
+	}
+	if _, err := Lex("a ! b"); err == nil {
+		t.Error("lone ! should fail")
+	}
+	if toks, err := Lex("a != b"); err != nil || toks[1].Text != "<>" {
+		t.Errorf("!= should lex as <>: %v %v", toks, err)
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := mustParse(t, "SELECT a, b AS bee FROM t WHERE a > 5 LIMIT 10")
+	if len(sel.Items) != 2 || sel.Items[1].As != "bee" {
+		t.Errorf("items = %+v", sel.Items)
+	}
+	if len(sel.From) != 1 || sel.From[0].Table != "t" {
+		t.Errorf("from = %+v", sel.From)
+	}
+	if sel.Where == nil || sel.Where.String() != "(a > 5)" {
+		t.Errorf("where = %v", sel.Where)
+	}
+	if sel.Limit != 10 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t")
+	if !sel.Items[0].Star {
+		t.Error("star item expected")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	sel := mustParse(t, `SELECT c.name FROM customer c
+		JOIN orders o ON c.custkey = o.custkey
+		LEFT OUTER JOIN nation ON c.nationkey = nation.nationkey`)
+	ref := sel.From[0]
+	if ref.Table != "customer" || ref.Alias != "c" {
+		t.Errorf("base ref = %+v", ref)
+	}
+	if len(ref.Joins) != 2 {
+		t.Fatalf("joins = %d", len(ref.Joins))
+	}
+	if ref.Joins[0].Kind != "inner" || ref.Joins[0].Alias != "o" {
+		t.Errorf("join 0 = %+v", ref.Joins[0])
+	}
+	if ref.Joins[1].Kind != "left" || ref.Joins[1].Table != "nation" {
+		t.Errorf("join 1 = %+v", ref.Joins[1])
+	}
+}
+
+func TestParseCommaJoin(t *testing.T) {
+	sel := mustParse(t, "SELECT 1 FROM a, b, c WHERE a.x = b.y AND b.y = c.z")
+	if len(sel.From) != 3 {
+		t.Errorf("from = %d entries", len(sel.From))
+	}
+}
+
+func TestParseGroupHavingOrder(t *testing.T) {
+	sel := mustParse(t, `SELECT g, COUNT(*) AS cnt, SUM(v) total FROM t
+		GROUP BY g HAVING COUNT(*) > 3 ORDER BY cnt DESC, g ASC LIMIT 5`)
+	if len(sel.GroupBy) != 1 || sel.GroupBy[0].String() != "g" {
+		t.Errorf("group by = %v", sel.GroupBy)
+	}
+	if sel.Having == nil || !strings.Contains(sel.Having.String(), "COUNT(*)") {
+		t.Errorf("having = %v", sel.Having)
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order by = %+v", sel.OrderBy)
+	}
+	if sel.Items[2].As != "total" {
+		t.Errorf("implicit alias = %+v", sel.Items[2])
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT 1 FROM t WHERE a + b * 2 >= 10 AND x = 1 OR y = 2")
+	want := "(((a + (b * 2)) >= 10) AND (x = 1))"
+	got := sel.Where.String()
+	if !strings.HasPrefix(got, "("+want) {
+		t.Errorf("precedence tree = %s", got)
+	}
+	if !strings.Contains(got, "OR") {
+		t.Errorf("missing OR: %s", got)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{"a LIKE 'x%'", "(a LIKE 'x%')"},
+		{"a NOT LIKE 'x%'", "(a NOT LIKE 'x%')"},
+		{"a IN (1, 2, 3)", "(a IN (1, 2, 3))"},
+		{"a NOT IN (1)", "(a NOT IN (1))"},
+		{"a BETWEEN 1 AND 5", "(a BETWEEN 1 AND 5)"},
+		{"a NOT BETWEEN 1 AND 5", "(a NOT BETWEEN 1 AND 5)"},
+		{"a IS NULL", "(a IS NULL)"},
+		{"a IS NOT NULL", "(a IS NOT NULL)"},
+		{"NOT a = 1", "(NOT (a = 1))"},
+		{"a <> 1", "(a <> 1)"},
+	}
+	for _, c := range cases {
+		sel := mustParse(t, "SELECT 1 FROM t WHERE "+c.sql)
+		if got := sel.Where.String(); got != c.want {
+			t.Errorf("%s => %s, want %s", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	sel := mustParse(t, "SELECT 1, 2.5, 'str', TRUE, FALSE, NULL, DATE '1995-03-15', -7 FROM t")
+	wants := []string{"1", "2.5", "'str'", "TRUE", "FALSE", "NULL", "DATE '1995-03-15'", "-7"}
+	for i, w := range wants {
+		if got := sel.Items[i].Expr.String(); got != w {
+			t.Errorf("literal %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	sel := mustParse(t, "SELECT COUNT(*), SUM(a * b), AVG(c), MIN(d), MAX(e) FROM t")
+	if sel.Items[0].Expr.String() != "COUNT(*)" {
+		t.Errorf("count star = %s", sel.Items[0].Expr)
+	}
+	if sel.Items[1].Expr.String() != "SUM((a * b))" {
+		t.Errorf("sum = %s", sel.Items[1].Expr)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	sel := mustParse(t, `SELECT CASE WHEN a > 0 THEN 'pos' WHEN a = 0 THEN 'zero' ELSE 'neg' END FROM t`)
+	got := sel.Items[0].Expr.String()
+	if !strings.Contains(got, "WHEN (a > 0) THEN 'pos'") || !strings.Contains(got, "ELSE 'neg'") {
+		t.Errorf("case = %s", got)
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	sel := mustParse(t, `SELECT 1 FROM orders o WHERE EXISTS (
+		SELECT 1 FROM lineitem l WHERE l.orderkey = o.orderkey) AND o.k IN (SELECT k FROM t)`)
+	b, ok := sel.Where.(*BinNode)
+	if !ok || b.Op != "AND" {
+		t.Fatalf("where = %v", sel.Where)
+	}
+	if _, ok := b.L.(*ExistsNode); !ok {
+		t.Errorf("left = %T", b.L)
+	}
+	in, ok := b.R.(*InNode)
+	if !ok || in.Sub == nil {
+		t.Fatalf("right = %v", b.R)
+	}
+}
+
+func TestParseNotExists(t *testing.T) {
+	sel := mustParse(t, "SELECT 1 FROM t WHERE NOT EXISTS (SELECT 1 FROM u)")
+	n, ok := sel.Where.(*NotNode)
+	if !ok {
+		t.Fatalf("where = %T", sel.Where)
+	}
+	if _, ok := n.E.(*ExistsNode); !ok {
+		t.Errorf("inner = %T", n.E)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t trailing()",
+		"SELECT SUM(*) FROM t",
+		"SELECT a FROM t JOIN u",
+		"SELECT CASE END FROM t",
+		"SELECT a LIKE 5 FROM t",
+		"SELECT a FROM t ORDER",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseDistinctAccepted(t *testing.T) {
+	mustParse(t, "SELECT DISTINCT a FROM t")
+	mustParse(t, "SELECT COUNT(DISTINCT a) FROM t")
+}

@@ -1,0 +1,190 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stmt is any parsed statement: *Select, *CreateTable, *Insert or
+// *DropTable.
+type Stmt interface {
+	stmt()
+}
+
+func (*Select) stmt()      {}
+func (*CreateTable) stmt() {}
+func (*Insert) stmt()      {}
+func (*DropTable) stmt()   {}
+
+// DropTable is a DROP TABLE statement.
+type DropTable struct {
+	Name string
+}
+
+// ColDef is one column declaration in CREATE TABLE.
+type ColDef struct {
+	Name string
+	// Type is the normalized type name: BIGINT, DOUBLE, VARCHAR, BOOLEAN
+	// or DATE.
+	Type string
+}
+
+// CreateTable is a CREATE TABLE statement.
+type CreateTable struct {
+	Name string
+	Cols []ColDef
+}
+
+// Insert is INSERT INTO name VALUES (...), (...).
+type Insert struct {
+	Table string
+	Rows  [][]Node
+}
+
+// typeNames maps accepted SQL type spellings to the normalized name.
+var typeNames = map[string]string{
+	"BIGINT": "BIGINT", "INT": "BIGINT", "INTEGER": "BIGINT",
+	"DOUBLE": "DOUBLE", "FLOAT": "DOUBLE", "REAL": "DOUBLE",
+	"VARCHAR": "VARCHAR", "TEXT": "VARCHAR", "STRING": "VARCHAR", "CHAR": "VARCHAR",
+	"BOOLEAN": "BOOLEAN", "BOOL": "BOOLEAN",
+	"DATE": "DATE",
+}
+
+// ParseStatement parses one statement of any supported kind. A trailing
+// semicolon is permitted.
+func ParseStatement(input string) (Stmt, error) {
+	input = strings.TrimSpace(input)
+	input = strings.TrimSuffix(input, ";")
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, input: input}
+	var stmt Stmt
+	switch {
+	case p.kw("SELECT"):
+		stmt, err = p.parseSelect()
+	case p.peek().Kind == TokIdent && strings.EqualFold(p.peek().Text, "CREATE"):
+		stmt, err = p.parseCreateTable()
+	case p.peek().Kind == TokIdent && strings.EqualFold(p.peek().Text, "INSERT"):
+		stmt, err = p.parseInsert()
+	case p.peek().Kind == TokIdent && strings.EqualFold(p.peek().Text, "DROP"):
+		stmt, err = p.parseDropTable()
+	default:
+		return nil, p.errf("expected SELECT, CREATE TABLE, INSERT or DROP TABLE, found %q", p.peek().Text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input starting with %q", p.peek().Text)
+	}
+	return stmt, nil
+}
+
+// expectIdentWord consumes an identifier matching the given word
+// (case-insensitive).
+func (p *parser) expectIdentWord(word string) error {
+	t := p.peek()
+	if t.Kind == TokIdent && strings.EqualFold(t.Text, word) {
+		p.next()
+		return nil
+	}
+	return p.errf("expected %s, found %q", word, t.Text)
+}
+
+func (p *parser) parseCreateTable() (*CreateTable, error) {
+	if err := p.expectIdentWord("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdentWord("TABLE"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name.Kind != TokIdent {
+		return nil, p.errf("expected table name, found %q", name.Text)
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name.Text}
+	for {
+		cn := p.next()
+		if cn.Kind != TokIdent {
+			return nil, p.errf("expected column name, found %q", cn.Text)
+		}
+		tt := p.next()
+		// DATE is a keyword; the other type names lex as identifiers.
+		if tt.Kind != TokIdent && !(tt.Kind == TokKeyword && tt.Text == "DATE") {
+			return nil, p.errf("expected a type after column %q, found %q", cn.Text, tt.Text)
+		}
+		norm, ok := typeNames[strings.ToUpper(tt.Text)]
+		if !ok {
+			return nil, fmt.Errorf("sqlparse: unknown type %q (supported: BIGINT, DOUBLE, VARCHAR, BOOLEAN, DATE)", tt.Text)
+		}
+		ct.Cols = append(ct.Cols, ColDef{Name: cn.Text, Type: norm})
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *parser) parseInsert() (*Insert, error) {
+	if err := p.expectIdentWord("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdentWord("INTO"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name.Kind != TokIdent {
+		return nil, p.errf("expected table name, found %q", name.Text)
+	}
+	if err := p.expectIdentWord("VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name.Text}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Node
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseDropTable() (*DropTable, error) {
+	if err := p.expectIdentWord("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdentWord("TABLE"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name.Kind != TokIdent {
+		return nil, p.errf("expected table name, found %q", name.Text)
+	}
+	return &DropTable{Name: name.Text}, nil
+}

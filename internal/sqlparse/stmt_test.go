@@ -1,0 +1,99 @@
+package sqlparse
+
+import "testing"
+
+func TestParseStatementSelect(t *testing.T) {
+	s, err := ParseStatement("SELECT a FROM t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*Select); !ok {
+		t.Fatalf("statement = %T", s)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	s, err := ParseStatement("CREATE TABLE users (id INT, name VARCHAR, score DOUBLE, ok BOOL, born DATE)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ok := s.(*CreateTable)
+	if !ok {
+		t.Fatalf("statement = %T", s)
+	}
+	if ct.Name != "users" || len(ct.Cols) != 5 {
+		t.Fatalf("create = %+v", ct)
+	}
+	wants := []ColDef{
+		{"id", "BIGINT"}, {"name", "VARCHAR"}, {"score", "DOUBLE"},
+		{"ok", "BOOLEAN"}, {"born", "DATE"},
+	}
+	for i, w := range wants {
+		if ct.Cols[i] != w {
+			t.Errorf("col %d = %+v, want %+v", i, ct.Cols[i], w)
+		}
+	}
+}
+
+func TestParseCreateTableTypeAliases(t *testing.T) {
+	s, err := ParseStatement("CREATE TABLE t (a INTEGER, b REAL, c TEXT, d BOOLEAN)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := s.(*CreateTable)
+	if ct.Cols[0].Type != "BIGINT" || ct.Cols[1].Type != "DOUBLE" || ct.Cols[2].Type != "VARCHAR" {
+		t.Errorf("aliases normalized wrong: %+v", ct.Cols)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	s, err := ParseStatement("INSERT INTO t VALUES (1, 'x', 2.5), (NULL, 'y', -1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, ok := s.(*Insert)
+	if !ok {
+		t.Fatalf("statement = %T", s)
+	}
+	if ins.Table != "t" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 3 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	if ins.Rows[1][2].String() != "-1" {
+		t.Errorf("negative literal = %s", ins.Rows[1][2])
+	}
+}
+
+func TestParseStatementErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"ALTER TABLE x",
+		"DROP x",
+		"DROP TABLE",
+		"CREATE x",
+		"CREATE TABLE t",
+		"CREATE TABLE t (",
+		"CREATE TABLE t (a)",
+		"CREATE TABLE t (a WIBBLE)",
+		"INSERT t VALUES (1)",
+		"INSERT INTO t (1)",
+		"INSERT INTO t VALUES 1",
+		"INSERT INTO t VALUES (1",
+		"SELECT a FROM t; SELECT b FROM u",
+	}
+	for _, sql := range bad {
+		if _, err := ParseStatement(sql); err == nil {
+			t.Errorf("ParseStatement(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseDropTable(t *testing.T) {
+	s, err := ParseStatement("DROP TABLE old;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, ok := s.(*DropTable)
+	if !ok || dt.Name != "old" {
+		t.Fatalf("drop = %+v", s)
+	}
+}

@@ -1,0 +1,333 @@
+// Package sqlval defines the value model used throughout the engine: a
+// compact tagged union covering the SQL types needed by the paper's
+// workloads (integers, floats, strings, booleans and dates), together with
+// NULL, a total comparison order, hashing, and arithmetic helpers.
+//
+// Values are deliberately small (no pointers except the string payload) so
+// rows can be copied cheaply; the executor copies rows at pipeline
+// boundaries only.
+package sqlval
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the runtime types a Value may hold.
+type Kind uint8
+
+// The supported kinds. KindNull is the zero value so that a zero Value is a
+// well-formed SQL NULL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindDate // stored as days since the Unix epoch
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64 // int, bool (0/1), date (days)
+	f    float64
+	s    string
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a double-precision value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value.
+func String(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Date returns a date value from days since the Unix epoch.
+func Date(days int64) Value { return Value{kind: KindDate, i: days} }
+
+// DateFromTime converts a time.Time (UTC date part) to a date value.
+func DateFromTime(t time.Time) Value {
+	return Date(t.UTC().Unix() / 86400)
+}
+
+// MustParseDate parses "YYYY-MM-DD" and panics on malformed input. It is
+// intended for literals in tests and generators.
+func MustParseDate(s string) Value {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		panic(fmt.Sprintf("sqlval: bad date literal %q: %v", s, err))
+	}
+	return DateFromTime(t)
+}
+
+// Kind reports the runtime kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It panics when the kind is not
+// KindInt or KindDate.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt && v.kind != KindDate {
+		panic("sqlval: AsInt on " + v.kind.String())
+	}
+	return v.i
+}
+
+// AsFloat returns the value as float64, converting integers.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt, KindDate:
+		return float64(v.i)
+	}
+	panic("sqlval: AsFloat on " + v.kind.String())
+}
+
+// AsString returns the string payload. It panics on non-strings.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("sqlval: AsString on " + v.kind.String())
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload. It panics on non-booleans.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic("sqlval: AsBool on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// DateDays returns the day count of a date value.
+func (v Value) DateDays() int64 {
+	if v.kind != KindDate {
+		panic("sqlval: DateDays on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Numeric reports whether the value participates in arithmetic.
+func (v Value) Numeric() bool {
+	return v.kind == KindInt || v.kind == KindFloat
+}
+
+// String renders the value for display and plan explanation.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "'" + v.s + "'"
+	case KindBool:
+		if v.i != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindDate:
+		return time.Unix(v.i*86400, 0).UTC().Format("2006-01-02")
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.kind)
+	}
+}
+
+// Compare imposes a total order over values: NULL sorts first, then values
+// compare within their numeric/type class. Integers and floats compare
+// numerically against each other; otherwise kinds compare by tag. The total
+// order lets every value be used as a sort or merge-join key.
+func Compare(a, b Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	if a.Numeric() && b.Numeric() {
+		if a.kind == KindInt && b.kind == KindInt {
+			return cmpInt(a.i, b.i)
+		}
+		return cmpFloat(a.AsFloat(), b.AsFloat())
+	}
+	if a.kind != b.kind {
+		return cmpInt(int64(a.kind), int64(b.kind))
+	}
+	switch a.kind {
+	case KindString:
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		}
+		return 0
+	case KindBool, KindDate:
+		return cmpInt(a.i, b.i)
+	}
+	return 0
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case a == b:
+		return 0
+	}
+	// NaNs sort before everything else so the order stays total.
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Equal reports SQL equality treating NULL = NULL as true; use for grouping
+// and hashing (not WHERE semantics, where NULL = NULL is unknown — the
+// expression evaluator handles that distinction).
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+var hashSeed = maphash.MakeSeed()
+
+// Hash returns a hash of the value consistent with Equal: integers, floats
+// holding integral values, and dates holding the same day hash alike when
+// they compare equal.
+func Hash(v Value) uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	switch v.kind {
+	case KindNull:
+		h.WriteByte(0)
+	case KindInt:
+		writeNumeric(&h, float64(v.i))
+	case KindFloat:
+		writeNumeric(&h, v.f)
+	case KindString:
+		h.WriteByte(3)
+		h.WriteString(v.s)
+	case KindBool:
+		h.WriteByte(4)
+		h.WriteByte(byte(v.i))
+	case KindDate:
+		h.WriteByte(5)
+		writeUint64(&h, uint64(v.i))
+	}
+	return h.Sum64()
+}
+
+// writeNumeric hashes ints and equal floats identically, matching Compare's
+// cross-kind numeric equality.
+func writeNumeric(h *maphash.Hash, f float64) {
+	h.WriteByte(1)
+	writeUint64(h, math.Float64bits(f+0)) // +0 normalizes -0 to +0
+}
+
+func writeUint64(h *maphash.Hash, u uint64) {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(u >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
+// Add returns a+b with SQL NULL propagation. Mixed int/float promotes to
+// float.
+func Add(a, b Value) Value {
+	return arith(a, b, func(x, y int64) int64 { return x + y }, func(x, y float64) float64 { return x + y })
+}
+
+// Sub returns a-b with SQL NULL propagation.
+func Sub(a, b Value) Value {
+	return arith(a, b, func(x, y int64) int64 { return x - y }, func(x, y float64) float64 { return x - y })
+}
+
+// Mul returns a*b with SQL NULL propagation.
+func Mul(a, b Value) Value {
+	return arith(a, b, func(x, y int64) int64 { return x * y }, func(x, y float64) float64 { return x * y })
+}
+
+// Div returns a/b; division is always carried out in floating point, and
+// division by zero yields NULL (SQL engines raise an error; NULL keeps the
+// executor total without an error path in inner loops).
+func Div(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null()
+	}
+	bf := b.AsFloat()
+	if bf == 0 {
+		return Null()
+	}
+	return Float(a.AsFloat() / bf)
+}
+
+func arith(a, b Value, fi func(int64, int64) int64, ff func(float64, float64) float64) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null()
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		return Int(fi(a.i, b.i))
+	}
+	return Float(ff(a.AsFloat(), b.AsFloat()))
+}

@@ -1,0 +1,302 @@
+package sqlval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value should be NULL")
+	}
+	if v.Kind() != KindNull {
+		t.Fatalf("kind = %v, want KindNull", v.Kind())
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if got := Int(42).AsInt(); got != 42 {
+		t.Errorf("Int(42).AsInt() = %d", got)
+	}
+	if got := Float(2.5).AsFloat(); got != 2.5 {
+		t.Errorf("Float(2.5).AsFloat() = %g", got)
+	}
+	if got := String("abc").AsString(); got != "abc" {
+		t.Errorf("String(abc).AsString() = %q", got)
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("Bool round-trip failed")
+	}
+	if got := Date(100).DateDays(); got != 100 {
+		t.Errorf("Date(100).DateDays() = %d", got)
+	}
+	if got := Int(7).AsFloat(); got != 7.0 {
+		t.Errorf("Int(7).AsFloat() = %g", got)
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"AsInt on string", func() { String("x").AsInt() }},
+		{"AsString on int", func() { Int(1).AsString() }},
+		{"AsBool on int", func() { Int(1).AsBool() }},
+		{"AsFloat on string", func() { String("x").AsFloat() }},
+		{"DateDays on int", func() { Int(1).DateDays() }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			c.f()
+		})
+	}
+}
+
+func TestDateParsing(t *testing.T) {
+	v := MustParseDate("1970-01-02")
+	if v.DateDays() != 1 {
+		t.Errorf("1970-01-02 = day %d, want 1", v.DateDays())
+	}
+	if s := v.String(); s != "1970-01-02" {
+		t.Errorf("String() = %q", s)
+	}
+	tm := time.Date(1995, 3, 15, 13, 30, 0, 0, time.UTC)
+	if got, want := DateFromTime(tm), MustParseDate("1995-03-15"); !Equal(got, want) {
+		t.Errorf("DateFromTime = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseDate should panic on garbage")
+		}
+	}()
+	MustParseDate("not-a-date")
+}
+
+func TestCompareBasics(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null(), Null(), 0},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(1), Float(1.0), 0},
+		{Int(1), Float(1.5), -1},
+		{Float(2.5), Int(2), 1},
+		{String("a"), String("b"), -1},
+		{String("b"), String("b"), 0},
+		{Bool(false), Bool(true), -1},
+		{Date(1), Date(2), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareNaNTotalOrder(t *testing.T) {
+	nan := Float(math.NaN())
+	if Compare(nan, nan) != 0 {
+		t.Error("NaN should equal itself in the total order")
+	}
+	if Compare(nan, Float(0)) != -1 || Compare(Float(0), nan) != 1 {
+		t.Error("NaN should sort before numbers")
+	}
+}
+
+func randValue(r *rand.Rand) Value {
+	switch r.Intn(6) {
+	case 0:
+		return Null()
+	case 1:
+		return Int(r.Int63n(100) - 50)
+	case 2:
+		return Float(float64(r.Int63n(100)-50) / 4)
+	case 3:
+		return String(string(rune('a' + r.Intn(26))))
+	case 4:
+		return Bool(r.Intn(2) == 0)
+	default:
+		return Date(r.Int63n(1000))
+	}
+}
+
+// Property: Compare is antisymmetric and transitive (spot-checked via sorted
+// triples), and Equal values hash identically.
+func TestComparePropertyQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	antisym := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randValue(r), randValue(r)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(antisym, cfg); err != nil {
+		t.Errorf("antisymmetry: %v", err)
+	}
+	trans := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randValue(r), randValue(r), randValue(r)
+		// Sort the triple and verify pairwise consistency.
+		vs := []Value{a, b, c}
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				if Compare(vs[i], vs[j]) > 0 {
+					vs[i], vs[j] = vs[j], vs[i]
+				}
+			}
+		}
+		return Compare(vs[0], vs[1]) <= 0 && Compare(vs[1], vs[2]) <= 0 && Compare(vs[0], vs[2]) <= 0
+	}
+	if err := quick.Check(trans, cfg); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+	hashEq := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randValue(r), randValue(r)
+		if Equal(a, b) {
+			return Hash(a) == Hash(b)
+		}
+		return true
+	}
+	if err := quick.Check(hashEq, cfg); err != nil {
+		t.Errorf("hash consistency: %v", err)
+	}
+}
+
+func TestHashCrossKindNumericEquality(t *testing.T) {
+	if Hash(Int(7)) != Hash(Float(7.0)) {
+		t.Error("Int(7) and Float(7.0) must hash alike (they compare equal)")
+	}
+	if Hash(Float(0.0)) != Hash(Float(math.Copysign(0, -1))) {
+		t.Error("+0 and -0 must hash alike")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if got := Add(Int(2), Int(3)); !Equal(got, Int(5)) {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := Add(Int(2), Float(0.5)); !Equal(got, Float(2.5)) {
+		t.Errorf("2+0.5 = %v", got)
+	}
+	if got := Sub(Int(2), Int(3)); !Equal(got, Int(-1)) {
+		t.Errorf("2-3 = %v", got)
+	}
+	if got := Mul(Float(2), Float(3)); !Equal(got, Float(6)) {
+		t.Errorf("2*3 = %v", got)
+	}
+	if got := Div(Int(7), Int(2)); !Equal(got, Float(3.5)) {
+		t.Errorf("7/2 = %v", got)
+	}
+	if got := Div(Int(1), Int(0)); !got.IsNull() {
+		t.Errorf("1/0 = %v, want NULL", got)
+	}
+	for _, v := range []Value{Add(Null(), Int(1)), Sub(Int(1), Null()), Mul(Null(), Null()), Div(Null(), Int(2))} {
+		if !v.IsNull() {
+			t.Errorf("NULL arithmetic produced %v", v)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(-3), "-3"},
+		{Float(1.5), "1.5"},
+		{String("hi"), "'hi'"},
+		{Bool(true), "TRUE"},
+		{Bool(false), "FALSE"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindNull: "NULL", KindInt: "BIGINT", KindFloat: "DOUBLE",
+		KindString: "VARCHAR", KindBool: "BOOLEAN", KindDate: "DATE",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestNumeric(t *testing.T) {
+	if !Int(1).Numeric() || !Float(1).Numeric() {
+		t.Error("ints and floats are numeric")
+	}
+	if String("x").Numeric() || Null().Numeric() || Bool(true).Numeric() || Date(0).Numeric() {
+		t.Error("strings/null/bool/date are not numeric")
+	}
+}
+
+// Property: binary encoding round-trips every value exactly.
+func TestBinaryRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Encode a run of values back-to-back and decode them all.
+		var vals []Value
+		n := 1 + r.Intn(8)
+		var buf []byte
+		for i := 0; i < n; i++ {
+			v := randValue(r)
+			vals = append(vals, v)
+			buf = v.AppendBinary(buf)
+		}
+		for _, want := range vals {
+			var got Value
+			var err error
+			got, buf, err = DecodeValue(buf)
+			if err != nil {
+				return false
+			}
+			if got.Kind() != want.Kind() || Compare(got, want) != 0 {
+				return false
+			}
+		}
+		return len(buf) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeValueErrors(t *testing.T) {
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("empty buffer should error")
+	}
+	if _, _, err := DecodeValue([]byte{99}); err == nil {
+		t.Error("unknown kind tag should error")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindFloat), 1, 2}); err == nil {
+		t.Error("truncated float should error")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindString), 200}); err == nil {
+		t.Error("truncated string should error")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindBool)}); err == nil {
+		t.Error("truncated bool should error")
+	}
+}

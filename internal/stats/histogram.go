@@ -1,0 +1,252 @@
+// Package stats implements single-relation statistics in the sense of the
+// paper (Section 2.3): a statistics Generator maps a relation to a compact,
+// lossy synopsis. Equi-depth single-column histograms are the deterministic
+// instance; reservoir samples are the randomized instance.
+//
+// The statistics serve two roles in progress estimation: selectivity
+// estimates feed driver-node totals for the dne estimator, and histogram
+// bucket boundaries yield lower/upper bounds for range scans (Section 5.1,
+// footnote 2).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqlprogress/internal/sqlval"
+)
+
+// Bucket is one equi-depth histogram bucket covering values in [Lo, Hi]
+// (inclusive on both ends; adjacent buckets may share a boundary value when
+// a single value's frequency exceeds the bucket depth).
+type Bucket struct {
+	Lo, Hi   sqlval.Value
+	Count    int64
+	Distinct int64
+}
+
+// Histogram is an equi-depth single-column histogram. NULLs are counted
+// separately.
+type Histogram struct {
+	Buckets   []Bucket
+	NullCount int64
+	Total     int64 // including NULLs
+}
+
+// BuildHistogram constructs an equi-depth histogram with at most maxBuckets
+// buckets over the given column values.
+func BuildHistogram(values []sqlval.Value, maxBuckets int) *Histogram {
+	if maxBuckets < 1 {
+		maxBuckets = 1
+	}
+	h := &Histogram{Total: int64(len(values))}
+	nonNull := make([]sqlval.Value, 0, len(values))
+	for _, v := range values {
+		if v.IsNull() {
+			h.NullCount++
+		} else {
+			nonNull = append(nonNull, v)
+		}
+	}
+	if len(nonNull) == 0 {
+		return h
+	}
+	sort.Slice(nonNull, func(i, j int) bool { return sqlval.Compare(nonNull[i], nonNull[j]) < 0 })
+	n := len(nonNull)
+	depth := (n + maxBuckets - 1) / maxBuckets
+	for start := 0; start < n; {
+		end := start + depth
+		if end > n {
+			end = n
+		}
+		// Equal values must not straddle a bucket boundary. If the boundary
+		// falls mid-run, cut before the run; if the run occupies the whole
+		// bucket, give the run its own bucket (keeps heavy hitters exact).
+		if end < n && sqlval.Compare(nonNull[end], nonNull[end-1]) == 0 {
+			rs := end
+			for rs > start && sqlval.Compare(nonNull[rs-1], nonNull[end]) == 0 {
+				rs--
+			}
+			if rs > start {
+				end = rs
+			} else {
+				for end < n && sqlval.Compare(nonNull[end], nonNull[end-1]) == 0 {
+					end++
+				}
+			}
+		}
+		b := Bucket{Lo: nonNull[start], Hi: nonNull[end-1], Count: int64(end - start)}
+		d := int64(1)
+		for i := start + 1; i < end; i++ {
+			if sqlval.Compare(nonNull[i], nonNull[i-1]) != 0 {
+				d++
+			}
+		}
+		b.Distinct = d
+		h.Buckets = append(h.Buckets, b)
+		start = end
+	}
+	return h
+}
+
+// NonNullCount returns the number of non-NULL values summarised.
+func (h *Histogram) NonNullCount() int64 { return h.Total - h.NullCount }
+
+// EstimateEqual estimates the number of rows with column = v, using the
+// uniform-within-bucket assumption (count/distinct for the covering bucket).
+func (h *Histogram) EstimateEqual(v sqlval.Value) float64 {
+	if v.IsNull() {
+		return 0
+	}
+	est := 0.0
+	for _, b := range h.Buckets {
+		if sqlval.Compare(v, b.Lo) >= 0 && sqlval.Compare(v, b.Hi) <= 0 {
+			d := b.Distinct
+			if d < 1 {
+				d = 1
+			}
+			est += float64(b.Count) / float64(d)
+		}
+	}
+	return est
+}
+
+// RangeEstimate holds an estimate together with hard bounds derived from
+// bucket boundaries: rows from buckets fully inside the range must qualify
+// (LB), rows from buckets overlapping the range may qualify (UB).
+type RangeEstimate struct {
+	Est    float64
+	LB, UB int64
+}
+
+// EstimateRange estimates rows with lo <= column <= hi; nil bounds are open.
+// Interpolation within partially-covered buckets is linear for numeric and
+// date buckets and proportional-by-count otherwise.
+func (h *Histogram) EstimateRange(lo, hi *sqlval.Value, loIncl, hiIncl bool) RangeEstimate {
+	var out RangeEstimate
+	for _, b := range h.Buckets {
+		if bucketDisjoint(b, lo, hi, loIncl, hiIncl) {
+			continue
+		}
+		out.UB += b.Count
+		if bucketContained(b, lo, hi, loIncl, hiIncl) {
+			out.LB += b.Count
+			out.Est += float64(b.Count)
+			continue
+		}
+		frac := bucketFraction(b, lo, hi)
+		// The bucket overlaps the range, so at least one value could match;
+		// keep the estimate strictly positive.
+		if m := 1 / float64(b.Count); frac < m {
+			frac = m
+		}
+		out.Est += frac * float64(b.Count)
+	}
+	return out
+}
+
+// bucketDisjoint reports whether bucket b provably contains no rows in the
+// range.
+func bucketDisjoint(b Bucket, lo, hi *sqlval.Value, loIncl, hiIncl bool) bool {
+	if lo != nil {
+		c := sqlval.Compare(b.Hi, *lo)
+		if c < 0 || (c == 0 && !loIncl) {
+			return true
+		}
+	}
+	if hi != nil {
+		c := sqlval.Compare(b.Lo, *hi)
+		if c > 0 || (c == 0 && !hiIncl) {
+			return true
+		}
+	}
+	return false
+}
+
+// bucketContained reports whether every row of bucket b provably lies in the
+// range.
+func bucketContained(b Bucket, lo, hi *sqlval.Value, loIncl, hiIncl bool) bool {
+	loIn := lo == nil || sqlval.Compare(b.Lo, *lo) > 0 || (loIncl && sqlval.Compare(b.Lo, *lo) == 0)
+	hiIn := hi == nil || sqlval.Compare(b.Hi, *hi) < 0 || (hiIncl && sqlval.Compare(b.Hi, *hi) == 0)
+	return loIn && hiIn
+}
+
+// bucketFraction linearly interpolates the overlapped share of a partially
+// covered bucket (numeric and date buckets; 0.5 otherwise).
+func bucketFraction(b Bucket, lo, hi *sqlval.Value) float64 {
+	bl, bh := b.Lo, b.Hi
+	if !bl.Numeric() && bl.Kind() != sqlval.KindDate {
+		return 0.5
+	}
+	span := bh.AsFloat() - bl.AsFloat()
+	if span <= 0 {
+		return 0.5
+	}
+	start, end := bl.AsFloat(), bh.AsFloat()
+	if lo != nil && (*lo).AsFloat() > start {
+		start = (*lo).AsFloat()
+	}
+	if hi != nil && (*hi).AsFloat() < end {
+		end = (*hi).AsFloat()
+	}
+	if end < start {
+		return 0
+	}
+	return (end - start) / span
+}
+
+// MaxValue returns the largest value covered (or NULL for an empty
+// histogram).
+func (h *Histogram) MaxValue() sqlval.Value {
+	if len(h.Buckets) == 0 {
+		return sqlval.Null()
+	}
+	return h.Buckets[len(h.Buckets)-1].Hi
+}
+
+// MinValue returns the smallest value covered (or NULL for an empty
+// histogram).
+func (h *Histogram) MinValue() sqlval.Value {
+	if len(h.Buckets) == 0 {
+		return sqlval.Null()
+	}
+	return h.Buckets[0].Lo
+}
+
+// DistinctEstimate returns the estimated number of distinct non-NULL values.
+func (h *Histogram) DistinctEstimate() int64 {
+	var d int64
+	for _, b := range h.Buckets {
+		d += b.Distinct
+	}
+	return d
+}
+
+// Equal reports structural equality of two histograms. It is what makes the
+// generator "lossy" in the paper's sense testable: two different relations
+// can produce Equal histograms.
+func (h *Histogram) Equal(other *Histogram) bool {
+	if h.Total != other.Total || h.NullCount != other.NullCount || len(h.Buckets) != len(other.Buckets) {
+		return false
+	}
+	for i, b := range h.Buckets {
+		o := other.Buckets[i]
+		if b.Count != o.Count || b.Distinct != o.Distinct ||
+			sqlval.Compare(b.Lo, o.Lo) != 0 || sqlval.Compare(b.Hi, o.Hi) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "histogram{n=%d nulls=%d buckets=%d", h.Total, h.NullCount, len(h.Buckets))
+	if len(h.Buckets) > 0 {
+		fmt.Fprintf(&sb, " range=[%s,%s]", h.MinValue(), h.MaxValue())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

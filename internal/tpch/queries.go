@@ -1,0 +1,510 @@
+package tpch
+
+import (
+	"fmt"
+
+	"sqlprogress/internal/catalog"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/expr"
+	"sqlprogress/internal/plan"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// Query is one TPC-H benchmark query as a physical-plan builder. Plans are
+// hand-shaped after the plans a commercial optimizer produces for the
+// benchmark (single-table predicates pushed into scans, foreign-key hash
+// join chains for the decision-support queries, nested iteration where the
+// benchmark's correlated subqueries force it), which is what Table 2's mu
+// values are a property of.
+type Query struct {
+	// Num is the benchmark query number (1-21).
+	Num int
+	// Desc summarises the query.
+	Desc string
+	// Shape summarises the physical plan used.
+	Shape string
+	// Build constructs a fresh plan over the builder's catalog.
+	Build func(b *plan.Builder) plan.Node
+}
+
+// BuildQuery builds query q's plan over the catalog.
+func BuildQuery(cat *catalog.Catalog, num int) (exec.Operator, error) {
+	for _, q := range Queries() {
+		if q.Num == num {
+			return q.Build(plan.NewBuilder(cat)).Op, nil
+		}
+	}
+	return nil, fmt.Errorf("tpch: no query %d", num)
+}
+
+// ---- predicate helpers -------------------------------------------------------
+
+func colRef(sch *schema.Schema, name string) expr.Expr { return expr.NewCol(sch, "", name) }
+
+func eqStr(sch *schema.Schema, col, val string) expr.Expr {
+	return expr.Compare(expr.EQ, colRef(sch, col), expr.Literal(sqlval.String(val)))
+}
+
+func cmpDate(sch *schema.Schema, col string, op expr.CmpOp, day int64) expr.Expr {
+	return expr.Compare(op, colRef(sch, col), expr.Literal(sqlval.Date(day)))
+}
+
+func cmpF(sch *schema.Schema, col string, op expr.CmpOp, v float64) expr.Expr {
+	return expr.Compare(op, colRef(sch, col), expr.Literal(sqlval.Float(v)))
+}
+
+func cmpI(sch *schema.Schema, col string, op expr.CmpOp, v int64) expr.Expr {
+	return expr.Compare(op, colRef(sch, col), expr.Literal(sqlval.Int(v)))
+}
+
+func colLT(sch *schema.Schema, a, b string) expr.Expr {
+	return expr.Compare(expr.LT, colRef(sch, a), colRef(sch, b))
+}
+
+// revenue is l_extendedprice * (1 - l_discount).
+func revenue(sch *schema.Schema) expr.Expr {
+	return expr.NewArith(expr.MulOp,
+		colRef(sch, "l_extendedprice"),
+		expr.NewArith(expr.SubOp, expr.Literal(sqlval.Float(1)), colRef(sch, "l_discount")))
+}
+
+func sortDesc(n plan.Node, col string) plan.Node {
+	return n.SortKeys(exec.SortKey{Expr: expr.NewCol(n.Schema(), "", col), Desc: true})
+}
+
+// Queries returns the Q1–Q21 plan suite (Table 2's workload).
+func Queries() []Query {
+	return []Query{
+		{
+			Num: 1, Desc: "pricing summary report",
+			Shape: "scan(lineitem,pred) -> sort(rf,ls) -> streamagg -> 4 rows",
+			Build: func(b *plan.Builder) plan.Node {
+				return b.ScanFiltered("lineitem", 0.97, func(s *schema.Schema) expr.Expr {
+					return cmpDate(s, "l_shipdate", expr.LE, epochDay(1998, 240))
+				}).Sort("l_returnflag", "l_linestatus").
+					StreamAgg(6, []string{"l_returnflag", "l_linestatus"},
+						plan.AggSpec{Kind: expr.AggSum, Col: "l_quantity", As: "sum_qty"},
+						plan.AggSpec{Kind: expr.AggSum, Col: "l_extendedprice", As: "sum_base_price"},
+						plan.AggSpec{Kind: expr.AggAvg, Col: "l_quantity", As: "avg_qty"},
+						plan.AggSpec{Kind: expr.AggAvg, Col: "l_discount", As: "avg_disc"},
+						plan.AggSpec{Kind: expr.AggCountStar, As: "count_order"})
+			},
+		},
+		{
+			Num: 2, Desc: "minimum cost supplier",
+			Shape: "region->nation->supplier->partsupp chain + part(pred); group min cost; top 100",
+			Build: func(b *plan.Builder) plan.Node {
+				region := b.ScanFiltered("region", 0.2, func(s *schema.Schema) expr.Expr {
+					return eqStr(s, "r_name", "EUROPE")
+				})
+				nation := b.Scan("nation").HashJoin(region, "n_regionkey", "r_regionkey", exec.InnerJoin)
+				supplier := b.Scan("supplier").HashJoin(nation, "s_nationkey", "n_nationkey", exec.InnerJoin)
+				part := b.ScanFiltered("part", 0.05, func(s *schema.Schema) expr.Expr {
+					return expr.And(
+						cmpI(s, "p_size", expr.EQ, 15),
+						expr.Like{E: colRef(s, "p_type"), Pattern: "%BRASS%"})
+				})
+				ps := b.Scan("partsupp").
+					HashJoin(supplier, "ps_suppkey", "s_suppkey", exec.InnerJoin).
+					HashJoin(part, "ps_partkey", "p_partkey", exec.InnerJoin)
+				return ps.HashAgg(0, []string{"ps_partkey"},
+					plan.AggSpec{Kind: expr.AggMin, Col: "ps_supplycost", As: "min_cost"}).
+					Sort("ps_partkey").Top(100)
+			},
+		},
+		{
+			Num: 3, Desc: "shipping priority",
+			Shape: "customer(pred) -> orders(pred) -> lineitem(pred) hash chain; group; top 10",
+			Build: func(b *plan.Builder) plan.Node {
+				cust := b.ScanFiltered("customer", 0.2, func(s *schema.Schema) expr.Expr {
+					return eqStr(s, "c_mktsegment", "BUILDING")
+				})
+				orders := b.ScanFiltered("orders", 0.45, func(s *schema.Schema) expr.Expr {
+					return cmpDate(s, "o_orderdate", expr.LT, epochDay(1995, 74))
+				}).HashJoin(cust, "o_custkey", "c_custkey", exec.InnerJoin)
+				li := b.ScanFiltered("lineitem", 0.55, func(s *schema.Schema) expr.Expr {
+					return cmpDate(s, "l_shipdate", expr.GT, epochDay(1995, 74))
+				}).HashJoin(orders, "l_orderkey", "o_orderkey", exec.InnerJoin)
+				agg := li.Project(
+					[]expr.Expr{colRef(li.Schema(), "l_orderkey"), revenue(li.Schema()), colRef(li.Schema(), "o_orderdate")},
+					[]string{"l_orderkey", "rev", "o_orderdate"},
+					[]sqlval.Kind{sqlval.KindInt, sqlval.KindFloat, sqlval.KindDate}).
+					HashAgg(0, []string{"l_orderkey", "o_orderdate"},
+						plan.AggSpec{Kind: expr.AggSum, Col: "rev", As: "revenue"})
+				return sortDesc(agg, "revenue").Top(10)
+			},
+		},
+		{
+			Num: 4, Desc: "order priority checking",
+			Shape: "orders(pred) semi-hash lineitem(commit<receipt); group by priority",
+			Build: func(b *plan.Builder) plan.Node {
+				li := b.ScanFiltered("lineitem", 0.5, func(s *schema.Schema) expr.Expr {
+					return colLT(s, "l_commitdate", "l_receiptdate")
+				})
+				orders := b.ScanFiltered("orders", 0.1, func(s *schema.Schema) expr.Expr {
+					return expr.And(
+						cmpDate(s, "o_orderdate", expr.GE, epochDay(1993, 180)),
+						cmpDate(s, "o_orderdate", expr.LT, epochDay(1993, 270)))
+				})
+				return orders.HashJoinMulti(li, []string{"o_orderkey"}, []string{"l_orderkey"}, exec.SemiJoin).
+					HashAgg(5, []string{"o_orderpriority"},
+						plan.AggSpec{Kind: expr.AggCountStar, As: "order_count"}).
+					Sort("o_orderpriority")
+			},
+		},
+		{
+			Num: 5, Desc: "local supplier volume",
+			Shape: "region->nation->customer->orders(pred)->lineitem hash chain; group by nation",
+			Build: func(b *plan.Builder) plan.Node {
+				region := b.ScanFiltered("region", 0.2, func(s *schema.Schema) expr.Expr {
+					return eqStr(s, "r_name", "ASIA")
+				})
+				nation := b.Scan("nation").HashJoin(region, "n_regionkey", "r_regionkey", exec.InnerJoin)
+				cust := b.Scan("customer").HashJoin(nation, "c_nationkey", "n_nationkey", exec.InnerJoin)
+				orders := b.ScanFiltered("orders", 0.15, func(s *schema.Schema) expr.Expr {
+					return expr.And(
+						cmpDate(s, "o_orderdate", expr.GE, epochDay(1994, 0)),
+						cmpDate(s, "o_orderdate", expr.LT, epochDay(1995, 0)))
+				}).HashJoin(cust, "o_custkey", "c_custkey", exec.InnerJoin)
+				li := b.Scan("lineitem").HashJoin(orders, "l_orderkey", "o_orderkey", exec.InnerJoin)
+				proj := li.Project(
+					[]expr.Expr{colRef(li.Schema(), "n_name"), revenue(li.Schema())},
+					[]string{"n_name", "rev"},
+					[]sqlval.Kind{sqlval.KindString, sqlval.KindFloat})
+				agg := proj.HashAgg(5, []string{"n_name"},
+					plan.AggSpec{Kind: expr.AggSum, Col: "rev", As: "revenue"})
+				return sortDesc(agg, "revenue")
+			},
+		},
+		{
+			Num: 6, Desc: "forecasting revenue change",
+			Shape: "scan(lineitem,pred) -> scalar agg",
+			Build: func(b *plan.Builder) plan.Node {
+				li := b.ScanFiltered("lineitem", 0.02, func(s *schema.Schema) expr.Expr {
+					return expr.And(
+						cmpDate(s, "l_shipdate", expr.GE, epochDay(1994, 0)),
+						cmpDate(s, "l_shipdate", expr.LT, epochDay(1995, 0)),
+						cmpF(s, "l_discount", expr.GE, 0.05),
+						cmpF(s, "l_discount", expr.LE, 0.07),
+						cmpF(s, "l_quantity", expr.LT, 24))
+				})
+				proj := li.Project(
+					[]expr.Expr{expr.NewArith(expr.MulOp, colRef(li.Schema(), "l_extendedprice"), colRef(li.Schema(), "l_discount"))},
+					[]string{"disc_rev"}, []sqlval.Kind{sqlval.KindFloat})
+				return proj.ScalarAgg(plan.AggSpec{Kind: expr.AggSum, Col: "disc_rev", As: "revenue"})
+			},
+		},
+		{
+			Num: 7, Desc: "volume shipping",
+			Shape: "nation pair -> supplier/customer -> orders -> lineitem(pred) chain; group by year",
+			Build: func(b *plan.Builder) plan.Node {
+				suppNation := b.ScanFiltered("nation", 0.08, func(s *schema.Schema) expr.Expr {
+					return expr.Or(eqStr(s, "n_name", "FRANCE"), eqStr(s, "n_name", "GERMANY"))
+				})
+				supplier := b.Scan("supplier").HashJoin(suppNation, "s_nationkey", "n_nationkey", exec.InnerJoin)
+				custNation := b.ScanFiltered("nation", 0.08, func(s *schema.Schema) expr.Expr {
+					return expr.Or(eqStr(s, "n_name", "FRANCE"), eqStr(s, "n_name", "GERMANY"))
+				})
+				cust := b.Scan("customer").HashJoin(custNation, "c_nationkey", "n_nationkey", exec.InnerJoin)
+				orders := b.Scan("orders").HashJoin(cust, "o_custkey", "c_custkey", exec.InnerJoin)
+				li := b.ScanFiltered("lineitem", 0.3, func(s *schema.Schema) expr.Expr {
+					return expr.And(
+						cmpDate(s, "l_shipdate", expr.GE, epochDay(1995, 0)),
+						cmpDate(s, "l_shipdate", expr.LE, epochDay(1996, 364)))
+				}).HashJoin(orders, "l_orderkey", "o_orderkey", exec.InnerJoin).
+					HashJoin(supplier, "l_suppkey", "s_suppkey", exec.InnerJoin)
+				proj := li.Project(
+					[]expr.Expr{colRef(li.Schema(), "l_shipdate"), revenue(li.Schema())},
+					[]string{"ship", "rev"}, []sqlval.Kind{sqlval.KindDate, sqlval.KindFloat})
+				return proj.HashAgg(2, []string{"ship"},
+					plan.AggSpec{Kind: expr.AggSum, Col: "rev", As: "revenue"}).Top(500)
+			},
+		},
+		{
+			Num: 8, Desc: "national market share",
+			Shape: "part(pred) + region->nation chains over customer/supplier; hash joins; group",
+			Build: func(b *plan.Builder) plan.Node {
+				part := b.ScanFiltered("part", 0.08, func(s *schema.Schema) expr.Expr {
+					return expr.Like{E: colRef(s, "p_type"), Pattern: "%STEEL%"}
+				})
+				region := b.ScanFiltered("region", 0.2, func(s *schema.Schema) expr.Expr {
+					return eqStr(s, "r_name", "AMERICA")
+				})
+				nation := b.Scan("nation").HashJoin(region, "n_regionkey", "r_regionkey", exec.InnerJoin)
+				cust := b.Scan("customer").HashJoin(nation, "c_nationkey", "n_nationkey", exec.InnerJoin)
+				orders := b.ScanFiltered("orders", 0.3, func(s *schema.Schema) expr.Expr {
+					return expr.And(
+						cmpDate(s, "o_orderdate", expr.GE, epochDay(1995, 0)),
+						cmpDate(s, "o_orderdate", expr.LE, epochDay(1996, 364)))
+				}).HashJoin(cust, "o_custkey", "c_custkey", exec.InnerJoin)
+				li := b.Scan("lineitem").
+					HashJoin(part, "l_partkey", "p_partkey", exec.InnerJoin).
+					HashJoin(orders, "l_orderkey", "o_orderkey", exec.InnerJoin)
+				proj := li.Project(
+					[]expr.Expr{colRef(li.Schema(), "o_orderdate"), revenue(li.Schema())},
+					[]string{"od", "rev"}, []sqlval.Kind{sqlval.KindDate, sqlval.KindFloat})
+				return proj.HashAgg(2, []string{"od"},
+					plan.AggSpec{Kind: expr.AggSum, Col: "rev", As: "mkt"}).Top(500)
+			},
+		},
+		{
+			Num: 9, Desc: "product type profit measure",
+			Shape: "part(pred)->lineitem->supplier->nation hash chain; group by nation",
+			Build: func(b *plan.Builder) plan.Node {
+				part := b.ScanFiltered("part", 0.1, func(s *schema.Schema) expr.Expr {
+					return expr.Like{E: colRef(s, "p_name"), Pattern: "%PROMO%"}
+				})
+				nation := b.Scan("nation")
+				supplier := b.Scan("supplier").HashJoin(nation, "s_nationkey", "n_nationkey", exec.InnerJoin)
+				li := b.Scan("lineitem").
+					HashJoin(part, "l_partkey", "p_partkey", exec.InnerJoin).
+					HashJoin(supplier, "l_suppkey", "s_suppkey", exec.InnerJoin)
+				proj := li.Project(
+					[]expr.Expr{colRef(li.Schema(), "n_name"), revenue(li.Schema())},
+					[]string{"n_name", "rev"}, []sqlval.Kind{sqlval.KindString, sqlval.KindFloat})
+				return proj.HashAgg(25, []string{"n_name"},
+					plan.AggSpec{Kind: expr.AggSum, Col: "rev", As: "profit"}).Sort("n_name")
+			},
+		},
+		{
+			Num: 10, Desc: "returned item reporting",
+			Shape: "customer->orders(pred)->lineitem(returnflag) chain; group by customer; top 20",
+			Build: func(b *plan.Builder) plan.Node {
+				cust := b.Scan("customer")
+				orders := b.ScanFiltered("orders", 0.1, func(s *schema.Schema) expr.Expr {
+					return expr.And(
+						cmpDate(s, "o_orderdate", expr.GE, epochDay(1993, 270)),
+						cmpDate(s, "o_orderdate", expr.LT, epochDay(1994, 0)))
+				}).HashJoin(cust, "o_custkey", "c_custkey", exec.InnerJoin)
+				li := b.ScanFiltered("lineitem", 0.33, func(s *schema.Schema) expr.Expr {
+					return eqStr(s, "l_returnflag", "R")
+				}).HashJoin(orders, "l_orderkey", "o_orderkey", exec.InnerJoin)
+				proj := li.Project(
+					[]expr.Expr{colRef(li.Schema(), "c_custkey"), revenue(li.Schema())},
+					[]string{"c_custkey", "rev"}, []sqlval.Kind{sqlval.KindInt, sqlval.KindFloat})
+				agg := proj.HashAgg(0, []string{"c_custkey"},
+					plan.AggSpec{Kind: expr.AggSum, Col: "rev", As: "revenue"})
+				return sortDesc(agg, "revenue").Top(20)
+			},
+		},
+		{
+			Num: 11, Desc: "important stock identification",
+			Shape: "nation(pred)->supplier->partsupp; group by part; sort",
+			Build: func(b *plan.Builder) plan.Node {
+				nation := b.ScanFiltered("nation", 0.04, func(s *schema.Schema) expr.Expr {
+					return eqStr(s, "n_name", "GERMANY")
+				})
+				supplier := b.Scan("supplier").HashJoin(nation, "s_nationkey", "n_nationkey", exec.InnerJoin)
+				ps := b.Scan("partsupp").HashJoin(supplier, "ps_suppkey", "s_suppkey", exec.InnerJoin)
+				proj := ps.Project(
+					[]expr.Expr{colRef(ps.Schema(), "ps_partkey"),
+						expr.NewArith(expr.MulOp, colRef(ps.Schema(), "ps_supplycost"),
+							colRef(ps.Schema(), "ps_availqty"))},
+					[]string{"ps_partkey", "value"}, []sqlval.Kind{sqlval.KindInt, sqlval.KindFloat})
+				agg := proj.HashAgg(0, []string{"ps_partkey"},
+					plan.AggSpec{Kind: expr.AggSum, Col: "value", As: "value"})
+				return sortDesc(agg, "value").Top(200)
+			},
+		},
+		{
+			Num: 12, Desc: "shipping modes and order priority",
+			Shape: "lineitem(pred) INL orders; group by shipmode",
+			Build: func(b *plan.Builder) plan.Node {
+				li := b.ScanFiltered("lineitem", 0.02, func(s *schema.Schema) expr.Expr {
+					return expr.And(
+						expr.Or(eqStr(s, "l_shipmode", "MAIL"), eqStr(s, "l_shipmode", "SHIP")),
+						colLT(s, "l_commitdate", "l_receiptdate"),
+						colLT(s, "l_shipdate", "l_commitdate"),
+						cmpDate(s, "l_receiptdate", expr.GE, epochDay(1994, 0)),
+						cmpDate(s, "l_receiptdate", expr.LT, epochDay(1995, 0)))
+				})
+				j := li.INLJoin("orders", "o_orderkey", "l_orderkey", exec.InnerJoin)
+				return j.HashAgg(2, []string{"l_shipmode"},
+					plan.AggSpec{Kind: expr.AggCountStar, As: "line_count"}).Sort("l_shipmode")
+			},
+		},
+		{
+			Num: 13, Desc: "customer distribution",
+			Shape: "customer left-outer-hash orders; group by customer; group by count",
+			Build: func(b *plan.Builder) plan.Node {
+				orders := b.Scan("orders")
+				cust := b.Scan("customer").
+					HashJoin(orders, "c_custkey", "o_custkey", exec.LeftOuterJoin)
+				perCust := cust.HashAgg(0, []string{"c_custkey"},
+					plan.AggSpec{Kind: expr.AggCount, Col: "o_orderkey", As: "c_count"})
+				dist := perCust.HashAgg(0, []string{"c_count"},
+					plan.AggSpec{Kind: expr.AggCountStar, As: "custdist"})
+				return sortDesc(dist, "custdist")
+			},
+		},
+		{
+			Num: 14, Desc: "promotion effect",
+			Shape: "lineitem(pred) hash part; scalar agg",
+			Build: func(b *plan.Builder) plan.Node {
+				part := b.Scan("part")
+				li := b.ScanFiltered("lineitem", 0.013, func(s *schema.Schema) expr.Expr {
+					return expr.And(
+						cmpDate(s, "l_shipdate", expr.GE, epochDay(1995, 243)),
+						cmpDate(s, "l_shipdate", expr.LT, epochDay(1995, 273)))
+				}).HashJoin(part, "l_partkey", "p_partkey", exec.InnerJoin)
+				promo := expr.Case{
+					Whens: []expr.When{{
+						Cond:   expr.Like{E: colRef(li.Schema(), "p_type"), Pattern: "PROMO%"},
+						Result: revenue(li.Schema()),
+					}},
+					Else: expr.Literal(sqlval.Float(0)),
+				}
+				proj := li.Project(
+					[]expr.Expr{promo, revenue(li.Schema())},
+					[]string{"promo_rev", "rev"}, []sqlval.Kind{sqlval.KindFloat, sqlval.KindFloat})
+				return proj.ScalarAgg(
+					plan.AggSpec{Kind: expr.AggSum, Col: "promo_rev", As: "promo"},
+					plan.AggSpec{Kind: expr.AggSum, Col: "rev", As: "total"})
+			},
+		},
+		{
+			Num: 15, Desc: "top supplier",
+			Shape: "lineitem(pred) group by suppkey -> INL supplier; sort desc; top 1",
+			Build: func(b *plan.Builder) plan.Node {
+				li := b.ScanFiltered("lineitem", 0.04, func(s *schema.Schema) expr.Expr {
+					return expr.And(
+						cmpDate(s, "l_shipdate", expr.GE, epochDay(1996, 0)),
+						cmpDate(s, "l_shipdate", expr.LT, epochDay(1996, 90)))
+				})
+				proj := li.Project(
+					[]expr.Expr{colRef(li.Schema(), "l_suppkey"), revenue(li.Schema())},
+					[]string{"l_suppkey", "rev"}, []sqlval.Kind{sqlval.KindInt, sqlval.KindFloat})
+				agg := proj.HashAgg(0, []string{"l_suppkey"},
+					plan.AggSpec{Kind: expr.AggSum, Col: "rev", As: "total_revenue"})
+				j := agg.INLJoin("supplier", "s_suppkey", "l_suppkey", exec.InnerJoin)
+				return sortDesc(j, "total_revenue").Top(1)
+			},
+		},
+		{
+			Num: 16, Desc: "parts/supplier relationship",
+			Shape: "part(pred) build, partsupp probe; group by brand/type/size",
+			Build: func(b *plan.Builder) plan.Node {
+				part := b.ScanFiltered("part", 0.3, func(s *schema.Schema) expr.Expr {
+					return expr.And(
+						expr.Not{E: eqStr(s, "p_brand", "Brand#45")},
+						expr.Not{E: expr.Like{E: colRef(s, "p_type"), Pattern: "MEDIUM%"}},
+						expr.InList{E: colRef(s, "p_size"), List: []expr.Expr{
+							expr.Literal(sqlval.Int(9)), expr.Literal(sqlval.Int(14)),
+							expr.Literal(sqlval.Int(19)), expr.Literal(sqlval.Int(23)),
+							expr.Literal(sqlval.Int(36)), expr.Literal(sqlval.Int(45)),
+							expr.Literal(sqlval.Int(49)), expr.Literal(sqlval.Int(3))}},
+					)
+				})
+				ps := b.Scan("partsupp").HashJoin(part, "ps_partkey", "p_partkey", exec.InnerJoin)
+				agg := ps.HashAgg(0, []string{"p_brand", "p_type", "p_size"},
+					plan.AggSpec{Kind: expr.AggCount, Col: "ps_suppkey", As: "supplier_cnt"})
+				return sortDesc(agg, "supplier_cnt").Top(500)
+			},
+		},
+		{
+			Num: 17, Desc: "small-quantity-order revenue",
+			Shape: "lineitem probe, part(pred) build; group by part; scalar",
+			Build: func(b *plan.Builder) plan.Node {
+				part := b.ScanFiltered("part", 0.01, func(s *schema.Schema) expr.Expr {
+					return expr.And(
+						eqStr(s, "p_brand", "Brand#23"),
+						eqStr(s, "p_container", "MED BOX"))
+				})
+				li := b.Scan("lineitem").HashJoin(part, "l_partkey", "p_partkey", exec.InnerJoin)
+				perPart := li.HashAgg(0, []string{"p_partkey"},
+					plan.AggSpec{Kind: expr.AggAvg, Col: "l_quantity", As: "avg_qty"},
+					plan.AggSpec{Kind: expr.AggSum, Col: "l_extendedprice", As: "sum_price"})
+				return perPart.ScalarAgg(
+					plan.AggSpec{Kind: expr.AggSum, Col: "sum_price", As: "avg_yearly"})
+			},
+		},
+		{
+			Num: 18, Desc: "large volume customer",
+			Shape: "lineitem sort -> streamagg by order -> filter -> INL orders -> INL customer; top",
+			Build: func(b *plan.Builder) plan.Node {
+				li := b.Scan("lineitem").Sort("l_orderkey")
+				perOrder := li.StreamAgg(0, []string{"l_orderkey"},
+					plan.AggSpec{Kind: expr.AggSum, Col: "l_quantity", As: "sum_qty"})
+				big := perOrder.Filter(0.02, func(s *schema.Schema) expr.Expr {
+					return cmpF(s, "sum_qty", expr.GT, 150)
+				})
+				j := big.INLJoin("orders", "o_orderkey", "l_orderkey", exec.InnerJoin).
+					INLJoin("customer", "c_custkey", "o_custkey", exec.InnerJoin)
+				return sortDesc(j, "sum_qty").Top(100)
+			},
+		},
+		{
+			Num: 19, Desc: "discounted revenue",
+			Shape: "lineitem(pred) hash part(pred); residual OR filter; scalar agg",
+			Build: func(b *plan.Builder) plan.Node {
+				part := b.ScanFiltered("part", 0.2, func(s *schema.Schema) expr.Expr {
+					return expr.InList{E: colRef(s, "p_brand"), List: []expr.Expr{
+						expr.Literal(sqlval.String("Brand#12")),
+						expr.Literal(sqlval.String("Brand#23")),
+						expr.Literal(sqlval.String("Brand#33"))}}
+				})
+				li := b.ScanFiltered("lineitem", 0.25, func(s *schema.Schema) expr.Expr {
+					return expr.And(
+						expr.InList{E: colRef(s, "l_shipmode"), List: []expr.Expr{
+							expr.Literal(sqlval.String("AIR")),
+							expr.Literal(sqlval.String("REG AIR"))}},
+						eqStr(s, "l_shipinstruct", "DELIVER IN PERSON"))
+				}).HashJoin(part, "l_partkey", "p_partkey", exec.InnerJoin)
+				matched := li.Filter(0.3, func(s *schema.Schema) expr.Expr {
+					return expr.Or(
+						expr.And(eqStr(s, "p_brand", "Brand#12"), cmpF(s, "l_quantity", expr.LE, 11)),
+						expr.And(eqStr(s, "p_brand", "Brand#23"), cmpF(s, "l_quantity", expr.LE, 20)),
+						expr.And(eqStr(s, "p_brand", "Brand#33"), cmpF(s, "l_quantity", expr.LE, 30)))
+				})
+				proj := matched.Project([]expr.Expr{revenue(matched.Schema())},
+					[]string{"rev"}, []sqlval.Kind{sqlval.KindFloat})
+				return proj.ScalarAgg(plan.AggSpec{Kind: expr.AggSum, Col: "rev", As: "revenue"})
+			},
+		},
+		{
+			Num: 20, Desc: "potential part promotion",
+			Shape: "partsupp semi-hash part(pred); group by supplier; INL supplier; sort",
+			Build: func(b *plan.Builder) plan.Node {
+				part := b.ScanFiltered("part", 0.1, func(s *schema.Schema) expr.Expr {
+					return expr.Like{E: colRef(s, "p_name"), Pattern: "part 1%"}
+				})
+				ps := b.Scan("partsupp").
+					HashJoinMulti(part, []string{"ps_partkey"}, []string{"p_partkey"}, exec.SemiJoin)
+				agg := ps.HashAgg(0, []string{"ps_suppkey"},
+					plan.AggSpec{Kind: expr.AggSum, Col: "ps_availqty", As: "qty"})
+				j := agg.INLJoin("supplier", "s_suppkey", "ps_suppkey", exec.InnerJoin)
+				return j.Sort("s_name").Top(100)
+			},
+		},
+		{
+			Num: 21, Desc: "suppliers who kept orders waiting",
+			Shape: "lineitem(pred) INL supplier + filter nation, INL orders(F), semi/anti hash lineitem; group",
+			Build: func(b *plan.Builder) plan.Node {
+				l1 := b.ScanFiltered("lineitem", 0.5, func(s *schema.Schema) expr.Expr {
+					return colLT(s, "l_commitdate", "l_receiptdate")
+				})
+				withSupp := l1.INLJoin("supplier", "s_suppkey", "l_suppkey", exec.InnerJoin).
+					Filter(0.6, func(s *schema.Schema) expr.Expr {
+						return cmpI(s, "s_nationkey", expr.LE, 12)
+					})
+				withOrders := withSupp.INLJoin("orders", "o_orderkey", "l_orderkey", exec.InnerJoin).
+					Filter(0.5, func(s *schema.Schema) expr.Expr {
+						return eqStr(s, "o_orderstatus", "F")
+					})
+				// EXISTS: another lineitem of the same order (approximated on
+				// the order key, as the dominant cost is the probe traffic).
+				l2 := b.Scan("lineitem")
+				exists := withOrders.HashJoinMulti(l2, []string{"l_orderkey"}, []string{"l_orderkey"}, exec.SemiJoin)
+				// NOT EXISTS: another *late* lineitem of the same order.
+				l3 := b.ScanFiltered("lineitem", 0.5, func(s *schema.Schema) expr.Expr {
+					return colLT(s, "l_receiptdate", "l_commitdate")
+				})
+				notExists := exists.HashJoinMulti(l3, []string{"l_orderkey"}, []string{"l_orderkey"}, exec.AntiJoin)
+				agg := notExists.HashAgg(0, []string{"s_name"},
+					plan.AggSpec{Kind: expr.AggCountStar, As: "numwait"})
+				return sortDesc(agg, "numwait").Top(100)
+			},
+		},
+	}
+}

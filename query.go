@@ -1,0 +1,278 @@
+package sqlprogress
+
+import (
+	"fmt"
+	"time"
+
+	"sqlprogress/internal/compile"
+	"sqlprogress/internal/core"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/plan"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// EstimatorKind names a progress estimator from the paper.
+type EstimatorKind string
+
+// The estimator tool-kit (Sections 4–6 of the paper).
+const (
+	// Dne is the driver-node estimator of prior work (Definition 1).
+	Dne EstimatorKind = "dne"
+	// DneDynamic is prior work's refinement: pipeline totals scaled by the
+	// observed average work per driver tuple.
+	DneDynamic EstimatorKind = "dne-dynamic"
+	// DneConstrained clamps dne into the hard bounds interval.
+	DneConstrained EstimatorKind = "dne-constrained"
+	// Pmax is Curr/LB (Definition 3): an upper bound on true progress with
+	// ratio error at most mu (Theorem 5).
+	Pmax EstimatorKind = "pmax"
+	// Safe is Curr/sqrt(LB*UB) (Definition 5): worst-case optimal
+	// (Theorem 6).
+	Safe EstimatorKind = "safe"
+	// Trivial always answers 0.5 with the interval (0, 1).
+	Trivial EstimatorKind = "trivial"
+	// HybridMu plays safe but switches to pmax when the observed mu is
+	// small (Section 6.4).
+	HybridMu EstimatorKind = "hybrid-mu"
+	// HybridVar plays safe but switches to dne when the observed per-tuple
+	// work variance is small (Section 6.4).
+	HybridVar EstimatorKind = "hybrid-var"
+)
+
+// newEstimator instantiates a fresh estimator (stateful hybrids must not be
+// shared across runs).
+func newEstimator(k EstimatorKind) (core.Estimator, error) {
+	switch k {
+	case Dne:
+		return core.Dne{}, nil
+	case DneDynamic:
+		return core.DneDynamic{}, nil
+	case DneConstrained:
+		return core.ConstrainedDne{}, nil
+	case Pmax:
+		return core.Pmax{}, nil
+	case Safe:
+		return core.Safe{}, nil
+	case Trivial:
+		return core.Trivial{}, nil
+	case HybridMu:
+		return core.MuSwitch{}, nil
+	case HybridVar:
+		return &core.VarSwitch{}, nil
+	default:
+		return nil, fmt.Errorf("sqlprogress: unknown estimator %q", k)
+	}
+}
+
+// Result holds a completed query's output.
+type Result struct {
+	// Columns are the output column names.
+	Columns []string
+	// Rows are the output tuples.
+	Rows []schema.Row
+	// TotalCalls is total(Q), the query's total work under the GetNext
+	// model.
+	TotalCalls int64
+	// Mu is the paper's mu for this execution: total work per scanned
+	// input tuple. pmax's ratio error never exceeds it (Theorem 5).
+	Mu float64
+}
+
+// Query is a compiled statement ready to run. A Query is single-use: Run or
+// RunWithProgress may be called once (operators carry execution state).
+type Query struct {
+	db   *DB
+	root exec.Operator
+	used bool
+	ctx  *exec.Ctx
+}
+
+// ErrCanceled is returned by Run/RunWithProgress when the query was
+// terminated via Cancel — the action the paper's progress estimates exist
+// to inform.
+var ErrCanceled = exec.ErrCanceled
+
+// Cancel requests termination of a running query. Safe to call from the
+// progress callback or from another goroutine; the run returns ErrCanceled.
+func (q *Query) Cancel() {
+	if q.ctx != nil {
+		q.ctx.Cancel()
+	}
+}
+
+// Query compiles a SQL string against the database.
+func (db *DB) Query(sql string) (*Query, error) {
+	op, err := compile.CompileSQL(db.cat, sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{db: db, root: op}, nil
+}
+
+// QueryPlan wraps a plan built programmatically with the Builder.
+func (db *DB) QueryPlan(n plan.Node) *Query {
+	return &Query{db: db, root: n.Op}
+}
+
+// WrapOperator adapts a directly-constructed operator tree (e.g. a built-in
+// TPC-H plan from internal/tpch) into a Query over this database.
+func WrapOperator(db *DB, op exec.Operator) *Query {
+	return &Query{db: db, root: op}
+}
+
+// Exec compiles and runs a statement without progress monitoring.
+func (db *DB) Exec(sql string) (*Result, error) {
+	q, err := db.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	return q.Run()
+}
+
+// Plan returns the compiled operator tree (for explain-style inspection).
+func (q *Query) Plan() exec.Operator { return q.root }
+
+// Explain renders the physical plan with runtime counters.
+func (q *Query) Explain() string { return exec.Explain(q.root) }
+
+// ExplainBounds renders the plan with each node's current cardinality
+// bounds — the Section 5.1 state the estimators work from.
+func (q *Query) ExplainBounds() string { return core.ExplainBounds(q.root) }
+
+// Run executes the query to completion.
+func (q *Query) Run() (*Result, error) {
+	if q.used {
+		return nil, fmt.Errorf("sqlprogress: query already executed")
+	}
+	q.used = true
+	q.ctx = exec.NewCtx()
+	rows, err := exec.Run(q.ctx, q.root)
+	if err != nil {
+		return nil, err
+	}
+	return q.result(rows, q.ctx.Calls), nil
+}
+
+func (q *Query) result(rows []schema.Row, total int64) *Result {
+	cols := make([]string, q.root.Schema().Len())
+	for i, c := range q.root.Schema().Columns {
+		cols[i] = c.Name
+	}
+	return &Result{Columns: cols, Rows: rows, TotalCalls: total, Mu: core.Mu(q.root)}
+}
+
+// ProgressOptions configures progress monitoring.
+type ProgressOptions struct {
+	// Estimator is the headline estimator driving Update.Estimate
+	// (default Safe — the worst-case-optimal choice).
+	Estimator EstimatorKind
+	// Extra estimators additionally evaluated per update.
+	Extra []EstimatorKind
+	// Every is the sampling period in GetNext calls (default: ~200
+	// samples based on the plan's initial upper bound).
+	Every int64
+}
+
+// ProgressUpdate is one observation delivered to the callback.
+type ProgressUpdate struct {
+	// Estimate is the headline estimator's progress estimate in [0, 1].
+	Estimate float64
+	// Lo and Hi are hard bounds on the true progress at this instant
+	// (Curr/UB and Curr/LB).
+	Lo, Hi float64
+	// Estimates holds every configured estimator's output by kind.
+	Estimates map[EstimatorKind]float64
+	// Calls is the GetNext count at this instant (Curr).
+	Calls int64
+	// Elapsed is the wall-clock time since the run started.
+	Elapsed time.Duration
+	// ETA extrapolates the remaining wall-clock time from the headline
+	// estimate (elapsed * (1-p)/p); zero until the estimate is positive.
+	// It inherits the estimate's failure modes — under the paper's Theorem
+	// 1 conditions it can be arbitrarily wrong.
+	ETA time.Duration
+}
+
+// RunWithProgress executes the query, invoking cb at each sampling point.
+// The callback runs synchronously on the execution path — keep it cheap.
+func (q *Query) RunWithProgress(opts ProgressOptions, cb func(ProgressUpdate)) (*Result, error) {
+	if q.used {
+		return nil, fmt.Errorf("sqlprogress: query already executed")
+	}
+	q.used = true
+	if opts.Estimator == "" {
+		opts.Estimator = Safe
+	}
+	kinds := append([]EstimatorKind{opts.Estimator}, opts.Extra...)
+	ests := make([]core.Estimator, len(kinds))
+	for i, k := range kinds {
+		e, err := newEstimator(k)
+		if err != nil {
+			return nil, err
+		}
+		ests[i] = e
+	}
+	every := opts.Every
+	if every <= 0 {
+		snap := core.ComputeBounds(q.root)
+		every = snap.UB / 200
+		if every < 1 || snap.UB >= exec.Unbounded {
+			every = maxInt64(snap.LB/200, 1)
+		}
+	}
+
+	tracker := core.NewTracker(q.root)
+	q.ctx = exec.NewCtx()
+	start := time.Now()
+	q.ctx.OnGetNext = func(calls int64) {
+		if calls%every != 0 || cb == nil {
+			return
+		}
+		s := tracker.Capture()
+		lo, hi := s.Interval()
+		u := ProgressUpdate{
+			Lo: lo, Hi: hi, Calls: calls,
+			Estimates: make(map[EstimatorKind]float64, len(ests)),
+			Elapsed:   time.Since(start),
+		}
+		for i, e := range ests {
+			v := e.Estimate(s)
+			u.Estimates[kinds[i]] = v
+			if i == 0 {
+				u.Estimate = v
+			}
+		}
+		if u.Estimate > 0 {
+			u.ETA = time.Duration(float64(u.Elapsed) * (1 - u.Estimate) / u.Estimate)
+		}
+		cb(u)
+	}
+	rows, err := exec.Run(q.ctx, q.root)
+	if err != nil {
+		return nil, err
+	}
+	return q.result(rows, q.ctx.Calls), nil
+}
+
+// FormatRow renders a result row for display.
+func FormatRow(r schema.Row) string {
+	out := ""
+	for i, v := range r {
+		if i > 0 {
+			out += " | "
+		}
+		out += v.String()
+	}
+	return out
+}
+
+// Value re-exports the engine's value type for callers inspecting rows.
+type Value = sqlval.Value
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

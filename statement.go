@@ -1,0 +1,106 @@
+package sqlprogress
+
+import (
+	"fmt"
+
+	"sqlprogress/internal/compile"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlparse"
+	"sqlprogress/internal/sqlval"
+)
+
+// Run executes any supported statement: SELECT (returning rows), CREATE
+// TABLE, or INSERT INTO ... VALUES. For non-SELECT statements the Result
+// carries no rows; INSERT reports the affected row count in TotalCalls's
+// place via RowsAffected.
+type StatementResult struct {
+	// Query holds the SELECT result (nil for DDL/DML).
+	Query *Result
+	// RowsAffected is the INSERT row count.
+	RowsAffected int
+	// Created names the table a CREATE TABLE made.
+	Created string
+	// Dropped names the table a DROP TABLE removed.
+	Dropped string
+}
+
+// Run parses and executes one statement of any supported kind.
+func (db *DB) Run(sql string) (*StatementResult, error) {
+	stmt, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sqlparse.Select:
+		op, err := compile.Compile(db.cat, s)
+		if err != nil {
+			return nil, err
+		}
+		q := &Query{db: db, root: op}
+		res, err := q.Run()
+		if err != nil {
+			return nil, err
+		}
+		return &StatementResult{Query: res}, nil
+
+	case *sqlparse.CreateTable:
+		cols := make([]Column, len(s.Cols))
+		for i, c := range s.Cols {
+			cols[i] = Column{Name: c.Name, Type: kindOfTypeName(c.Type)}
+		}
+		if err := db.CreateTable(s.Name, cols); err != nil {
+			return nil, err
+		}
+		return &StatementResult{Created: s.Name}, nil
+
+	case *sqlparse.DropTable:
+		if !db.cat.DropTable(s.Name) {
+			return nil, fmt.Errorf("sqlprogress: no table %q", s.Name)
+		}
+		return &StatementResult{Dropped: s.Name}, nil
+
+	case *sqlparse.Insert:
+		rel, err := db.cat.Relation(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		arity := rel.Sch.Len()
+		rows := make([]schema.Row, 0, len(s.Rows))
+		for ri, exprRow := range s.Rows {
+			if len(exprRow) != arity {
+				return nil, fmt.Errorf("sqlprogress: INSERT row %d has %d values, table %s has %d columns",
+					ri+1, len(exprRow), s.Table, arity)
+			}
+			row := make(schema.Row, arity)
+			for ci, e := range exprRow {
+				v, err := compile.EvalConst(e)
+				if err != nil {
+					return nil, fmt.Errorf("sqlprogress: INSERT row %d column %d: %w", ri+1, ci+1, err)
+				}
+				row[ci] = v
+			}
+			rows = append(rows, row)
+		}
+		for _, row := range rows {
+			rel.Append(row)
+		}
+		db.cat.AddRelation(rel) // rebuild statistics
+		return &StatementResult{RowsAffected: len(rows)}, nil
+	}
+	return nil, fmt.Errorf("sqlprogress: unsupported statement")
+}
+
+func kindOfTypeName(t string) Kind {
+	switch t {
+	case "BIGINT":
+		return sqlval.KindInt
+	case "DOUBLE":
+		return sqlval.KindFloat
+	case "BOOLEAN":
+		return sqlval.KindBool
+	case "DATE":
+		return sqlval.KindDate
+	default:
+		return sqlval.KindString
+	}
+}
