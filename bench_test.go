@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"sqlprogress/internal/core"
 	"sqlprogress/internal/datagen"
@@ -111,9 +112,9 @@ func BenchmarkExecINLJoinNoMonitor(b *testing.B) {
 	b.ReportMetric(float64(2*n), "getnext/op")
 }
 
-// BenchmarkMonitorOverhead measures the cost of progress monitoring at
-// several sampling periods — the ablation for "how often can we afford to
-// estimate". The per-sample cost is one bounds pass (O(plan size)).
+// BenchmarkMonitorOverhead measures the cost of inline progress monitoring
+// at several sampling periods — the ablation for "how often can we afford
+// to estimate". The per-sample cost is one incremental bounds pass.
 func BenchmarkMonitorOverhead(b *testing.B) {
 	const n = 20_000
 	for _, every := range []int64{100, 1_000, 10_000} {
@@ -131,9 +132,52 @@ func BenchmarkMonitorOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkAsyncMonitorOverhead measures executor throughput with the
+// off-thread sampler attached: the execution goroutine pays only the atomic
+// counter updates, so this should sit within noise of the no-monitor
+// baseline regardless of sampling frequency.
+func BenchmarkAsyncMonitorOverhead(b *testing.B) {
+	const n = 20_000
+	for _, interval := range []time.Duration{100 * time.Microsecond, time.Millisecond} {
+		b.Run(fmt.Sprintf("interval=%s", interval), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				op := synthPlan(n)
+				m := core.NewAsyncMonitor(op, interval, core.Dne{}, core.Pmax{}, core.Safe{})
+				b.StartTimer()
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBoundsPass measures one cardinality-bounds computation over a
-// deep plan (the per-sample cost driver).
+// deep plan (the per-sample cost driver) on the incremental path every
+// sample actually takes: a prebuilt BoundsEvaluator folding in the runtime
+// counters. Must report 0 allocs/op.
 func BenchmarkBoundsPass(b *testing.B) {
+	cat := tpch.Generate(tpch.Config{SF: 0.002, Z: 2, Seed: 1})
+	op, err := tpch.BuildQuery(cat, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := exec.Run(exec.NewCtx(), op); err != nil {
+		b.Fatal(err)
+	}
+	ev := core.NewBoundsEvaluator(op)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Compute()
+	}
+}
+
+// BenchmarkBoundsPassFullWalk measures the non-incremental reference
+// implementation (rebuilds maps and slices per pass) for the trajectory
+// record; the incremental/full ratio is the tentpole speedup.
+func BenchmarkBoundsPassFullWalk(b *testing.B) {
 	cat := tpch.Generate(tpch.Config{SF: 0.002, Z: 2, Seed: 1})
 	op, err := tpch.BuildQuery(cat, 21)
 	if err != nil {

@@ -1,0 +1,160 @@
+// Command benchdump runs the key engine benchmarks through
+// testing.Benchmark and writes the results as JSON (BENCH_1.json by
+// default), so the performance trajectory — bounds-pass cost, monitoring
+// overhead, raw executor throughput — is tracked as a checked-in artifact
+// from PR to PR rather than reconstructed from CI logs.
+//
+// Usage:
+//
+//	go run ./cmd/benchdump [-o BENCH_1.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	sqlprogress "sqlprogress"
+	"sqlprogress/internal/core"
+	"sqlprogress/internal/datagen"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/plan"
+	"sqlprogress/internal/tpch"
+)
+
+// result is one benchmark's headline numbers.
+type result struct {
+	Name      string  `json:"name"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	AllocsOp  int64   `json:"allocs_per_op"`
+	BytesOp   int64   `json:"bytes_per_op"`
+	N         int     `json:"n"`
+	TotalSecs float64 `json:"total_secs"`
+}
+
+// dump is the file layout.
+type dump struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Date      string   `json:"date"`
+	Results   []result `json:"results"`
+}
+
+func record(name string, out []result, fn func(b *testing.B)) []result {
+	r := testing.Benchmark(fn)
+	res := result{
+		Name:      name,
+		NsPerOp:   float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsOp:  r.AllocsPerOp(),
+		BytesOp:   r.AllocedBytesPerOp(),
+		N:         r.N,
+		TotalSecs: r.T.Seconds(),
+	}
+	fmt.Printf("%-28s %12.1f ns/op %8d B/op %6d allocs/op\n",
+		name, res.NsPerOp, res.BytesOp, res.AllocsOp)
+	return append(out, res)
+}
+
+// synthPlan is the Section 5 INL plan used for overhead measurements
+// (mirrors the root bench suite).
+func synthPlan(n int) exec.Operator {
+	pair := datagen.NewSkewPair(n, int64(n), 2, 1)
+	db := sqlprogress.Open()
+	db.Catalog().AddRelation(pair.R1)
+	db.Catalog().AddRelation(pair.R2)
+	db.DeclareUnique("r1", "a")
+	b := plan.NewBuilder(db.Catalog())
+	return b.Scan("r1").INLJoin("r2", "b", "a", exec.InnerJoin).Op
+}
+
+// q21 builds a finished TPC-H Q21 plan for bounds-pass measurements.
+func q21() exec.Operator {
+	cat := tpch.Generate(tpch.Config{SF: 0.002, Z: 2, Seed: 1})
+	op, err := tpch.BuildQuery(cat, 21)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := exec.Run(exec.NewCtx(), op); err != nil {
+		panic(err)
+	}
+	return op
+}
+
+func main() {
+	out := flag.String("o", "BENCH_1.json", "output path")
+	flag.Parse()
+
+	var results []result
+
+	op := q21()
+	ev := core.NewBoundsEvaluator(op)
+	results = record("bounds_pass_incremental", results, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev.Compute()
+		}
+	})
+	results = record("bounds_pass_full_walk", results, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.ComputeBounds(op)
+		}
+	})
+
+	const rows = 20_000
+	results = record("exec_inl_join_no_monitor", results, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := synthPlan(rows)
+			b.StartTimer()
+			if _, err := exec.Run(exec.NewCtx(), p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	results = record("monitor_inline_every_100", results, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := synthPlan(rows)
+			m := core.NewMonitor(p, 100, core.Dne{}, core.Pmax{}, core.Safe{})
+			b.StartTimer()
+			if _, err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	results = record("async_monitor_100us", results, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := synthPlan(rows)
+			m := core.NewAsyncMonitor(p, 100*time.Microsecond, core.Dne{}, core.Pmax{}, core.Safe{})
+			b.StartTimer()
+			if _, err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	d := dump{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Results:   results,
+	}
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

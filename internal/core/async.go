@@ -1,0 +1,161 @@
+package core
+
+import (
+	"time"
+
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/schema"
+)
+
+// AsyncMonitor samples a running plan from its own goroutine, reading the
+// executor's atomic counters instead of hooking the execution path. The
+// executor pays only the counter updates it performs anyway; the sampling
+// cost — one incremental bounds pass per sample — lands entirely on the
+// monitoring goroutine. This is the deployment mode the paper argues for:
+// progress estimation cheap enough to run continuously, for many concurrent
+// queries, without throttling any of them.
+//
+// Two sampling disciplines are supported:
+//
+//   - wall-clock: one sample every Interval (the usual "refresh a progress
+//     bar" mode);
+//   - call-count: one sample each time Curr crosses a multiple of
+//     EveryCalls (set EveryCalls > 0; Interval then bounds the polling
+//     sleep), comparable to the inline Monitor's periods.
+//
+// Samples land in the embedded SampleSet, giving the exact same
+// Samples/Series API as the inline Monitor. Stop (or Run) always records a
+// final at-EOF sample, so series of completed runs end at progress 1.0.
+//
+// The zero Interval defaults to DefaultInterval. Samples must only be read
+// after Stop (or Run) has returned.
+type AsyncMonitor struct {
+	SampleSet
+
+	// Interval is the wall-clock sampling period (or the polling quantum in
+	// call-count mode). Zero means DefaultInterval.
+	Interval time.Duration
+	// EveryCalls, when > 0, switches to call-count sampling: a sample is
+	// taken each time the global GetNext counter crosses a multiple of it.
+	EveryCalls int64
+
+	tracker *Tracker
+	root    exec.Operator
+	ctx     *exec.Ctx
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// DefaultInterval is the wall-clock sampling period used when
+// AsyncMonitor.Interval is zero.
+const DefaultInterval = time.Millisecond
+
+// NewAsyncMonitor builds an off-thread monitor for the plan rooted at root,
+// sampling every interval of wall-clock time (0 = DefaultInterval).
+func NewAsyncMonitor(root exec.Operator, interval time.Duration, ests ...Estimator) *AsyncMonitor {
+	return &AsyncMonitor{
+		SampleSet: SampleSet{Estimators: ests},
+		Interval:  interval,
+		tracker:   NewTracker(root),
+		root:      root,
+	}
+}
+
+// NewAsyncMonitorCalls builds an off-thread monitor sampling each time Curr
+// crosses a multiple of every GetNext calls (minimum 1).
+func NewAsyncMonitorCalls(root exec.Operator, every int64, ests ...Estimator) *AsyncMonitor {
+	if every < 1 {
+		every = 1
+	}
+	m := NewAsyncMonitor(root, 0, ests...)
+	m.EveryCalls = every
+	return m
+}
+
+// Start launches the sampling goroutine against the context the plan is (or
+// will be) executing under. It must be called at most once, before Stop.
+func (m *AsyncMonitor) Start(ctx *exec.Ctx) {
+	m.ctx = ctx
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	go m.loop()
+}
+
+// Stop halts the sampler, records the final sample at the current instant,
+// and waits for the goroutine to exit. After Stop returns, Samples is safe
+// to read. If the plan ran to completion before Stop, the final sample is
+// the at-EOF observation and Total is total(Q).
+func (m *AsyncMonitor) Stop() {
+	if m.stop == nil {
+		return
+	}
+	close(m.stop)
+	<-m.done
+	m.stop = nil
+	calls := m.ctx.Calls()
+	m.SetTotal(calls)
+	m.finalSample(m.tracker, calls)
+}
+
+func (m *AsyncMonitor) loop() {
+	defer close(m.done)
+	interval := m.Interval
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	if m.EveryCalls > 0 {
+		// Call-count mode: poll the atomic counter at a fine quantum and
+		// sample on threshold crossings. The executor is never blocked; a
+		// slow poll merely coarsens the series.
+		quantum := interval
+		if quantum > 200*time.Microsecond {
+			quantum = 200 * time.Microsecond
+		}
+		next := m.EveryCalls
+		for {
+			select {
+			case <-m.stop:
+				return
+			default:
+			}
+			if calls := m.ctx.Calls(); calls >= next {
+				m.capture(m.tracker, calls)
+				next = (calls/m.EveryCalls + 1) * m.EveryCalls
+			}
+			time.Sleep(quantum)
+		}
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var lastCalls int64
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			calls := m.ctx.Calls()
+			if calls == lastCalls {
+				continue // idle or not started: nothing to observe yet
+			}
+			lastCalls = calls
+			m.capture(m.tracker, calls)
+		}
+	}
+}
+
+// Run executes the plan to completion with the sampler attached and returns
+// the root's output rows. On error the sampler is stopped and partial
+// samples remain readable.
+func (m *AsyncMonitor) Run() ([]schema.Row, error) {
+	ctx := exec.NewCtx()
+	m.Start(ctx)
+	rows, err := exec.Run(ctx, m.root)
+	m.Stop()
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Mu returns the paper's mu for the completed execution.
+func (m *AsyncMonitor) Mu() float64 { return Mu(m.root) }

@@ -115,12 +115,13 @@ func walkBounds(op exec.Operator, mult, demandCap int64, snap *BoundsSnapshot) e
 			rule = capBounds(rule, demandCap)
 		}
 	}
-	rt := op.Runtime()
+	rt := op.Runtime().Snapshot()
 
 	var perRun, total exec.CardBounds
 	if mult == 1 {
-		total = refineWithRuntime(rule, rt.Returned, rt.Done && rt.Rescans == 0)
-		perRun = refineWithRuntime(deliveredRule, rt.Delivered, rt.Done && rt.Rescans == 0)
+		pinned := rt.Done && rt.Rescans == 0
+		total = refineWithRuntime(rule, rt.Returned, pinned)
+		perRun = refineWithRuntime(deliveredRule, rt.Delivered, pinned)
 	} else {
 		// Under a rescanned subtree: per-run bounds stay static, totals
 		// accumulate across runs.
@@ -200,7 +201,7 @@ func ScannedLeafCardinality(root exec.Operator) int64 {
 		if len(children) == 0 && !underRescan {
 			b := op.FinalBounds(nil)
 			lb := b.LB
-			rt := op.Runtime()
+			rt := op.Runtime().Snapshot()
 			if rt.Done && rt.Rescans == 0 {
 				lb = rt.Returned
 			}
@@ -252,7 +253,7 @@ func ExplainBounds(root exec.Operator) string {
 			ubStr = "inf"
 		}
 		fmt.Fprintf(&b, "%s%s  [rows=%d done=%v bounds=[%d,%s]]\n",
-			strings.Repeat("  ", depth), op.Name(), rt.Returned, rt.Done, nb.LB, ubStr)
+			strings.Repeat("  ", depth), op.Name(), rt.Returned(), rt.Done(), nb.LB, ubStr)
 		for _, c := range op.Children() {
 			rec(c, depth+1)
 		}

@@ -149,7 +149,7 @@ func TestBoundsBracketTotalThroughout(t *testing.T) {
 	if _, err := exec.Run(ctx, j); err != nil {
 		t.Fatal(err)
 	}
-	total := ctx.Calls
+	total := ctx.Calls()
 	for i := range lbs {
 		if lbs[i] > total {
 			t.Fatalf("sample %d: LB %d > total %d", i, lbs[i], total)
@@ -233,7 +233,7 @@ func TestBoundsNLJoinRescannedInner(t *testing.T) {
 	if violations > 0 {
 		t.Errorf("%d samples with LB > UB", violations)
 	}
-	total := ctx.Calls
+	total := ctx.Calls()
 	// 10 outer + 80 inner (rescanned) + 8 matches = 98.
 	if total != 98 {
 		t.Errorf("total = %d, want 98", total)
@@ -415,7 +415,7 @@ func TestSafeRespectsWorstCaseBound(t *testing.T) {
 	if _, err := exec.Run(ctx, j); err != nil {
 		t.Fatal(err)
 	}
-	total := float64(ctx.Calls)
+	total := float64(ctx.Calls())
 	for _, o := range seen {
 		actual := float64(o.calls) / total
 		if r := RatioError(actual, o.est); r > o.bound*(1+1e-9) {
@@ -771,7 +771,7 @@ func TestDemandCapTightensTopSortPlans(t *testing.T) {
 	if _, err := exec.Run(ctx, top); err != nil {
 		t.Fatal(err)
 	}
-	total := ctx.Calls
+	total := ctx.Calls()
 	snap := ComputeBounds(top)
 	if snap.LB != total || snap.UB != total {
 		t.Errorf("final bounds [%d,%d] != total %d", snap.LB, snap.UB, total)
@@ -797,8 +797,8 @@ func TestDemandCapThroughProjectChain(t *testing.T) {
 	if _, err := exec.Run(ctx, top); err != nil {
 		t.Fatal(err)
 	}
-	if ctx.Calls > 521 {
-		t.Errorf("actual total %d exceeded the capped UB", ctx.Calls)
+	if ctx.Calls() > 521 {
+		t.Errorf("actual total %d exceeded the capped UB", ctx.Calls())
 	}
 }
 
@@ -819,8 +819,8 @@ func TestDemandCapDoesNotCrossFilters(t *testing.T) {
 	if _, err := exec.Run(ctx, top); err != nil {
 		t.Fatal(err)
 	}
-	if ctx.Calls > 106 {
-		t.Errorf("actual total %d exceeded UB", ctx.Calls)
+	if ctx.Calls() > 106 {
+		t.Errorf("actual total %d exceeded UB", ctx.Calls())
 	}
 }
 

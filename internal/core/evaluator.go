@@ -1,0 +1,191 @@
+package core
+
+import "sqlprogress/internal/exec"
+
+// BoundsEvaluator is the incremental form of ComputeBounds. The plan's
+// static structure — child lists, rescan and demand-cap topology, interface
+// assertions, the snapshot layout — is resolved once at construction; each
+// Compute call then only folds the runtime counters into preallocated
+// buffers. One Compute is an allocation-free sweep of the plan instead of
+// the full walk's per-node map and slice rebuilding, which is what lets a
+// monitor sample frequently (and off-thread) without throttling the
+// executor.
+//
+// Compute reads runtime counters through RuntimeStats.Snapshot, so it is
+// safe to call from a goroutine other than the one executing the plan; the
+// bounds it derives are valid even against slightly-stale counters (see
+// DESIGN.md, "Concurrency model & monitoring overhead"). Compute itself is
+// not reentrant: at most one goroutine may call it at a time.
+type BoundsEvaluator struct {
+	opts BoundsOptions
+	root *evalNode
+	snap BoundsSnapshot
+	n    int // node count
+}
+
+// evalNode caches the per-operator static structure the full walk re-derives
+// every pass.
+type evalNode struct {
+	op exec.Operator
+	rt *exec.RuntimeStats
+	db exec.DeliveredBounder // non-nil iff op implements DeliveredBounder
+
+	children    []*evalNode
+	rescanned   []bool // parallel to children
+	hasRescan   bool
+	firstStream int // driving child's index in children, -1 if none
+
+	demandCap int64 // static pull bound reaching this node (-1 = unbounded)
+
+	childBounds []exec.CardBounds // scratch, parallel to children
+	snapIdx     int               // position in BoundsSnapshot.Nodes
+}
+
+// NewBoundsEvaluator prepares an incremental evaluator for the plan rooted
+// at root with default options.
+func NewBoundsEvaluator(root exec.Operator) *BoundsEvaluator {
+	return NewBoundsEvaluatorOpt(root, BoundsOptions{})
+}
+
+// NewBoundsEvaluatorOpt is NewBoundsEvaluator with explicit options.
+func NewBoundsEvaluatorOpt(root exec.Operator, opts BoundsOptions) *BoundsEvaluator {
+	ev := &BoundsEvaluator{opts: opts}
+	ev.root = ev.build(root, -1)
+	ev.snap.opts = opts
+	ev.snap.Nodes = make([]NodeBounds, ev.n)
+	for _, idx := range ev.indexNodes(ev.root, nil) {
+		ev.snap.Nodes[idx.snapIdx].Op = idx.op
+	}
+	return ev
+}
+
+// build mirrors walkBounds' traversal once, assigning each node its slot in
+// the snapshot in the exact emission order of the full walk (non-rescanned
+// subtrees, then rescanned subtrees, then the node itself), so snapshots
+// from both implementations are comparable element-wise.
+func (ev *BoundsEvaluator) build(op exec.Operator, demandCap int64) *evalNode {
+	children := op.Children()
+	n := &evalNode{
+		op:          op,
+		rt:          op.Runtime(),
+		children:    make([]*evalNode, len(children)),
+		rescanned:   make([]bool, len(children)),
+		childBounds: make([]exec.CardBounds, len(children)),
+		firstStream: -1,
+		demandCap:   demandCap,
+	}
+	if db, ok := op.(exec.DeliveredBounder); ok {
+		n.db = db
+	}
+	if r, ok := op.(exec.Rescanner); ok {
+		for _, i := range r.RescannedChildren() {
+			n.rescanned[i] = true
+			n.hasRescan = true
+		}
+	}
+	if stream := op.StreamChildren(); len(stream) > 0 {
+		n.firstStream = stream[0]
+	}
+	caps := demandCaps(op, demandCap, len(children), ev.opts)
+	for i, c := range children {
+		if !n.rescanned[i] {
+			n.children[i] = ev.build(c, caps[i])
+		}
+	}
+	for i, c := range children {
+		if n.rescanned[i] {
+			n.children[i] = ev.build(c, caps[i])
+		}
+	}
+	n.snapIdx = ev.n
+	ev.n++
+	return n
+}
+
+func (ev *BoundsEvaluator) indexNodes(n *evalNode, acc []*evalNode) []*evalNode {
+	acc = append(acc, n)
+	for _, c := range n.children {
+		acc = ev.indexNodes(c, acc)
+	}
+	return acc
+}
+
+// IndexOf returns the operator's position in Compute's snapshot Nodes, or
+// -1 when the operator is not part of the plan.
+func (ev *BoundsEvaluator) IndexOf(op exec.Operator) int {
+	var find func(n *evalNode) int
+	find = func(n *evalNode) int {
+		if n.op == op {
+			return n.snapIdx
+		}
+		for _, c := range n.children {
+			if idx := find(c); idx >= 0 {
+				return idx
+			}
+		}
+		return -1
+	}
+	return find(ev.root)
+}
+
+// Compute performs one incremental bounds pass, equivalent to
+// ComputeBoundsOpt(root, opts) at the same instant. The returned snapshot is
+// owned by the evaluator and overwritten by the next Compute call.
+func (ev *BoundsEvaluator) Compute() *BoundsSnapshot {
+	ev.eval(ev.root, 1)
+	ev.snap.LB, ev.snap.UB = 0, 0
+	for i := range ev.snap.Nodes {
+		ev.snap.LB = exec.SatAdd(ev.snap.LB, ev.snap.Nodes[i].Bounds.LB)
+		ev.snap.UB = exec.SatAdd(ev.snap.UB, ev.snap.Nodes[i].Bounds.UB)
+	}
+	return &ev.snap
+}
+
+// eval is walkBounds over the cached structure: same arithmetic, no
+// allocations. mult bounds how many times this subtree may be re-opened.
+func (ev *BoundsEvaluator) eval(n *evalNode, mult int64) exec.CardBounds {
+	for i, c := range n.children {
+		if !n.rescanned[i] {
+			n.childBounds[i] = ev.eval(c, mult)
+		}
+	}
+	var driveUB int64 = exec.Unbounded
+	if n.firstStream >= 0 && n.hasRescan {
+		driveUB = n.childBounds[n.firstStream].UB
+	}
+	for i, c := range n.children {
+		if n.rescanned[i] {
+			n.childBounds[i] = ev.eval(c, exec.SatMul(mult, driveUB))
+		}
+	}
+
+	rule := n.op.FinalBounds(n.childBounds)
+	deliveredRule := rule
+	sameEmission := true
+	if n.db != nil {
+		deliveredRule = n.db.DeliveredBounds()
+		sameEmission = deliveredRule == rule
+	}
+	if n.demandCap >= 0 && mult == 1 {
+		deliveredRule = capBounds(deliveredRule, n.demandCap)
+		if sameEmission {
+			rule = capBounds(rule, n.demandCap)
+		}
+	}
+	rt := n.rt.Snapshot()
+
+	var perRun, total exec.CardBounds
+	if mult == 1 {
+		pinned := rt.Done && rt.Rescans == 0
+		total = refineWithRuntime(rule, rt.Returned, pinned)
+		perRun = refineWithRuntime(deliveredRule, rt.Delivered, pinned)
+	} else {
+		perRun = deliveredRule
+		total = exec.CardBounds{LB: rt.Returned, UB: exec.SatMul(rule.UB, mult)}
+		if total.UB < total.LB {
+			total.UB = total.LB
+		}
+	}
+	ev.snap.Nodes[n.snapIdx].Bounds = total
+	return perRun
+}

@@ -62,9 +62,17 @@ func AvgAbsError(pts []Point) float64 {
 	return sum / float64(len(pts))
 }
 
-// FinalAbsError returns the absolute error at the last sample (Figure 7's
-// "off by 20% even at the end").
+// FinalAbsError returns the absolute error at the last sample strictly
+// before completion (Figure 7's "off by 20% even at the end"). Series of
+// completed runs always end with an at-EOF sample where actual progress is
+// exactly 1 and any bounds-constrained estimator is trivially exact; the
+// quantity of interest is the error just before that instant.
 func FinalAbsError(pts []Point) float64 {
+	for i := len(pts) - 1; i >= 0; i-- {
+		if pts[i].Actual < 1 {
+			return math.Abs(pts[i].Est - pts[i].Actual)
+		}
+	}
 	if len(pts) == 0 {
 		return 0
 	}

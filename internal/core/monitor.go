@@ -12,22 +12,114 @@ import (
 type Sample struct {
 	Calls     int64
 	LB, UB    int64
-	Estimates []float64 // parallel to Monitor.Estimators
+	Estimates []float64 // parallel to Estimators
 }
 
-// Monitor samples a set of estimators while a plan executes. Attach its
-// Hook to the execution context (or use Run), then read Series / errors
-// after completion.
-type Monitor struct {
-	// Every is the sampling period in GetNext calls.
-	Every int64
+// SampleSet holds a monitored execution's samples and exposes the series
+// API shared by the inline Monitor and the off-thread AsyncMonitor, so
+// every experiment can run either mode against the same downstream
+// analysis.
+type SampleSet struct {
 	// Estimators are evaluated at every sample, in order.
 	Estimators []Estimator
+	// Samples are the recorded observations, in capture order.
+	Samples []Sample
+
+	total int64
+}
+
+func (ss *SampleSet) capture(tracker *Tracker, calls int64) {
+	s := tracker.Capture()
+	sample := Sample{Calls: calls, LB: s.LB, UB: s.UB, Estimates: make([]float64, len(ss.Estimators))}
+	for i, e := range ss.Estimators {
+		sample.Estimates[i] = e.Estimate(s)
+	}
+	ss.Samples = append(ss.Samples, sample)
+}
+
+// finalSample records the at-completion observation unless the last sample
+// already captured that instant, so series always end at progress 1.0 for
+// completed runs (the periodic hook only fires on multiples of the period
+// and usually misses the final call).
+func (ss *SampleSet) finalSample(tracker *Tracker, calls int64) {
+	if n := len(ss.Samples); n > 0 && ss.Samples[n-1].Calls == calls {
+		return
+	}
+	ss.capture(tracker, calls)
+}
+
+// SetTotal records total(Q) when the plan was executed outside Run.
+func (ss *SampleSet) SetTotal(total int64) { ss.total = total }
+
+// Total returns total(Q) (valid after the run completes).
+func (ss *SampleSet) Total() int64 { return ss.total }
+
+// Point pairs the true progress at a sample with an estimate.
+type Point struct {
+	Actual, Est float64
+}
+
+// Series returns (actual, estimate) points for the named estimator; valid
+// after the run completes.
+func (ss *SampleSet) Series(name string) ([]Point, error) {
+	idx := -1
+	for i, e := range ss.Estimators {
+		if e.Name() == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("monitor: no estimator %q", name)
+	}
+	return ss.SeriesAt(idx), nil
+}
+
+// SeriesAt returns the points for estimator index i.
+func (ss *SampleSet) SeriesAt(i int) []Point {
+	out := make([]Point, len(ss.Samples))
+	for j, s := range ss.Samples {
+		out[j] = Point{Actual: float64(s.Calls) / float64(ss.total), Est: s.Estimates[i]}
+	}
+	return out
+}
+
+// BoundsPoint pairs, per sample, the true progress and the hard interval
+// [Curr/UB, Curr/LB] that held at that instant.
+type BoundsPoint struct {
+	Actual, Lo, Hi float64
+}
+
+// IntervalSeries returns the hard progress interval per sample.
+func (ss *SampleSet) IntervalSeries() []BoundsPoint {
+	out := make([]BoundsPoint, len(ss.Samples))
+	for j, s := range ss.Samples {
+		lo := float64(s.Calls) / float64(s.UB)
+		hi := float64(s.Calls) / float64(s.LB)
+		if hi > 1 {
+			hi = 1
+		}
+		out[j] = BoundsPoint{
+			Actual: float64(s.Calls) / float64(ss.total),
+			Lo:     lo,
+			Hi:     hi,
+		}
+	}
+	return out
+}
+
+// Monitor samples a set of estimators while a plan executes, inline on the
+// execution goroutine. Attach its Hook to the execution context (or use
+// Run), then read Series / errors after completion. For sampling that does
+// not run on the execution path, see AsyncMonitor.
+type Monitor struct {
+	SampleSet
+
+	// Every is the sampling period in GetNext calls.
+	Every int64
 
 	tracker *Tracker
 	root    exec.Operator
-	Samples []Sample
-	total   int64
 }
 
 // NewMonitor builds a monitor for the plan rooted at root, sampling every
@@ -37,10 +129,10 @@ func NewMonitor(root exec.Operator, every int64, ests ...Estimator) *Monitor {
 		every = 1
 	}
 	return &Monitor{
-		Every:      every,
-		Estimators: ests,
-		tracker:    NewTracker(root),
-		root:       root,
+		SampleSet: SampleSet{Estimators: ests},
+		Every:     every,
+		tracker:   NewTracker(root),
+		root:      root,
 	}
 }
 
@@ -50,17 +142,16 @@ func (m *Monitor) Hook() func(int64) {
 		if calls%m.Every != 0 {
 			return
 		}
-		m.capture(calls)
+		m.capture(m.tracker, calls)
 	}
 }
 
-func (m *Monitor) capture(calls int64) {
-	s := m.tracker.Capture()
-	sample := Sample{Calls: calls, LB: s.LB, UB: s.UB, Estimates: make([]float64, len(m.Estimators))}
-	for i, e := range m.Estimators {
-		sample.Estimates[i] = e.Estimate(s)
-	}
-	m.Samples = append(m.Samples, sample)
+// Finish records the at-completion sample (unless the hook already sampled
+// that instant) and total(Q). Run calls it automatically; install-the-hook
+// callers invoke it once the plan is drained.
+func (m *Monitor) Finish(total int64) {
+	m.SetTotal(total)
+	m.finalSample(m.tracker, total)
 }
 
 // Run executes the plan to completion under this monitor and returns the
@@ -72,69 +163,9 @@ func (m *Monitor) Run() ([]schema.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.total = ctx.Calls
+	m.Finish(ctx.Calls())
 	return rows, nil
 }
 
-// SetTotal records total(Q) when the plan was executed outside Run.
-func (m *Monitor) SetTotal(total int64) { m.total = total }
-
-// Total returns total(Q) (valid after the run completes).
-func (m *Monitor) Total() int64 { return m.total }
-
 // Mu returns the paper's mu for the completed execution.
 func (m *Monitor) Mu() float64 { return Mu(m.root) }
-
-// Point pairs the true progress at a sample with an estimate.
-type Point struct {
-	Actual, Est float64
-}
-
-// Series returns (actual, estimate) points for the named estimator; valid
-// after the run completes.
-func (m *Monitor) Series(name string) ([]Point, error) {
-	idx := -1
-	for i, e := range m.Estimators {
-		if e.Name() == name {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		return nil, fmt.Errorf("monitor: no estimator %q", name)
-	}
-	return m.SeriesAt(idx), nil
-}
-
-// SeriesAt returns the points for estimator index i.
-func (m *Monitor) SeriesAt(i int) []Point {
-	out := make([]Point, len(m.Samples))
-	for j, s := range m.Samples {
-		out[j] = Point{Actual: float64(s.Calls) / float64(m.total), Est: s.Estimates[i]}
-	}
-	return out
-}
-
-// BoundsSeries returns, per sample, the true progress and the hard interval
-// [Curr/UB, Curr/LB] that held at that instant.
-type BoundsPoint struct {
-	Actual, Lo, Hi float64
-}
-
-// IntervalSeries returns the hard progress interval per sample.
-func (m *Monitor) IntervalSeries() []BoundsPoint {
-	out := make([]BoundsPoint, len(m.Samples))
-	for j, s := range m.Samples {
-		lo := float64(s.Calls) / float64(s.UB)
-		hi := float64(s.Calls) / float64(s.LB)
-		if hi > 1 {
-			hi = 1
-		}
-		out[j] = BoundsPoint{
-			Actual: float64(s.Calls) / float64(m.total),
-			Lo:     lo,
-			Hi:     hi,
-		}
-	}
-	return out
-}

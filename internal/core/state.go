@@ -80,20 +80,28 @@ func (s *State) MuRunning() float64 {
 	return float64(s.Curr) / float64(s.LeafConsumed)
 }
 
-// Tracker captures States from a running plan. It performs one bounds pass
-// per capture, so capturing every GetNext call costs O(plan size) — callers
-// sample every N calls instead (see Monitor).
+// Tracker captures States from a running plan. It owns a prebuilt
+// BoundsEvaluator, so each capture is one incremental bounds pass plus a
+// sweep over precomputed node indices — no per-capture maps or tree walks.
+// Captures read runtime counters atomically and may therefore run on a
+// goroutine other than the executing one (AsyncMonitor does); Capture
+// itself is not reentrant.
 type Tracker struct {
 	root      exec.Operator
+	ev        *BoundsEvaluator
 	drivers   []exec.Operator
+	driverIdx []int
 	leaves    []exec.Operator // leaves outside rescanned subtrees
+	leafIdx   []int
 	pipelines []Pipeline
+	pipeOps   [][]int // snapshot index per pipeline member
+	pipeDrvs  [][]int // snapshot index per pipeline driver
 }
 
 // NewTracker prepares a tracker for the plan rooted at root (the plan
 // structure is fixed; only runtime counters change between captures).
 func NewTracker(root exec.Operator) *Tracker {
-	t := &Tracker{root: root, pipelines: Pipelines(root)}
+	t := &Tracker{root: root, ev: NewBoundsEvaluator(root), pipelines: Pipelines(root)}
 	for _, p := range t.pipelines {
 		t.drivers = append(t.drivers, p.Drivers...)
 	}
@@ -115,54 +123,73 @@ func NewTracker(root exec.Operator) *Tracker {
 		}
 	}
 	walk(root, false)
+	for _, d := range t.drivers {
+		t.driverIdx = append(t.driverIdx, t.ev.IndexOf(d))
+	}
+	for _, l := range t.leaves {
+		t.leafIdx = append(t.leafIdx, t.ev.IndexOf(l))
+	}
+	for _, p := range t.pipelines {
+		ops := make([]int, len(p.Ops))
+		for i, op := range p.Ops {
+			ops[i] = t.ev.IndexOf(op)
+		}
+		drvs := make([]int, len(p.Drivers))
+		for i, d := range p.Drivers {
+			drvs[i] = t.ev.IndexOf(d)
+		}
+		t.pipeOps = append(t.pipeOps, ops)
+		t.pipeDrvs = append(t.pipeDrvs, drvs)
+	}
 	return t
 }
 
 // Capture snapshots the current State.
 func (t *Tracker) Capture() *State {
-	snap := ComputeBounds(t.root)
-	byOp := make(map[exec.Operator]exec.CardBounds, len(snap.Nodes))
-	for _, nb := range snap.Nodes {
-		byOp[nb.Op] = nb.Bounds
-	}
+	snap := t.ev.Compute()
 	s := &State{
-		Curr: exec.TotalCalls(t.root),
-		LB:   snap.LB,
-		UB:   snap.UB,
+		LB: snap.LB,
+		UB: snap.UB,
 	}
+	// Curr from the same per-node counters the bounds saw: summing the
+	// snapshot's refined LBs would over-count (they include static lower
+	// bounds of nodes that have not produced yet), so re-read the monotone
+	// Returned counters. Reading them at most after the bounds pass keeps
+	// Curr <= total(Q) <= UB.
+	s.Curr = exec.TotalCalls(t.root)
 	if s.LB < 1 {
 		s.LB = 1
 	}
 	if s.UB < s.LB {
 		s.UB = s.LB
 	}
-	for _, d := range t.drivers {
-		rt := d.Runtime()
+	for i, d := range t.drivers {
+		rt := d.Runtime().Snapshot()
 		ds := DriverState{
 			Returned: rt.Returned,
 			Done:     rt.Done && rt.Rescans == 0,
-			Total:    estimateNodeTotal(d, byOp[d]),
+			Total:    estimateNodeTotal(d, rt, snap.Nodes[t.driverIdx[i]].Bounds),
 		}
 		s.Drivers = append(s.Drivers, ds)
 	}
-	for _, l := range t.leaves {
-		b := byOp[l]
-		s.LeafCard += b.LB
-		s.LeafConsumed += l.Runtime().Returned
+	for i, l := range t.leaves {
+		s.LeafCard += snap.Nodes[t.leafIdx[i]].Bounds.LB
+		s.LeafConsumed += l.Runtime().Returned()
 	}
-	for _, p := range t.pipelines {
+	for pi, p := range t.pipelines {
 		ps := PipelineState{Done: true}
-		for _, op := range p.Ops {
-			rt := op.Runtime()
+		for oi, op := range p.Ops {
+			rt := op.Runtime().Snapshot()
 			ps.Work += rt.Returned
-			ps.EstWork += estimateNodeTotal(op, byOp[op])
+			ps.EstWork += estimateNodeTotal(op, rt, snap.Nodes[t.pipeOps[pi][oi]].Bounds)
 			if !rt.Done || rt.Rescans > 0 {
 				ps.Done = false
 			}
 		}
-		for _, d := range p.Drivers {
-			ps.DriverReturned += d.Runtime().Returned
-			ps.DriverTotal += estimateNodeTotal(d, byOp[d])
+		for di, d := range p.Drivers {
+			rt := d.Runtime().Snapshot()
+			ps.DriverReturned += rt.Returned
+			ps.DriverTotal += estimateNodeTotal(d, rt, snap.Nodes[t.pipeDrvs[pi][di]].Bounds)
 		}
 		s.Pipelines = append(s.Pipelines, ps)
 	}
@@ -173,8 +200,7 @@ func (t *Tracker) Capture() *State {
 // node finished or its bounds pin it, otherwise the plan-time estimate
 // clamped into the current hard bounds (falling back to the bounds midpoint
 // or lower bound).
-func estimateNodeTotal(op exec.Operator, b exec.CardBounds) float64 {
-	rt := op.Runtime()
+func estimateNodeTotal(op exec.Operator, rt exec.StatsSnapshot, b exec.CardBounds) float64 {
 	var total float64
 	switch {
 	case rt.Done && rt.Rescans == 0:

@@ -1,0 +1,90 @@
+package coretest
+
+import (
+	"testing"
+
+	"sqlprogress/internal/core"
+	"sqlprogress/internal/exec"
+)
+
+// equivChecker compares the incremental BoundsEvaluator against the
+// full-walk ComputeBoundsOpt on one plan, for both the default options and
+// the demand-cap-disabled variant. The two implementations must agree
+// exactly — same LB/UB and the same per-node bounds in the same emission
+// order — at every instant, since the evaluator is advertised as a drop-in
+// replacement for the walk.
+type equivChecker struct {
+	op       exec.Operator
+	variants []equivVariant
+}
+
+type equivVariant struct {
+	name string
+	opts core.BoundsOptions
+	ev   *core.BoundsEvaluator
+}
+
+func newEquivChecker(op exec.Operator) *equivChecker {
+	c := &equivChecker{
+		op: op,
+		variants: []equivVariant{
+			{name: "default"},
+			{name: "nocap", opts: core.BoundsOptions{DisableDemandCap: true}},
+		},
+	}
+	for i := range c.variants {
+		c.variants[i].ev = core.NewBoundsEvaluatorOpt(op, c.variants[i].opts)
+	}
+	return c
+}
+
+// check asserts snapshot equality at the current instant.
+func (c *equivChecker) check(t testing.TB, label string, calls int64) {
+	t.Helper()
+	for _, v := range c.variants {
+		got := v.ev.Compute()
+		want := core.ComputeBoundsOpt(c.op, v.opts)
+		if got.LB != want.LB || got.UB != want.UB {
+			t.Fatalf("%s: [%s] at call %d evaluator bounds [%d,%d] != full walk [%d,%d]",
+				label, v.name, calls, got.LB, got.UB, want.LB, want.UB)
+		}
+		if len(got.Nodes) != len(want.Nodes) {
+			t.Fatalf("%s: [%s] at call %d evaluator has %d nodes, full walk %d",
+				label, v.name, calls, len(got.Nodes), len(want.Nodes))
+		}
+		for j := range want.Nodes {
+			if got.Nodes[j].Op != want.Nodes[j].Op {
+				t.Fatalf("%s: [%s] at call %d node %d operator mismatch (emission order diverged)",
+					label, v.name, calls, j)
+			}
+			if got.Nodes[j].Bounds != want.Nodes[j].Bounds {
+				t.Fatalf("%s: [%s] at call %d node %d (%T) evaluator bounds %+v != full walk %+v",
+					label, v.name, calls, j, want.Nodes[j].Op, got.Nodes[j].Bounds, want.Nodes[j].Bounds)
+			}
+		}
+	}
+}
+
+// CheckBoundsEquivalence executes op and asserts, every `every` GetNext
+// calls and once more at EOF, that the incremental BoundsEvaluator and the
+// full-walk ComputeBoundsOpt produce identical BoundsSnapshots (for both
+// default and demand-cap-disabled options). CheckProgressInvariants performs
+// the same comparison at its sample points; this entry point is for plans
+// that only need the equivalence statement.
+func CheckBoundsEquivalence(t testing.TB, label string, op exec.Operator, every int64) {
+	t.Helper()
+	if every < 1 {
+		every = 1
+	}
+	c := newEquivChecker(op)
+	ctx := exec.NewCtx()
+	ctx.OnGetNext = func(calls int64) {
+		if calls%every == 0 {
+			c.check(t, label, calls)
+		}
+	}
+	if _, err := exec.Run(ctx, op); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	c.check(t, label, ctx.Calls())
+}

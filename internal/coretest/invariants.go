@@ -18,7 +18,10 @@ import (
 //   - LB non-decreasing, UB non-increasing,
 //   - progress <= pmax (Property 4) and pmax's ratio error <= mu (Thm 5),
 //   - safe's ratio error <= sqrt(UB/LB) at each instant (Definition 5),
-//   - every estimate within [0, 1].
+//   - every estimate within [0, 1],
+//   - the incremental BoundsEvaluator agrees exactly with the full-walk
+//     ComputeBoundsOpt at every sample point (and at EOF), for both the
+//     default and demand-cap-disabled options.
 //
 // It returns total(Q) so callers can chain further assertions.
 func CheckProgressInvariants(t testing.TB, label string, op exec.Operator, every int64) int64 {
@@ -27,6 +30,7 @@ func CheckProgressInvariants(t testing.TB, label string, op exec.Operator, every
 		every = 1
 	}
 	tracker := core.NewTracker(op)
+	equiv := newEquivChecker(op)
 	type snap struct {
 		calls  int64
 		lb, ub int64
@@ -42,6 +46,7 @@ func CheckProgressInvariants(t testing.TB, label string, op exec.Operator, every
 		if calls%every != 0 {
 			return
 		}
+		equiv.check(t, label, calls)
 		s := tracker.Capture()
 		snaps = append(snaps, snap{
 			calls: calls, lb: s.LB, ub: s.UB,
@@ -55,7 +60,8 @@ func CheckProgressInvariants(t testing.TB, label string, op exec.Operator, every
 	if _, err := exec.Run(ctx, op); err != nil {
 		t.Fatalf("%s: %v", label, err)
 	}
-	total := ctx.Calls
+	total := ctx.Calls()
+	equiv.check(t, label, total)
 	if total == 0 {
 		return 0
 	}

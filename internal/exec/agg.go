@@ -53,13 +53,14 @@ func NewHashAgg(child Operator, groupBy []expr.Expr, groupNames []string, groupT
 	if len(groupBy) != len(groupNames) || len(groupBy) != len(groupTypes) {
 		panic("hashagg: group arity mismatch")
 	}
-	return &HashAgg{
-		base:       newBase(aggOutputSchema(groupNames, groupTypes, aggs)),
+	a := &HashAgg{
 		child:      child,
 		GroupBy:    groupBy,
 		Aggs:       aggs,
 		groupNames: groupNames,
 	}
+	a.init(aggOutputSchema(groupNames, groupTypes, aggs))
+	return a
 }
 
 // Open implements Operator.
@@ -184,12 +185,13 @@ func NewStreamAgg(child Operator, groupBy []expr.Expr, groupNames []string, grou
 	if len(groupBy) != len(groupNames) || len(groupBy) != len(groupTypes) {
 		panic("streamagg: group arity mismatch")
 	}
-	return &StreamAgg{
-		base:    newBase(aggOutputSchema(groupNames, groupTypes, aggs)),
+	s := &StreamAgg{
 		child:   child,
 		GroupBy: groupBy,
 		Aggs:    aggs,
 	}
+	s.init(aggOutputSchema(groupNames, groupTypes, aggs))
+	return s
 }
 
 // Open implements Operator.

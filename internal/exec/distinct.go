@@ -17,7 +17,9 @@ type Distinct struct {
 
 // NewDistinct wraps child with duplicate elimination over all columns.
 func NewDistinct(child Operator) *Distinct {
-	return &Distinct{base: newBase(child.Schema()), child: child}
+	d := &Distinct{child: child}
+	d.init(child.Schema())
+	return d
 }
 
 // Open implements Operator.
@@ -53,7 +55,7 @@ func (d *Distinct) Next(ctx *Ctx) (schema.Row, bool, error) {
 		row, ok, err := d.child.Next(ctx)
 		if err != nil || !ok {
 			if !ok {
-				d.rt.Done = true
+				d.rt.done.Store(true)
 			}
 			return nil, false, err
 		}

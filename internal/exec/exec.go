@@ -30,13 +30,18 @@ var ErrCanceled = errors.New("exec: query canceled")
 
 // Ctx carries per-execution state: the global GetNext counter and an optional
 // observation hook used by progress estimators to sample the execution.
+//
+// The call counter is updated atomically, so a monitoring goroutine may read
+// Calls while the plan runs on another goroutine (see AsyncMonitor in
+// internal/core).
 type Ctx struct {
-	// Calls is the total number of GetNext calls performed so far across all
+	// calls is the total number of GetNext calls performed so far across all
 	// operators (the paper's Curr).
-	Calls int64
+	calls atomic.Int64
 	// OnGetNext, when non-nil, is invoked after every counted call. Progress
 	// monitors use it to sample estimates at regular points of the
-	// execution.
+	// execution. It runs on the execution goroutine and must be set before
+	// the run starts.
 	OnGetNext func(calls int64)
 
 	canceled atomic.Bool
@@ -53,29 +58,80 @@ func (c *Ctx) Cancel() { c.canceled.Store(true) }
 // Canceled reports whether Cancel was called.
 func (c *Ctx) Canceled() bool { return c.canceled.Load() }
 
+// Calls returns the total number of GetNext calls performed so far across
+// all operators (the paper's Curr). Safe to call from any goroutine.
+func (c *Ctx) Calls() int64 { return c.calls.Load() }
+
 func (c *Ctx) tick() {
-	c.Calls++
+	n := c.calls.Add(1)
 	if c.OnGetNext != nil {
-		c.OnGetNext(c.Calls)
+		c.OnGetNext(n)
 	}
 }
 
 // RuntimeStats is the execution feedback a node exposes; progress estimators
 // may read it at any instant (it is exactly the "execution trace seen so
 // far" the paper allows).
+//
+// All counters are updated atomically by the execution goroutine, so a
+// sampler on another goroutine can read them while the plan runs. Individual
+// accessor loads are not mutually consistent; use Snapshot for the
+// read-ordering protocol that keeps bound derivations sound (see DESIGN.md,
+// "Concurrency model & monitoring overhead").
 type RuntimeStats struct {
-	// Returned counts GetNext calls this node has performed over its
-	// lifetime, accumulated across rescans. For scans with embedded
-	// predicates this includes scanned-but-filtered rows.
-	Returned int64
-	// Delivered counts rows actually handed to the parent. It equals
-	// Returned except for scans with embedded predicates.
+	returned  atomic.Int64
+	delivered atomic.Int64
+	rescans   atomic.Int64
+	done      atomic.Bool
+}
+
+// Returned counts GetNext calls this node has performed over its lifetime,
+// accumulated across rescans. For scans with embedded predicates this
+// includes scanned-but-filtered rows.
+func (r *RuntimeStats) Returned() int64 { return r.returned.Load() }
+
+// Delivered counts rows actually handed to the parent. It equals Returned
+// except for scans with embedded predicates.
+func (r *RuntimeStats) Delivered() int64 { return r.delivered.Load() }
+
+// Done reports that the node has reached EOF. For nodes inside a rescanned
+// nested-loops inner it refers to the current rescan only.
+func (r *RuntimeStats) Done() bool { return r.done.Load() }
+
+// Rescans counts how many times the node was re-opened.
+func (r *RuntimeStats) Rescans() int64 { return r.rescans.Load() }
+
+// StatsSnapshot is a plain-value copy of a node's runtime counters, taken
+// with Snapshot's ordering guarantee.
+type StatsSnapshot struct {
+	Returned  int64
 	Delivered int64
-	// Done reports that the node has reached EOF. For nodes inside a
-	// rescanned nested-loops inner it refers to the current rescan only.
-	Done bool
-	// Rescans counts how many times the node was re-opened.
-	Rescans int64
+	Rescans   int64
+	Done      bool
+}
+
+// Snapshot reads the counters in an order that makes EOF pinning exact even
+// against a concurrently-running plan: done is loaded first, Rescans last.
+// If the result has Done && Rescans == 0, then Returned and Delivered are
+// the node's exact final counts:
+//
+//   - observing done == true means every counted call of the finished run
+//     happened before the load, so the subsequent Returned load sees at
+//     least the run's final count (atomic loads are acquire loads);
+//   - a rescan increments Rescans before re-opening the node, so any row
+//     produced after the run that finished would have been preceded by a
+//     Rescans increment — observing Rescans == 0 *after* loading Returned
+//     proves Returned contains no such row.
+//
+// Counters of a still-running node may lag the writer, but each is
+// monotonically non-decreasing, which is all the bounds pass needs
+// (LB refinements only ever use stale counts as lower bounds).
+func (r *RuntimeStats) Snapshot() StatsSnapshot {
+	done := r.done.Load()
+	ret := r.returned.Load()
+	del := r.delivered.Load()
+	resc := r.rescans.Load()
+	return StatsSnapshot{Returned: ret, Delivered: del, Rescans: resc, Done: done}
 }
 
 // CardBounds is a closed interval bounding a node's final output cardinality
@@ -153,7 +209,13 @@ type base struct {
 	est int64
 }
 
-func newBase(sch *schema.Schema) base { return base{sch: sch, est: -1} }
+// init prepares the bookkeeping in place. RuntimeStats holds atomics, so a
+// base must never be copied after construction — operators initialize the
+// embedded field rather than assigning a composite literal.
+func (b *base) init(sch *schema.Schema) {
+	b.sch = sch
+	b.est = -1
+}
 
 // Runtime implements Operator.
 func (b *base) Runtime() *RuntimeStats { return &b.rt }
@@ -174,24 +236,27 @@ func (b *base) emit(ctx *Ctx, row schema.Row) (schema.Row, bool, error) {
 	if ctx.canceled.Load() {
 		return nil, false, ErrCanceled
 	}
-	b.rt.Returned++
-	b.rt.Delivered++
+	b.rt.returned.Add(1)
+	b.rt.delivered.Add(1)
 	ctx.tick()
 	return row, true, nil
 }
 
 // eof marks the node done and returns end-of-stream.
 func (b *base) eof() (schema.Row, bool, error) {
-	b.rt.Done = true
+	b.rt.done.Store(true)
 	return nil, false, nil
 }
 
-// reopen resets per-run state for a rescan.
+// reopen resets per-run state for a rescan. The rescan counter is bumped
+// *before* done is cleared: a concurrent Snapshot that still sees the
+// previous run's done=true will then see Rescans > 0 and refuse to pin the
+// node (see RuntimeStats.Snapshot).
 func (b *base) reopen() {
-	if b.rt.Done || b.rt.Returned > 0 {
-		b.rt.Rescans++
+	if b.rt.done.Load() || b.rt.returned.Load() > 0 {
+		b.rt.rescans.Add(1)
 	}
-	b.rt.Done = false
+	b.rt.done.Store(false)
 }
 
 // Run drains an operator tree to completion, returning all produced root
@@ -233,7 +298,7 @@ func Walk(op Operator, visit func(Operator)) {
 // so far (Curr; after completion, total(Q)).
 func TotalCalls(op Operator) int64 {
 	var total int64
-	Walk(op, func(o Operator) { total += o.Runtime().Returned })
+	Walk(op, func(o Operator) { total += o.Runtime().Returned() })
 	return total
 }
 
@@ -245,7 +310,7 @@ func Explain(op Operator) string {
 	rec = func(o Operator, depth int) {
 		rt := o.Runtime()
 		fmt.Fprintf(&b, "%s%s  [rows=%d done=%v est=%d]\n",
-			strings.Repeat("  ", depth), o.Name(), rt.Returned, rt.Done, o.EstimatedCard())
+			strings.Repeat("  ", depth), o.Name(), rt.Returned(), rt.Done(), o.EstimatedCard())
 		for _, c := range o.Children() {
 			rec(c, depth+1)
 		}

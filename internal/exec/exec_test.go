@@ -76,11 +76,11 @@ func TestScanCountsEveryRow(t *testing.T) {
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
-	if s.Runtime().Returned != 3 || !s.Runtime().Done {
+	if s.Runtime().Returned() != 3 || !s.Runtime().Done() {
 		t.Errorf("runtime = %+v", s.Runtime())
 	}
-	if ctx.Calls != 3 {
-		t.Errorf("ctx.Calls = %d, want 3", ctx.Calls)
+	if ctx.Calls() != 3 {
+		t.Errorf("ctx.Calls() = %d, want 3", ctx.Calls())
 	}
 	b := s.FinalBounds(nil)
 	if b.LB != 3 || b.UB != 3 {
@@ -118,11 +118,11 @@ func TestScanRescan(t *testing.T) {
 		t.Fatal(err)
 	}
 	rt := s.Runtime()
-	if rt.Returned != 4 {
-		t.Errorf("cumulative Returned = %d, want 4", rt.Returned)
+	if rt.Returned() != 4 {
+		t.Errorf("cumulative Returned = %d, want 4", rt.Returned())
 	}
-	if rt.Rescans != 1 {
-		t.Errorf("Rescans = %d, want 1", rt.Rescans)
+	if rt.Rescans() != 1 {
+		t.Errorf("Rescans = %d, want 1", rt.Rescans())
 	}
 }
 
@@ -180,8 +180,8 @@ func TestFilter(t *testing.T) {
 		t.Fatalf("filter rows = %d", len(rows))
 	}
 	// GetNext accounting: 5 (scan) + 2 (filter) = 7.
-	if ctx.Calls != 7 {
-		t.Errorf("ctx.Calls = %d, want 7", ctx.Calls)
+	if ctx.Calls() != 7 {
+		t.Errorf("ctx.Calls() = %d, want 7", ctx.Calls())
 	}
 	if b := f.FinalBounds([]CardBounds{{5, 5}}); b.LB != 0 || b.UB != 5 {
 		t.Errorf("filter bounds = %+v", b)
@@ -219,8 +219,8 @@ func TestTop(t *testing.T) {
 	}
 	// Scan produced 2 rows (the third scan GetNext never happens because Top
 	// stops asking), Top produced 2: Calls = 4.
-	if ctx.Calls != 4 {
-		t.Errorf("ctx.Calls = %d, want 4", ctx.Calls)
+	if ctx.Calls() != 4 {
+		t.Errorf("ctx.Calls() = %d, want 4", ctx.Calls())
 	}
 	if b := top.FinalBounds([]CardBounds{{4, 10}}); b.LB != 2 || b.UB != 2 {
 		t.Errorf("top bounds = %+v", b)
@@ -259,8 +259,8 @@ func TestHashJoinInner(t *testing.T) {
 	if len(rows) != 5 {
 		t.Fatalf("join rows = %d", len(rows))
 	}
-	if ctx.Calls != 13 {
-		t.Errorf("ctx.Calls = %d, want 13", ctx.Calls)
+	if ctx.Calls() != 13 {
+		t.Errorf("ctx.Calls() = %d, want 13", ctx.Calls())
 	}
 }
 
@@ -385,8 +385,8 @@ func TestINLJoinAccountingMatchesPaperExample(t *testing.T) {
 	if len(rows) != 4 {
 		t.Fatalf("join rows = %d", len(rows))
 	}
-	if ctx.Calls != 15 {
-		t.Errorf("total GetNext = %d, want 15 (10 scan + 1 filter + 4 join)", ctx.Calls)
+	if ctx.Calls() != 15 {
+		t.Errorf("total GetNext = %d, want 15 (10 scan + 1 filter + 4 join)", ctx.Calls())
 	}
 	if got := TotalCalls(join); got != 15 {
 		t.Errorf("TotalCalls = %d, want 15", got)
@@ -436,11 +436,11 @@ func TestNLJoinMatchesHashJoin(t *testing.T) {
 	}
 	sameRows(t, rows, naiveJoin(r, s, 0, 0), "NL join")
 	// Inner is a counted subtree: 3 outer + 3*3 inner + 5 join outputs = 17.
-	if ctx.Calls != 17 {
-		t.Errorf("NL join calls = %d, want 17", ctx.Calls)
+	if ctx.Calls() != 17 {
+		t.Errorf("NL join calls = %d, want 17", ctx.Calls())
 	}
-	if scanS.Runtime().Rescans != 2 {
-		t.Errorf("inner rescans = %d, want 2", scanS.Runtime().Rescans)
+	if scanS.Runtime().Rescans() != 2 {
+		t.Errorf("inner rescans = %d, want 2", scanS.Runtime().Rescans())
 	}
 }
 
@@ -519,8 +519,8 @@ func TestSortAscDesc(t *testing.T) {
 		}
 	}
 	// Accounting: 4 scanned + 4 emitted = 8.
-	if ctx.Calls != 8 {
-		t.Errorf("ctx.Calls = %d, want 8", ctx.Calls)
+	if ctx.Calls() != 8 {
+		t.Errorf("ctx.Calls() = %d, want 8", ctx.Calls())
 	}
 }
 
@@ -861,10 +861,10 @@ func TestScanEmbeddedPredicateAccounting(t *testing.T) {
 	if len(rows) != 2 {
 		t.Fatalf("delivered rows = %d, want 2", len(rows))
 	}
-	if ctx.Calls != 6 {
-		t.Errorf("calls = %d, want 6 (every scanned row counts)", ctx.Calls)
+	if ctx.Calls() != 6 {
+		t.Errorf("calls = %d, want 6 (every scanned row counts)", ctx.Calls())
 	}
-	if sc.Runtime().Returned != 6 || !sc.Runtime().Done {
+	if sc.Runtime().Returned() != 6 || !sc.Runtime().Done() {
 		t.Errorf("runtime = %+v", sc.Runtime())
 	}
 }
@@ -883,8 +883,8 @@ func TestRangeScanEmbeddedPredicate(t *testing.T) {
 	if len(rows) != 2 {
 		t.Fatalf("delivered = %d, want 2 (a in {2,4})", len(rows))
 	}
-	if ctx.Calls != 4 {
-		t.Errorf("calls = %d, want 4 (range [2,5] scanned)", ctx.Calls)
+	if ctx.Calls() != 4 {
+		t.Errorf("calls = %d, want 4 (range [2,5] scanned)", ctx.Calls())
 	}
 }
 
@@ -904,8 +904,8 @@ func TestDistinct(t *testing.T) {
 		t.Errorf("distinct order = %v", rows)
 	}
 	// Accounting: 5 scanned + 3 emitted.
-	if ctx.Calls != 8 {
-		t.Errorf("calls = %d, want 8", ctx.Calls)
+	if ctx.Calls() != 8 {
+		t.Errorf("calls = %d, want 8", ctx.Calls())
 	}
 	if b := d.FinalBounds([]CardBounds{{5, 5}}); b.LB != 1 || b.UB != 5 {
 		t.Errorf("bounds = %+v", b)
@@ -942,8 +942,8 @@ func TestCancellation(t *testing.T) {
 	if err != ErrCanceled {
 		t.Fatalf("err = %v, want ErrCanceled", err)
 	}
-	if ctx.Calls != 100 {
-		t.Errorf("calls at cancel = %d, want 100", ctx.Calls)
+	if ctx.Calls() != 100 {
+		t.Errorf("calls at cancel = %d, want 100", ctx.Calls())
 	}
 	if !ctx.Canceled() {
 		t.Error("Canceled() should report true")
@@ -979,7 +979,9 @@ type faultOp struct {
 }
 
 func newFaultOp(child Operator, after int64) *faultOp {
-	return &faultOp{base: newBase(child.Schema()), child: child, after: after}
+	f := &faultOp{child: child, after: after}
+	f.init(child.Schema())
+	return f
 }
 
 func (f *faultOp) Open(ctx *Ctx) error {

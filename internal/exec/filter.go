@@ -18,7 +18,9 @@ type Filter struct {
 
 // NewFilter wraps child with a selection predicate.
 func NewFilter(child Operator, pred expr.Expr) *Filter {
-	return &Filter{base: newBase(child.Schema()), child: child, Pred: pred}
+	f := &Filter{child: child, Pred: pred}
+	f.init(child.Schema())
+	return f
 }
 
 // Open implements Operator.
@@ -33,7 +35,7 @@ func (f *Filter) Next(ctx *Ctx) (schema.Row, bool, error) {
 		row, ok, err := f.child.Next(ctx)
 		if err != nil || !ok {
 			if !ok {
-				f.rt.Done = true
+				f.rt.done.Store(true)
 			}
 			return nil, false, err
 		}
@@ -79,7 +81,9 @@ func NewProject(child Operator, exprs []expr.Expr, names []string, types []sqlva
 	for i := range cols {
 		cols[i] = schema.Column{Name: names[i], Type: types[i]}
 	}
-	return &Project{base: newBase(schema.New(cols...)), child: child, Exprs: exprs}
+	p := &Project{child: child, Exprs: exprs}
+	p.init(schema.New(cols...))
+	return p
 }
 
 // Open implements Operator.
@@ -93,7 +97,7 @@ func (p *Project) Next(ctx *Ctx) (schema.Row, bool, error) {
 	row, ok, err := p.child.Next(ctx)
 	if err != nil || !ok {
 		if !ok {
-			p.rt.Done = true
+			p.rt.done.Store(true)
 		}
 		return nil, false, err
 	}
@@ -132,7 +136,9 @@ type Top struct {
 
 // NewTop builds a LIMIT K operator.
 func NewTop(child Operator, k int64) *Top {
-	return &Top{base: newBase(child.Schema()), child: child, K: k}
+	t := &Top{child: child, K: k}
+	t.init(child.Schema())
+	return t
 }
 
 // Open implements Operator.
@@ -150,7 +156,7 @@ func (t *Top) Next(ctx *Ctx) (schema.Row, bool, error) {
 	row, ok, err := t.child.Next(ctx)
 	if err != nil || !ok {
 		if !ok {
-			t.rt.Done = true
+			t.rt.done.Store(true)
 		}
 		return nil, false, err
 	}

@@ -62,12 +62,13 @@ func NewHashJoin(build, probe Operator, buildKeys, probeKeys []expr.Expr, mode J
 	default:
 		sch = probe.Schema().Concat(build.Schema())
 	}
-	return &HashJoin{
-		base:  newBase(sch),
+	j := &HashJoin{
 		build: build, probe: probe,
 		buildKeys: buildKeys, probeKeys: probeKeys,
 		Mode: mode,
 	}
+	j.init(sch)
+	return j
 }
 
 func hashKeys(keys []expr.Expr, row schema.Row) (uint64, bool) {
@@ -136,7 +137,7 @@ func (j *HashJoin) Next(ctx *Ctx) (schema.Row, bool, error) {
 			return nil, false, err
 		}
 		if !ok {
-			j.rt.Done = true
+			j.rt.done.Store(true)
 			return nil, false, nil
 		}
 		j.curProbe, j.emittedCur = probe, false

@@ -37,10 +37,9 @@ func NewMergeJoin(left, right Operator, lKeys, rKeys []expr.Expr) *MergeJoin {
 	if len(lKeys) != len(rKeys) || len(lKeys) == 0 {
 		panic("mergejoin: key arity mismatch or empty keys")
 	}
-	return &MergeJoin{
-		base: newBase(left.Schema().Concat(right.Schema())),
-		left: left, right: right, lKeys: lKeys, rKeys: rKeys,
-	}
+	j := &MergeJoin{left: left, right: right, lKeys: lKeys, rKeys: rKeys}
+	j.init(left.Schema().Concat(right.Schema()))
+	return j
 }
 
 // Open implements Operator.
@@ -144,7 +143,7 @@ func (j *MergeJoin) Next(ctx *Ctx) (schema.Row, bool, error) {
 			continue
 		}
 		if !j.lOk || !j.rOk {
-			j.rt.Done = true
+			j.rt.done.Store(true)
 			return nil, false, nil
 		}
 		lk, _ := evalKeys(j.lKeys, j.lRow)

@@ -39,7 +39,9 @@ func NewINLJoin(outer Operator, idx *index.Hash, outerKey expr.Expr, mode JoinMo
 	default:
 		sch = outer.Schema().Concat(idx.Rel.Schema())
 	}
-	return &INLJoin{base: newBase(sch), outer: outer, Idx: idx, OuterKey: outerKey, Mode: mode}
+	j := &INLJoin{outer: outer, Idx: idx, OuterKey: outerKey, Mode: mode}
+	j.init(sch)
+	return j
 }
 
 // Open implements Operator.
@@ -68,7 +70,7 @@ func (j *INLJoin) Next(ctx *Ctx) (schema.Row, bool, error) {
 			return nil, false, err
 		}
 		if !ok {
-			j.rt.Done = true
+			j.rt.done.Store(true)
 			return nil, false, nil
 		}
 		j.curOuter = outer
@@ -145,10 +147,9 @@ type NLJoin struct {
 
 // NewNLJoin builds a nested loops join.
 func NewNLJoin(outer, inner Operator, pred expr.Expr) *NLJoin {
-	return &NLJoin{
-		base:  newBase(outer.Schema().Concat(inner.Schema())),
-		outer: outer, inner: inner, Pred: pred,
-	}
+	j := &NLJoin{outer: outer, inner: inner, Pred: pred}
+	j.init(outer.Schema().Concat(inner.Schema()))
+	return j
 }
 
 // Open implements Operator.
@@ -168,7 +169,7 @@ func (j *NLJoin) Next(ctx *Ctx) (schema.Row, bool, error) {
 				return nil, false, err
 			}
 			if !ok {
-				j.rt.Done = true
+				j.rt.done.Store(true)
 				return nil, false, nil
 			}
 			j.curOuter = outer

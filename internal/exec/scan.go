@@ -34,7 +34,9 @@ type Scan struct {
 
 // NewScan builds a table scan.
 func NewScan(rel *schema.Relation) *Scan {
-	return &Scan{base: newBase(rel.Schema()), Rel: rel}
+	s := &Scan{Rel: rel}
+	s.init(rel.Schema())
+	return s
 }
 
 // NewScanWithOrder builds a table scan that visits rows in the given
@@ -43,7 +45,9 @@ func NewScanWithOrder(rel *schema.Relation, order []int32) *Scan {
 	if order != nil && len(order) != len(rel.Rows) {
 		panic(fmt.Sprintf("scan %s: order length %d != %d rows", rel.Name, len(order), len(rel.Rows)))
 	}
-	return &Scan{base: newBase(rel.Schema()), Rel: rel, Order: order}
+	s := &Scan{Rel: rel, Order: order}
+	s.init(rel.Schema())
+	return s
 }
 
 // Open implements Operator.
@@ -67,7 +71,7 @@ func (s *Scan) Next(ctx *Ctx) (schema.Row, bool, error) {
 			if ctx.Canceled() {
 				return nil, false, ErrCanceled
 			}
-			s.rt.Returned++
+			s.rt.returned.Add(1)
 			ctx.tick()
 			continue
 		}
@@ -133,10 +137,9 @@ type RangeScan struct {
 // NewRangeScan builds a range scan over an ordered index; nil bounds are
 // open ends.
 func NewRangeScan(idx *index.Ordered, lo, hi *sqlval.Value, loIncl, hiIncl bool) *RangeScan {
-	return &RangeScan{
-		base: newBase(idx.Rel.Schema()),
-		Idx:  idx, Lo: lo, Hi: hi, LoIncl: loIncl, HiIncl: hiIncl,
-	}
+	r := &RangeScan{Idx: idx, Lo: lo, Hi: hi, LoIncl: loIncl, HiIncl: hiIncl}
+	r.init(idx.Rel.Schema())
+	return r
 }
 
 // SetStaticBounds records plan-time cardinality bounds (from histograms).
@@ -159,7 +162,7 @@ func (r *RangeScan) Next(ctx *Ctx) (schema.Row, bool, error) {
 			if ctx.Canceled() {
 				return nil, false, ErrCanceled
 			}
-			r.rt.Returned++
+			r.rt.returned.Add(1)
 			ctx.tick()
 			continue
 		}
@@ -220,7 +223,9 @@ type Values struct {
 
 // NewValues builds a constant-rows leaf.
 func NewValues(sch *schema.Schema, rows []schema.Row) *Values {
-	return &Values{base: newBase(sch), RowsData: rows}
+	v := &Values{RowsData: rows}
+	v.init(sch)
+	return v
 }
 
 // Open implements Operator.

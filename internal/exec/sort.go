@@ -30,7 +30,9 @@ type Sort struct {
 
 // NewSort builds a sort operator.
 func NewSort(child Operator, keys []SortKey) *Sort {
-	return &Sort{base: newBase(child.Schema()), child: child, Keys: keys}
+	s := &Sort{child: child, Keys: keys}
+	s.init(child.Schema())
+	return s
 }
 
 // Open implements Operator.

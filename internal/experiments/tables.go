@@ -149,7 +149,7 @@ func Thm1(opts Options) Result {
 		if _, err := exec.Run(ctx, node.Op); err != nil {
 			panic(err)
 		}
-		out.actual = float64(prefix) / float64(ctx.Calls)
+		out.actual = float64(prefix) / float64(ctx.Calls())
 		return out
 	}
 

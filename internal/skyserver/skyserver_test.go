@@ -57,7 +57,7 @@ func TestAllQueriesExecuteAndMuSmall(t *testing.T) {
 			if _, err := exec.Run(ctx, op); err != nil {
 				t.Fatalf("query %d: %v", q.Num, err)
 			}
-			if ctx.Calls == 0 {
+			if ctx.Calls() == 0 {
 				t.Fatal("no work performed")
 			}
 			mu := core.Mu(op)

@@ -101,7 +101,7 @@ func TestAllQueriesExecute(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Q%d failed: %v", q.Num, err)
 			}
-			if ctx.Calls == 0 {
+			if ctx.Calls() == 0 {
 				t.Fatalf("Q%d performed no work", q.Num)
 			}
 			// Aggregation queries must produce at least one row on this data.

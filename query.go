@@ -151,7 +151,7 @@ func (q *Query) Run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return q.result(rows, q.ctx.Calls), nil
+	return q.result(rows, q.ctx.Calls()), nil
 }
 
 func (q *Query) result(rows []schema.Row, total int64) *Result {
@@ -252,7 +252,7 @@ func (q *Query) RunWithProgress(opts ProgressOptions, cb func(ProgressUpdate)) (
 	if err != nil {
 		return nil, err
 	}
-	return q.result(rows, q.ctx.Calls), nil
+	return q.result(rows, q.ctx.Calls()), nil
 }
 
 // FormatRow renders a result row for display.
