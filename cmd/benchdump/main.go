@@ -2,11 +2,13 @@
 // testing.Benchmark and writes the results as JSON (BENCH_1.json by
 // default), so the performance trajectory — bounds-pass cost, monitoring
 // overhead, raw executor throughput — is tracked as a checked-in artifact
-// from PR to PR rather than reconstructed from CI logs.
+// from PR to PR rather than reconstructed from CI logs. Session-service
+// benchmarks (admission + streaming throughput through internal/session)
+// are written separately as BENCH_2.json.
 //
 // Usage:
 //
-//	go run ./cmd/benchdump [-o BENCH_1.json]
+//	go run ./cmd/benchdump [-o BENCH_1.json] [-o2 BENCH_2.json]
 package main
 
 import (
@@ -15,14 +17,17 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	sqlprogress "sqlprogress"
+	"sqlprogress/internal/catalog"
 	"sqlprogress/internal/core"
 	"sqlprogress/internal/datagen"
 	"sqlprogress/internal/exec"
 	"sqlprogress/internal/plan"
+	"sqlprogress/internal/session"
 	"sqlprogress/internal/tpch"
 )
 
@@ -85,8 +90,59 @@ func q21() exec.Operator {
 	return op
 }
 
+// sessionsThroughput measures end-to-end session-service throughput: one
+// iteration submits `batch` queries through a Manager bounded at `conc`
+// running slots, subscribes to every progress stream, and waits until each
+// session has streamed to its final event. It covers compile, admission
+// (with queueing when batch > conc), off-thread sampling, estimator
+// evaluation, and subscriber fan-out — the whole progressd serving path
+// minus HTTP.
+func sessionsThroughput(b *testing.B, batch, conc int) {
+	cat := sessionCat()
+	m := session.New(cat, session.Config{
+		MaxConcurrent:  conc,
+		MaxQueue:       batch,
+		SampleInterval: 200 * time.Microsecond,
+	})
+	defer m.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		chans := make([]<-chan session.Progress, 0, batch)
+		unsubs := make([]func(), 0, batch)
+		for j := 0; j < batch; j++ {
+			s, err := m.Submit("SELECT COUNT(*) FROM supplier", session.SubmitOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ch, unsub := s.Subscribe()
+			chans = append(chans, ch)
+			unsubs = append(unsubs, unsub)
+		}
+		for _, ch := range chans {
+			for range ch { // drained and closed once the session is terminal
+			}
+		}
+		for _, unsub := range unsubs {
+			unsub()
+		}
+	}
+}
+
+var sessionCatMem = struct {
+	once sync.Once
+	cat  *catalog.Catalog
+}{}
+
+func sessionCat() *catalog.Catalog {
+	sessionCatMem.once.Do(func() {
+		sessionCatMem.cat = tpch.Generate(tpch.Config{SF: 0.002, Z: 2, Seed: 1})
+	})
+	return sessionCatMem.cat
+}
+
 func main() {
 	out := flag.String("o", "BENCH_1.json", "output path")
+	out2 := flag.String("o2", "BENCH_2.json", "session-service output path")
 	flag.Parse()
 
 	var results []result
@@ -140,6 +196,22 @@ func main() {
 		}
 	})
 
+	writeDump(*out, results)
+
+	// Session-service benchmarks: the progressd serving path, tracked in
+	// its own artifact so serving-layer regressions are visible apart from
+	// engine-level ones.
+	var sessResults []result
+	sessResults = record("sessions_throughput_32x_conc8", sessResults, func(b *testing.B) {
+		sessionsThroughput(b, 32, 8)
+	})
+	sessResults = record("sessions_throughput_32x_conc32", sessResults, func(b *testing.B) {
+		sessionsThroughput(b, 32, 32)
+	})
+	writeDump(*out2, sessResults)
+}
+
+func writeDump(path string, results []result) {
 	d := dump{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -152,9 +224,9 @@ func main() {
 		panic(err)
 	}
 	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", path)
 }

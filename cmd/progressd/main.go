@@ -1,0 +1,107 @@
+// Command progressd is the progress-estimation query daemon: it serves a
+// generated database over an HTTP/JSON API, running each submitted query as
+// a managed session — admission under a concurrency limit, FIFO queueing
+// with shedding, per-session deadlines — while an off-thread monitor
+// streams dne/pmax/safe progress estimates to clients over SSE.
+//
+// Quick start:
+//
+//	progressd -addr :8080 -sf 0.01
+//	curl -s -X POST localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM lineitem"}'
+//	curl -N localhost:8080/sessions/q000001/progress
+//	curl -s localhost:8080/metrics
+//
+// Endpoints: POST /query, GET /sessions, GET /sessions/{id},
+// DELETE /sessions/{id}, GET /sessions/{id}/progress (SSE), GET /metrics,
+// GET /healthz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	sqlprogress "sqlprogress"
+	"sqlprogress/internal/server"
+	"sqlprogress/internal/session"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dataset  = flag.String("dataset", "tpch", "dataset to serve: tpch | skyserver")
+		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		z        = flag.Float64("z", 2, "zipf skew parameter")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		rows     = flag.Int64("rows", 20000, "skyserver photoobj rows")
+		maxConc  = flag.Int("max-concurrent", 8, "concurrent query limit")
+		maxQueue = flag.Int("queue-depth", 64, "admission queue depth (shed beyond)")
+		interval = flag.Duration("sample-interval", 2*time.Millisecond, "progress sampling period")
+		deadline = flag.Duration("deadline", 0, "default per-query deadline (0 = none)")
+		keepRows = flag.Int("keep-rows", 50, "result rows retained per session")
+	)
+	flag.Parse()
+
+	log.SetPrefix("progressd: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	var db *sqlprogress.DB
+	start := time.Now()
+	switch *dataset {
+	case "tpch":
+		db = sqlprogress.OpenTPCH(*sf, *z, *seed)
+	case "skyserver":
+		db = sqlprogress.OpenSkyServer(*rows, *seed)
+	default:
+		log.Fatalf("unknown dataset %q (want tpch or skyserver)", *dataset)
+	}
+	log.Printf("generated %s dataset in %v (tables: %v)", *dataset, time.Since(start).Round(time.Millisecond), db.Tables())
+
+	mgr := session.New(db.Catalog(), session.Config{
+		MaxConcurrent:   *maxConc,
+		MaxQueue:        *maxQueue,
+		SampleInterval:  *interval,
+		DefaultDeadline: *deadline,
+		KeepRows:        *keepRows,
+	})
+	httpSrv := &http.Server{Handler: server.New(mgr)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on http://%s (max-concurrent=%d queue-depth=%d)", ln.Addr(), *maxConc, *maxQueue)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining sessions")
+	if err := mgr.Close(); err != nil {
+		log.Printf("manager close: %v", err)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	m := mgr.Metrics()
+	log.Printf("done: admitted=%d completed=%d canceled=%d failed=%d shed=%d",
+		m.Admitted, m.Completed, m.Canceled, m.Failed, m.Shed)
+}

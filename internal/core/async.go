@@ -38,6 +38,13 @@ type AsyncMonitor struct {
 	// EveryCalls, when > 0, switches to call-count sampling: a sample is
 	// taken each time the global GetNext counter crosses a multiple of it.
 	EveryCalls int64
+	// OnSample, when non-nil, is invoked after each recorded sample with
+	// that sample, letting consumers stream observations live instead of
+	// reading Samples after Stop. It runs on the sampler goroutine (or, for
+	// the final at-EOF sample, on the goroutine calling Stop) and must not
+	// block: a slow callback delays subsequent samples, though never the
+	// executor. Set before Start.
+	OnSample func(Sample)
 
 	tracker *Tracker
 	root    exec.Operator
@@ -94,7 +101,19 @@ func (m *AsyncMonitor) Stop() {
 	m.stop = nil
 	calls := m.ctx.Calls()
 	m.SetTotal(calls)
+	before := len(m.Samples)
 	m.finalSample(m.tracker, calls)
+	if m.OnSample != nil && len(m.Samples) > before {
+		m.OnSample(m.Samples[len(m.Samples)-1])
+	}
+}
+
+// observe records one sample and streams it to OnSample.
+func (m *AsyncMonitor) observe(calls int64) {
+	m.capture(m.tracker, calls)
+	if m.OnSample != nil {
+		m.OnSample(m.Samples[len(m.Samples)-1])
+	}
 }
 
 func (m *AsyncMonitor) loop() {
@@ -119,7 +138,7 @@ func (m *AsyncMonitor) loop() {
 			default:
 			}
 			if calls := m.ctx.Calls(); calls >= next {
-				m.capture(m.tracker, calls)
+				m.observe(calls)
 				next = (calls/m.EveryCalls + 1) * m.EveryCalls
 			}
 			time.Sleep(quantum)
@@ -138,7 +157,7 @@ func (m *AsyncMonitor) loop() {
 				continue // idle or not started: nothing to observe yet
 			}
 			lastCalls = calls
-			m.capture(m.tracker, calls)
+			m.observe(calls)
 		}
 	}
 }

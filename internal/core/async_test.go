@@ -172,3 +172,33 @@ func TestMonitorFinalSampleNotDuplicated(t *testing.T) {
 		}
 	}
 }
+
+// TestAsyncMonitorOnSample: the streaming hook must see every recorded
+// sample, in order, including the final at-EOF one — it is what lets a
+// serving layer fan live estimates out to clients while the query runs.
+func TestAsyncMonitorOnSample(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{SF: 0.002, Z: 2, Seed: 1})
+	op, err := tpch.BuildQuery(cat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewAsyncMonitor(op, 50*time.Microsecond, Dne{}, Pmax{}, Safe{})
+	var streamed []Sample
+	m.OnSample = func(s Sample) { streamed = append(streamed, s) }
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Stop has returned: the sampler goroutine is joined, streamed is ours.
+	if len(streamed) != len(m.Samples) {
+		t.Fatalf("streamed %d samples, recorded %d", len(streamed), len(m.Samples))
+	}
+	for i := range streamed {
+		if streamed[i].Calls != m.Samples[i].Calls {
+			t.Fatalf("sample %d: streamed calls %d != recorded %d", i, streamed[i].Calls, m.Samples[i].Calls)
+		}
+	}
+	last := streamed[len(streamed)-1]
+	if last.Calls != m.Total() {
+		t.Fatalf("last streamed sample at %d calls, total %d", last.Calls, m.Total())
+	}
+}

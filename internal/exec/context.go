@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"context"
+
+	"sqlprogress/internal/schema"
+)
+
+// Bind propagates a standard library context's cancellation and deadline
+// into this execution context: when stdctx is done, Cancel is called and the
+// run stops at its next counted GetNext call with ErrCanceled.
+//
+// Bind starts a watcher goroutine; the returned release function stops it
+// and must be called exactly once, after the run finishes (defer it).
+// release reports how the binding ended: nil if the watcher never fired, or
+// stdctx.Err() (context.Canceled / context.DeadlineExceeded) if the binding
+// is what canceled the execution — callers use it to distinguish a server
+// deadline or client disconnect from an explicit user Cancel.
+//
+// Binding a context with no cancellation path (Done() == nil, e.g.
+// context.Background()) is free: no goroutine is started.
+func (c *Ctx) Bind(stdctx context.Context) (release func() error) {
+	if stdctx == nil || stdctx.Done() == nil {
+		return func() error { return nil }
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	fired := false
+	go func() {
+		defer close(done)
+		select {
+		case <-stdctx.Done():
+			fired = true
+			c.Cancel()
+		case <-stop:
+		}
+	}()
+	return func() error {
+		close(stop)
+		<-done
+		// fired is written before close(done) and read after <-done, so
+		// this is an ordinary happens-before read, no atomics needed.
+		if fired {
+			return stdctx.Err()
+		}
+		return nil
+	}
+}
+
+// RunContext drains the operator tree like Run, honouring stdctx: if the
+// context is canceled or its deadline expires mid-run, execution stops and
+// RunContext returns stdctx.Err() instead of ErrCanceled. An explicit
+// Ctx.Cancel still surfaces as ErrCanceled.
+func RunContext(stdctx context.Context, ctx *Ctx, op Operator) ([]schema.Row, error) {
+	if ctx == nil {
+		ctx = NewCtx()
+	}
+	release := ctx.Bind(stdctx)
+	rows, err := Run(ctx, op)
+	if bindErr := release(); bindErr != nil && err == ErrCanceled {
+		return nil, bindErr
+	}
+	return rows, err
+}

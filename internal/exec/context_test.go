@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// slowPlan builds a plan producing n*n rows from two n-row inputs (an
+// unfiltered nested-loops cross product), so a run lasts long enough for a
+// context to fire mid-flight without materializing a huge relation.
+func slowPlan(n int64) Operator {
+	rows := make([][]int64, n)
+	for i := range rows {
+		rows[i] = []int64{int64(i)}
+	}
+	outer := NewScan(relOf("cr", []string{"a"}, rows))
+	inner := NewScan(relOf("cs", []string{"b"}, rows))
+	return NewNLJoin(outer, inner, nil)
+}
+
+// smallPlan is a quick plan for the no-cancel paths.
+func smallPlan(n int64) Operator {
+	rows := make([][]int64, n)
+	for i := range rows {
+		rows[i] = []int64{int64(i)}
+	}
+	return NewScan(relOf("small", []string{"a"}, rows))
+}
+
+func TestBindNoCancelPath(t *testing.T) {
+	ctx := NewCtx()
+	release := ctx.Bind(context.Background())
+	rows, err := Run(ctx, smallPlan(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if got := release(); got != nil {
+		t.Fatalf("release = %v, want nil", got)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	stdctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	// Keep scanning until the deadline fires: a scan over a large relation.
+	_, err := RunContext(stdctx, nil, slowPlan(8_000))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestRunContextExplicitCancelStaysErrCanceled(t *testing.T) {
+	stdctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx := NewCtx()
+	ctx.OnGetNext = func(calls int64) {
+		if calls == 100 {
+			ctx.Cancel()
+		}
+	}
+	_, err := RunContext(stdctx, ctx, slowPlan(2_000))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	stdctx, cancel := context.WithCancel(context.Background())
+	ctx := NewCtx()
+	go func() {
+		for ctx.Calls() < 100 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		cancel()
+	}()
+	_, err := RunContext(stdctx, ctx, slowPlan(8_000))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBindReleaseAfterCompletion(t *testing.T) {
+	// The watcher must exit promptly on release even though the context
+	// never fires.
+	stdctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx := NewCtx()
+	release := ctx.Bind(stdctx)
+	if _, err := Run(ctx, smallPlan(10)); err != nil {
+		t.Fatal(err)
+	}
+	doneCh := make(chan error, 1)
+	go func() { doneCh <- release() }()
+	select {
+	case err := <-doneCh:
+		if err != nil {
+			t.Fatalf("release = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("release did not return")
+	}
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"sqlprogress/internal/session"
+)
+
+// doneEvent is the SSE stream's terminal frame.
+type doneEvent struct {
+	ID           string        `json:"id"`
+	State        session.State `json:"state"`
+	Calls        int64         `json:"calls"`
+	ElapsedMs    int64         `json:"elapsed_ms"`
+	RowCount     int           `json:"row_count"`
+	Error        string        `json:"error,omitempty"`
+	CancelReason string        `json:"cancel_reason,omitempty"`
+	// Estimates are each estimator's output at the final observation.
+	Estimates map[string]float64 `json:"estimates,omitempty"`
+	// FinalEstimate is the pmax estimate at the final instant — exactly 1.0
+	// for runs that completed (Curr = total(Q) >= LB), and the hard upper
+	// bound on the progress actually made for canceled or failed runs.
+	FinalEstimate float64 `json:"final_estimate"`
+}
+
+// handleProgress streams a session's progress as Server-Sent Events until
+// the session reaches a terminal state or the client disconnects.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ch, unsub := sess.Subscribe()
+	defer unsub()
+	keepAlive := s.KeepAlive
+	if keepAlive <= 0 {
+		keepAlive = time.Second
+	}
+	tick := time.NewTicker(keepAlive)
+	defer tick.Stop()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			// Client went away; the session keeps running (an explicit
+			// DELETE is the cancellation path).
+			return
+		case <-tick.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		case p, open := <-ch:
+			if !open {
+				// Channel closed without us seeing the final event (it was
+				// dropped before we subscribed): synthesize done from Info.
+				s.writeDone(w, fl, sess, nil)
+				return
+			}
+			if p.Final {
+				s.writeDone(w, fl, sess, &p)
+				return
+			}
+			writeEvent(w, fl, "progress", p)
+		}
+	}
+}
+
+func (s *Server) writeDone(w http.ResponseWriter, fl http.Flusher, sess *session.Session, p *session.Progress) {
+	in := sess.Info()
+	if p == nil {
+		p = in.Progress
+	}
+	ev := doneEvent{
+		ID:           in.ID,
+		State:        in.State,
+		Calls:        in.Calls,
+		ElapsedMs:    in.Elapsed.Milliseconds(),
+		RowCount:     in.RowCount,
+		Error:        in.Error,
+		CancelReason: in.CancelReason,
+	}
+	if p != nil {
+		ev.Estimates = p.Estimates
+		ev.FinalEstimate = p.Hi
+	}
+	writeEvent(w, fl, "done", ev)
+}
+
+// writeEvent frames one SSE event: an event name line, a single JSON data
+// line, and the blank separator, flushed immediately.
+func writeEvent(w http.ResponseWriter, fl http.Flusher, name string, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, buf)
+	fl.Flush()
+}

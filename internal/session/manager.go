@@ -1,0 +1,395 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sqlprogress/internal/catalog"
+	"sqlprogress/internal/compile"
+	"sqlprogress/internal/core"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/schema"
+)
+
+// Admission errors.
+var (
+	// ErrShed is returned when the concurrency limit is reached and the
+	// queue is at its depth cap — the request is shed rather than queued
+	// behind an unbounded backlog.
+	ErrShed = errors.New("session: at capacity, request shed")
+	// ErrClosed is returned by Submit after Close has begun.
+	ErrClosed = errors.New("session: manager closed")
+	// ErrNotFound is returned for unknown session ids.
+	ErrNotFound = errors.New("session: no such session")
+)
+
+// Config tunes a Manager. The zero value gets sensible defaults.
+type Config struct {
+	// MaxConcurrent bounds simultaneously-running sessions (default 8).
+	MaxConcurrent int
+	// MaxQueue bounds sessions waiting for a run slot; admission sheds
+	// (ErrShed) beyond it (default 64).
+	MaxQueue int
+	// SampleInterval is each session's AsyncMonitor wall-clock sampling
+	// period (default 2ms).
+	SampleInterval time.Duration
+	// DefaultDeadline caps each session's execution time unless the submit
+	// overrides it (0 = no deadline).
+	DefaultDeadline time.Duration
+	// Estimators are the estimator names evaluated per sample (default
+	// dne, pmax, safe).
+	Estimators []string
+	// KeepRows caps result rows retained per finished session for
+	// inspection (0 = default 50, negative = unlimited).
+	KeepRows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 2 * time.Millisecond
+	}
+	if len(c.Estimators) == 0 {
+		c.Estimators = []string{"dne", "pmax", "safe"}
+	}
+	if c.KeepRows == 0 {
+		c.KeepRows = 50
+	} else if c.KeepRows < 0 {
+		c.KeepRows = int(^uint(0) >> 1)
+	}
+	return c
+}
+
+// SubmitOptions are per-submission overrides.
+type SubmitOptions struct {
+	// Deadline overrides Config.DefaultDeadline (negative = explicitly no
+	// deadline).
+	Deadline time.Duration
+	// Estimators overrides Config.Estimators.
+	Estimators []string
+}
+
+// Manager admits, schedules, tracks, and cancels query sessions over one
+// database catalog. All methods are safe for concurrent use.
+type Manager struct {
+	cfg        Config
+	cat        *catalog.Catalog
+	base       context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	order    []*Session
+	queue    []*Session
+	running  int
+	nextID   int64
+	closed   bool
+	wg       sync.WaitGroup
+
+	c counters
+}
+
+// New returns a Manager serving queries over cat.
+func New(cat *catalog.Catalog, cfg Config) *Manager {
+	base, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		cfg:        cfg.withDefaults(),
+		cat:        cat,
+		base:       base,
+		baseCancel: cancel,
+		sessions:   make(map[string]*Session),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Submit compiles sql and admits it as a session. It returns the session
+// immediately (queued or already running); compile errors and shedding are
+// reported synchronously.
+func (m *Manager) Submit(sql string, opt SubmitOptions) (*Session, error) {
+	root, err := compile.CompileSQL(m.cat, sql)
+	if err != nil {
+		m.c.rejected.Add(1)
+		return nil, err
+	}
+	return m.admit(root, sql, opt)
+}
+
+// SubmitPlan admits a directly-constructed operator tree (e.g. a built-in
+// TPC-H plan). The plan must be fresh: operators carry execution state and
+// cannot be shared across sessions.
+func (m *Manager) SubmitPlan(root exec.Operator, label string, opt SubmitOptions) (*Session, error) {
+	return m.admit(root, label, opt)
+}
+
+func (m *Manager) admit(root exec.Operator, text string, opt SubmitOptions) (*Session, error) {
+	estNames := m.cfg.Estimators
+	if len(opt.Estimators) > 0 {
+		estNames = opt.Estimators
+	}
+	if _, err := estimatorsByName(estNames); err != nil {
+		m.c.rejected.Add(1)
+		return nil, err
+	}
+	deadline := m.cfg.DefaultDeadline
+	if opt.Deadline != 0 {
+		deadline = opt.Deadline
+		if deadline < 0 {
+			deadline = 0
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if m.running >= m.cfg.MaxConcurrent && len(m.queue) >= m.cfg.MaxQueue {
+		m.c.shed.Add(1)
+		return nil, ErrShed
+	}
+	m.nextID++
+	s := &Session{
+		id:       fmt.Sprintf("q%06d", m.nextID),
+		text:     text,
+		created:  time.Now(),
+		state:    StateQueued,
+		root:     root,
+		estNames: estNames,
+		keepRows: m.cfg.KeepRows,
+		deadline: deadline,
+		subs:     make(map[int]chan Progress),
+	}
+	m.sessions[s.id] = s
+	m.order = append(m.order, s)
+	m.c.admitted.Add(1)
+	if m.running < m.cfg.MaxConcurrent {
+		m.startLocked(s)
+	} else {
+		m.queue = append(m.queue, s)
+	}
+	return s, nil
+}
+
+// startLocked moves a session onto its own run goroutine. Caller holds m.mu.
+func (m *Manager) startLocked(s *Session) {
+	m.running++
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.execute(s)
+		m.onDone()
+	}()
+}
+
+// execute runs one session to a terminal state.
+func (m *Manager) execute(s *Session) {
+	s.mu.Lock()
+	if s.cancelAsked {
+		// Canceled between admission and start: never runs.
+		m.finishLocked(s, nil, exec.ErrCanceled, nil, 0)
+		s.mu.Unlock()
+		return
+	}
+	s.state = StateRunning
+	s.started = time.Now()
+	execCtx := exec.NewCtx()
+	s.execCtx = execCtx
+	ests, _ := estimatorsByName(s.estNames) // validated at admission
+	mon := core.NewAsyncMonitor(s.root, m.cfg.SampleInterval, ests...)
+	mon.OnSample = s.onSample
+	s.mon = mon
+	deadline := s.deadline
+	root := s.root
+	s.mu.Unlock()
+
+	stdctx := m.base
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		stdctx, cancel = context.WithTimeout(stdctx, deadline)
+		defer cancel()
+	}
+	release := execCtx.Bind(stdctx)
+	mon.Start(execCtx)
+	rows, err := exec.Run(execCtx, root)
+	bindErr := release()
+	mon.Stop() // joins the sampler; Samples are stable from here on
+
+	s.mu.Lock()
+	m.finishLocked(s, rows, err, bindErr, execCtx.Calls())
+	s.mu.Unlock()
+}
+
+// finishLocked applies the terminal transition, records metrics, and
+// publishes the final progress event. Caller holds s.mu.
+func (m *Manager) finishLocked(s *Session, rows []schema.Row, runErr, bindErr error, calls int64) {
+	s.finished = time.Now()
+	s.totalCalls = calls
+	if s.mon != nil {
+		s.workMu = core.Mu(s.root)
+	}
+	switch {
+	case runErr == nil:
+		s.state = StateFinished
+		s.rowCount = len(rows)
+		s.cols = make([]string, 0, s.root.Schema().Len())
+		for _, c := range s.root.Schema().Columns {
+			s.cols = append(s.cols, c.Name)
+		}
+		if len(rows) > s.keepRows {
+			rows = rows[:s.keepRows]
+		}
+		s.rows = rows
+		m.c.completed.Add(1)
+	case errors.Is(runErr, exec.ErrCanceled):
+		s.state = StateCanceled
+		s.err = runErr
+		switch {
+		case s.cancelAsked:
+			// reason recorded by RequestCancel / Close
+		case errors.Is(bindErr, context.DeadlineExceeded):
+			s.cancelReason = "deadline exceeded"
+			s.err = bindErr
+		case errors.Is(bindErr, context.Canceled):
+			s.cancelReason = "server shutdown"
+		default:
+			s.cancelReason = "canceled"
+		}
+		if s.cancelAsked && !s.cancelAt.IsZero() && s.mon != nil {
+			m.c.recordCancelLatency(time.Since(s.cancelAt))
+		}
+		m.c.canceled.Add(1)
+	default:
+		s.state = StateFailed
+		s.err = runErr
+		m.c.failed.Add(1)
+	}
+	// Final event: from the monitor's at-stop sample when the session ran,
+	// zero-valued otherwise (canceled while queued).
+	var final Progress
+	if s.mon != nil && len(s.mon.Samples) > 0 {
+		final = s.progressLocked(s.mon.Samples[len(s.mon.Samples)-1], true)
+	} else {
+		final = Progress{Final: true, State: s.state}
+	}
+	final.State = s.state
+	s.publishLocked(final)
+}
+
+// onDone frees a run slot and starts queued work.
+func (m *Manager) onDone() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	for !m.closed && m.running < m.cfg.MaxConcurrent && len(m.queue) > 0 {
+		next := m.queue[0]
+		m.queue = m.queue[1:]
+		m.startLocked(next)
+	}
+}
+
+// Get looks a session up by id.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return s, nil
+}
+
+// List returns every registered session in admission order.
+func (m *Manager) List() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Cancel requests termination of a session: queued sessions transition to
+// canceled immediately; running sessions stop at their next counted GetNext
+// call. Terminal sessions are left untouched (Cancel is idempotent).
+func (m *Manager) Cancel(id, reason string) (*Session, error) {
+	if reason == "" {
+		reason = "client cancel"
+	}
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	// Pull it out of the queue if still waiting.
+	inQueue := false
+	for i, q := range m.queue {
+		if q == s {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			inQueue = true
+			break
+		}
+	}
+	m.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state.Terminal() || s.cancelAsked {
+		return s, nil
+	}
+	s.cancelAsked = true
+	s.cancelReason = reason
+	s.cancelAt = time.Now()
+	m.c.cancelRequests.Add(1)
+	if inQueue {
+		// No goroutine owns it: finish it here.
+		m.finishLocked(s, nil, exec.ErrCanceled, nil, 0)
+		return s, nil
+	}
+	if s.execCtx != nil {
+		s.execCtx.Cancel()
+	}
+	// else: startLocked has claimed it but execute hasn't attached a Ctx
+	// yet; execute observes cancelAsked and finishes it as canceled.
+	return s, nil
+}
+
+// Close shuts the manager down gracefully: admission stops, queued sessions
+// are canceled without running, running sessions are canceled via the shared
+// base context, and Close blocks until every run goroutine (and its monitor)
+// has exited. Safe to call more than once.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return nil
+	}
+	m.closed = true
+	queued := m.queue
+	m.queue = nil
+	m.mu.Unlock()
+
+	for _, s := range queued {
+		s.mu.Lock()
+		if !s.state.Terminal() {
+			s.cancelAsked = true
+			s.cancelReason = "server shutdown"
+			s.cancelAt = time.Now()
+			m.finishLocked(s, nil, exec.ErrCanceled, nil, 0)
+		}
+		s.mu.Unlock()
+	}
+	m.baseCancel()
+	m.wg.Wait()
+	return nil
+}

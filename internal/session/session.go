@@ -1,0 +1,302 @@
+// Package session runs queries as managed sessions: a Manager admits work
+// under a concurrency limit (FIFO queue with a depth cap, shedding when
+// full), executes each admitted query on its own goroutine with an
+// off-thread core.AsyncMonitor attached, and keeps a registry of live and
+// finished sessions for inspection, streaming, and cancellation.
+//
+// This is the serving layer the paper's motivating scenario implies: many
+// queries in flight at once, each continuously observed by a progress
+// estimator cheap enough that the observation never throttles execution,
+// with the estimate informing the decision the paper cares about —
+// letting the query run or killing it.
+package session
+
+import (
+	"sync"
+	"time"
+
+	"sqlprogress/internal/core"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/schema"
+)
+
+// State is a session's lifecycle state. Transitions are monotone:
+// queued → running → finished | canceled | failed, with queued sessions
+// also able to jump straight to canceled.
+type State string
+
+// Session lifecycle states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateFinished State = "finished"
+	StateCanceled State = "canceled"
+	StateFailed   State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateFinished || s == StateCanceled || s == StateFailed
+}
+
+// Progress is one streamed progress observation for a session: the hard
+// interval and every configured estimator's output at one instant of the
+// execution, plus lifecycle framing for the final event.
+type Progress struct {
+	// Calls is Curr at the observation.
+	Calls int64 `json:"calls"`
+	// LB and UB bound total(Q) at the observation.
+	LB int64 `json:"lb"`
+	UB int64 `json:"ub"`
+	// Lo and Hi are the hard progress interval [Curr/UB, min(Curr/LB, 1)].
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	// Estimates holds each configured estimator's output by name.
+	Estimates map[string]float64 `json:"estimates"`
+	// Elapsed is wall-clock time since the session started running.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Final marks the last event a session will ever publish.
+	Final bool `json:"final,omitempty"`
+	// State is the session state at the observation.
+	State State `json:"state"`
+}
+
+// Session is one submitted query: its compiled plan, lifecycle state,
+// execution context, monitor, and result summary. All fields are guarded by
+// mu; exported accessors are safe from any goroutine.
+type Session struct {
+	id      string
+	text    string
+	created time.Time
+
+	mu           sync.Mutex
+	state        State
+	root         exec.Operator
+	execCtx      *exec.Ctx
+	mon          *core.AsyncMonitor
+	estNames     []string
+	keepRows     int
+	deadline     time.Duration
+	started      time.Time
+	finished     time.Time
+	cancelAsked  bool
+	cancelReason string
+	cancelAt     time.Time
+	err          error
+	cols         []string
+	rows         []schema.Row
+	rowCount     int
+	totalCalls   int64
+	workMu       float64
+	last         Progress
+	hasLast      bool
+	subs         map[int]chan Progress
+	nextSub      int
+}
+
+// ID returns the session's registry identifier.
+func (s *Session) ID() string { return s.id }
+
+// Text returns the submitted SQL (or the plan label for SubmitPlan).
+func (s *Session) Text() string { return s.text }
+
+// State returns the current lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Err returns the terminal error (nil for finished or still-live sessions).
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Info is a consistent point-in-time view of a session, shaped for JSON
+// serving.
+type Info struct {
+	ID      string    `json:"id"`
+	Text    string    `json:"text"`
+	State   State     `json:"state"`
+	Created time.Time `json:"created"`
+	// Started and Finished are nil until the respective transition.
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Elapsed is the run's wall-clock time so far (final once terminal).
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Deadline is the per-session execution deadline (0 = none).
+	Deadline time.Duration `json:"deadline_ns,omitempty"`
+	// Calls is Curr — live for running sessions, total(Q) once finished.
+	Calls int64 `json:"calls"`
+	// CancelReason says why a canceled session was canceled.
+	CancelReason string `json:"cancel_reason,omitempty"`
+	// Error is the terminal error message for failed sessions.
+	Error string `json:"error,omitempty"`
+	// Progress is the most recent observation (nil before the first sample).
+	Progress *Progress `json:"progress,omitempty"`
+	// Result summary, populated once finished.
+	Columns  []string   `json:"columns,omitempty"`
+	Rows     [][]string `json:"rows,omitempty"`
+	RowCount int        `json:"row_count"`
+	Mu       float64    `json:"mu,omitempty"`
+}
+
+// Info snapshots the session.
+func (s *Session) Info() Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	in := Info{
+		ID:           s.id,
+		Text:         s.text,
+		State:        s.state,
+		Created:      s.created,
+		Deadline:     s.deadline,
+		CancelReason: s.cancelReason,
+		RowCount:     s.rowCount,
+		Mu:           s.workMu,
+	}
+	if !s.started.IsZero() {
+		t := s.started
+		in.Started = &t
+		if s.finished.IsZero() {
+			in.Elapsed = time.Since(s.started)
+		}
+	}
+	if !s.finished.IsZero() {
+		t := s.finished
+		in.Finished = &t
+		if !s.started.IsZero() {
+			in.Elapsed = s.finished.Sub(s.started)
+		}
+	}
+	switch {
+	case s.state.Terminal():
+		in.Calls = s.totalCalls
+	case s.execCtx != nil:
+		in.Calls = s.execCtx.Calls()
+	}
+	if s.err != nil {
+		in.Error = s.err.Error()
+	}
+	if s.hasLast {
+		p := s.last
+		in.Progress = &p
+	}
+	in.Columns = s.cols
+	if len(s.rows) > 0 {
+		in.Rows = make([][]string, len(s.rows))
+		for i, r := range s.rows {
+			cells := make([]string, len(r))
+			for j, v := range r {
+				cells[j] = v.String()
+			}
+			in.Rows[i] = cells
+		}
+	}
+	return in
+}
+
+// Samples returns the monitor's recorded sample series. Valid only once the
+// session is terminal (the monitor goroutine is joined before the terminal
+// transition); nil for sessions canceled before running.
+func (s *Session) Samples() []core.Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.state.Terminal() || s.mon == nil {
+		return nil
+	}
+	return s.mon.Samples
+}
+
+// Subscribe registers a progress listener. The returned channel receives
+// observations as they are sampled (primed with the latest one, when any)
+// and is closed after the final event; a slow consumer loses intermediate
+// observations, never the final one. The unsubscribe function is idempotent
+// and must be called when the consumer is done.
+func (s *Session) Subscribe() (<-chan Progress, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan Progress, 16)
+	if s.hasLast {
+		ch <- s.last
+	}
+	if s.state.Terminal() {
+		close(ch)
+		return ch, func() {}
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	return ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// onSample adapts a monitor sample into a Progress event and fans it out.
+// It runs on the monitor's sampler goroutine.
+func (s *Session) onSample(smp core.Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.publishLocked(s.progressLocked(smp, false))
+}
+
+// progressLocked shapes a monitor sample as a Progress event.
+func (s *Session) progressLocked(smp core.Sample, final bool) Progress {
+	p := Progress{
+		Calls: smp.Calls, LB: smp.LB, UB: smp.UB,
+		Estimates: make(map[string]float64, len(s.estNames)),
+		Final:     final,
+		State:     s.state,
+	}
+	for i, n := range s.estNames {
+		if i < len(smp.Estimates) {
+			p.Estimates[n] = smp.Estimates[i]
+		}
+	}
+	if smp.Calls > 0 && smp.UB > 0 {
+		p.Lo = float64(smp.Calls) / float64(smp.UB)
+		p.Hi = float64(smp.Calls) / float64(smp.LB)
+		if p.Hi > 1 {
+			p.Hi = 1
+		}
+	}
+	if !s.started.IsZero() {
+		p.Elapsed = time.Since(s.started)
+	}
+	return p
+}
+
+// publishLocked stores the latest observation and fans it out to every
+// subscriber. Sends are lossy (latest-wins) for intermediate events; the
+// final event closes all subscriber channels, so it is always observed as
+// the channel's last value or its closure.
+func (s *Session) publishLocked(p Progress) {
+	s.last = p
+	s.hasLast = true
+	for id, ch := range s.subs {
+		select {
+		case ch <- p:
+		default:
+			// Full buffer: drop one stale observation, then retry once.
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- p:
+			default:
+			}
+		}
+		if p.Final {
+			delete(s.subs, id)
+			close(ch)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package session
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sqlprogress/internal/tpch"
+)
+
+// TestStressConcurrentTPCHSessions is the subsystem's acceptance stress
+// test: ≥32 TPC-H queries in flight simultaneously through one Manager,
+// every session continuously sampled by its off-thread monitor, a random
+// subset canceled mid-flight, all under -race in CI.
+//
+// Per-session assertions mirror the paper's hard guarantees as they must
+// hold for concurrently-observed executions:
+//
+//   - LB never decreases and UB never increases across a session's samples
+//     (the bounds only refine),
+//   - LB <= UB at every sample (the interval never crosses),
+//   - for finished sessions, every sample's bounds straddle total(Q) and
+//     the final pmax estimate is exactly 1.0 (Curr/LB with LB <= total(Q),
+//     clamped — dne and safe may legitimately end below 1.0 on rescan-heavy
+//     plans whose bounds never pin),
+//   - the registry and metrics agree with the per-session terminal states.
+func TestStressConcurrentTPCHSessions(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{SF: 0.002, Z: 2, Seed: 11})
+	const nSessions = 48
+	m := New(cat, Config{
+		MaxConcurrent:  32,
+		MaxQueue:       nSessions,
+		SampleInterval: 100 * time.Microsecond,
+	})
+	defer m.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	queries := tpch.Queries()
+	sessions := make([]*Session, 0, nSessions)
+	for i := 0; i < nSessions; i++ {
+		q := queries[i%len(queries)]
+		op, err := tpch.BuildQuery(cat, q.Num)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := m.SubmitPlan(op, q.Desc, SubmitOptions{})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		sessions = append(sessions, s)
+	}
+
+	// Cancel ~1/4 of the sessions mid-flight, from a separate goroutine, at
+	// random times while the fleet races.
+	cancelDone := make(chan struct{})
+	var toCancel []string
+	for _, s := range sessions {
+		if rng.Intn(4) == 0 {
+			toCancel = append(toCancel, s.ID())
+		}
+	}
+	go func() {
+		defer close(cancelDone)
+		for _, id := range toCancel {
+			time.Sleep(time.Duration(rng.Intn(500)) * time.Microsecond)
+			if _, err := m.Cancel(id, "stress cancel"); err != nil {
+				t.Errorf("cancel %s: %v", id, err)
+			}
+		}
+	}()
+
+	for _, s := range sessions {
+		waitTerminal(t, s)
+	}
+	<-cancelDone
+
+	var finished, canceled int
+	for _, s := range sessions {
+		in := s.Info()
+		switch in.State {
+		case StateFinished:
+			finished++
+		case StateCanceled:
+			canceled++
+		default:
+			t.Fatalf("%s (%s): unexpected terminal state %s (err %v)",
+				s.ID(), s.Text(), in.State, s.Err())
+		}
+
+		samples := s.Samples()
+		for i, smp := range samples {
+			if smp.LB > smp.UB {
+				t.Fatalf("%s: sample %d interval crossed [%d, %d]", s.ID(), i, smp.LB, smp.UB)
+			}
+			if i > 0 {
+				if smp.LB < samples[i-1].LB {
+					t.Fatalf("%s: LB decreased at sample %d (%d -> %d)",
+						s.ID(), i, samples[i-1].LB, smp.LB)
+				}
+				if smp.UB > samples[i-1].UB {
+					t.Fatalf("%s: UB increased at sample %d (%d -> %d)",
+						s.ID(), i, samples[i-1].UB, smp.UB)
+				}
+			}
+			for j, est := range smp.Estimates {
+				if est < 0 || est > 1 {
+					t.Fatalf("%s: sample %d estimate %d = %f out of [0,1]", s.ID(), i, j, est)
+				}
+			}
+		}
+		if in.State == StateFinished {
+			if len(samples) == 0 {
+				t.Fatalf("%s: finished with no samples", s.ID())
+			}
+			total := in.Calls
+			for i, smp := range samples {
+				if smp.LB > total || smp.UB < total {
+					t.Fatalf("%s: sample %d bounds [%d, %d] miss total %d",
+						s.ID(), i, smp.LB, smp.UB, total)
+				}
+			}
+			if in.Progress == nil || !in.Progress.Final {
+				t.Fatalf("%s: finished without final progress event", s.ID())
+			}
+			if pmax := in.Progress.Estimates["pmax"]; pmax != 1.0 {
+				t.Fatalf("%s: final pmax = %f, want exactly 1.0", s.ID(), pmax)
+			}
+		}
+	}
+
+	mt := m.Metrics()
+	if int(mt.Completed) != finished || int(mt.Canceled) != canceled {
+		t.Fatalf("metrics %+v disagree with states (finished %d, canceled %d)",
+			mt, finished, canceled)
+	}
+	if mt.Admitted != nSessions {
+		t.Fatalf("admitted = %d", mt.Admitted)
+	}
+	if mt.Active != 0 || mt.Queued != 0 {
+		t.Fatalf("gauges not drained: %+v", mt)
+	}
+	t.Logf("stress: %d finished, %d canceled (cancel latency avg %v max %v)",
+		finished, canceled, mt.CancelLatencyAvg, mt.CancelLatencyMax)
+}

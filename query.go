@@ -1,6 +1,7 @@
 package sqlprogress
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -142,12 +143,20 @@ func (q *Query) ExplainBounds() string { return core.ExplainBounds(q.root) }
 
 // Run executes the query to completion.
 func (q *Query) Run() (*Result, error) {
+	return q.RunContext(context.Background())
+}
+
+// RunContext executes the query to completion, honouring ctx: if the
+// context is canceled or its deadline expires mid-run, execution stops
+// promptly and RunContext returns ctx.Err(). An explicit Query.Cancel still
+// surfaces as ErrCanceled.
+func (q *Query) RunContext(ctx context.Context) (*Result, error) {
 	if q.used {
 		return nil, fmt.Errorf("sqlprogress: query already executed")
 	}
 	q.used = true
 	q.ctx = exec.NewCtx()
-	rows, err := exec.Run(q.ctx, q.root)
+	rows, err := exec.RunContext(ctx, q.ctx, q.root)
 	if err != nil {
 		return nil, err
 	}
@@ -197,6 +206,13 @@ type ProgressUpdate struct {
 // RunWithProgress executes the query, invoking cb at each sampling point.
 // The callback runs synchronously on the execution path — keep it cheap.
 func (q *Query) RunWithProgress(opts ProgressOptions, cb func(ProgressUpdate)) (*Result, error) {
+	return q.RunWithProgressContext(context.Background(), opts, cb)
+}
+
+// RunWithProgressContext is RunWithProgress honouring ctx like RunContext:
+// server deadlines and client disconnects stop the execution promptly, with
+// ctx.Err() as the returned error.
+func (q *Query) RunWithProgressContext(ctx context.Context, opts ProgressOptions, cb func(ProgressUpdate)) (*Result, error) {
 	if q.used {
 		return nil, fmt.Errorf("sqlprogress: query already executed")
 	}
@@ -248,7 +264,7 @@ func (q *Query) RunWithProgress(opts ProgressOptions, cb func(ProgressUpdate)) (
 		}
 		cb(u)
 	}
-	rows, err := exec.Run(q.ctx, q.root)
+	rows, err := exec.RunContext(ctx, q.ctx, q.root)
 	if err != nil {
 		return nil, err
 	}
