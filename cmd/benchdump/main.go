@@ -24,6 +24,7 @@ import (
 	sqlprogress "sqlprogress"
 	"sqlprogress/internal/catalog"
 	"sqlprogress/internal/core"
+	"sqlprogress/internal/coretest"
 	"sqlprogress/internal/datagen"
 	"sqlprogress/internal/exec"
 	"sqlprogress/internal/plan"
@@ -140,9 +141,36 @@ func sessionCat() *catalog.Catalog {
 	return sessionCatMem.cat
 }
 
+// chaosSweep runs the seeded chaos corpus once — n fault schedules, each a
+// full execution with injected stalls/errors/cancels and every recorded
+// sample checked against the estimator invariants — and reports the
+// per-schedule cost. It is timed by hand rather than through
+// testing.Benchmark, whose auto-scaling would rerun minutes of work for no
+// extra signal. Any violation aborts the dump; the error carries the
+// replayable seed and schedule.
+func chaosSweep(n int) result {
+	start := time.Now()
+	for seed := int64(1); seed <= int64(n); seed++ {
+		if err := coretest.RunChaos(seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(start)
+	res := result{
+		Name:      "chaos_sweep_per_schedule",
+		NsPerOp:   float64(elapsed.Nanoseconds()) / float64(n),
+		N:         n,
+		TotalSecs: elapsed.Seconds(),
+	}
+	fmt.Printf("%-28s %12.1f ns/op %8s %6d schedules\n", res.Name, res.NsPerOp, "", n)
+	return res
+}
+
 func main() {
 	out := flag.String("o", "BENCH_1.json", "output path")
 	out2 := flag.String("o2", "BENCH_2.json", "session-service output path")
+	chaosN := flag.Int("chaos", 500, "fault schedules in the chaos sweep (0 = skip)")
 	flag.Parse()
 
 	var results []result
@@ -208,6 +236,9 @@ func main() {
 	sessResults = record("sessions_throughput_32x_conc32", sessResults, func(b *testing.B) {
 		sessionsThroughput(b, 32, 32)
 	})
+	if *chaosN > 0 {
+		sessResults = append(sessResults, chaosSweep(*chaosN))
+	}
 	writeDump(*out2, sessResults)
 }
 

@@ -35,17 +35,18 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		dataset  = flag.String("dataset", "tpch", "dataset to serve: tpch | skyserver")
-		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		z        = flag.Float64("z", 2, "zipf skew parameter")
-		seed     = flag.Int64("seed", 42, "generator seed")
-		rows     = flag.Int64("rows", 20000, "skyserver photoobj rows")
-		maxConc  = flag.Int("max-concurrent", 8, "concurrent query limit")
-		maxQueue = flag.Int("queue-depth", 64, "admission queue depth (shed beyond)")
-		interval = flag.Duration("sample-interval", 2*time.Millisecond, "progress sampling period")
-		deadline = flag.Duration("deadline", 0, "default per-query deadline (0 = none)")
-		keepRows = flag.Int("keep-rows", 50, "result rows retained per session")
+		addr       = flag.String("addr", ":8080", "listen address")
+		dataset    = flag.String("dataset", "tpch", "dataset to serve: tpch | skyserver")
+		sf         = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		z          = flag.Float64("z", 2, "zipf skew parameter")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		rows       = flag.Int64("rows", 20000, "skyserver photoobj rows")
+		maxConc    = flag.Int("max-concurrent", 8, "concurrent query limit")
+		maxQueue   = flag.Int("queue-depth", 64, "admission queue depth (shed beyond)")
+		interval   = flag.Duration("sample-interval", 2*time.Millisecond, "progress sampling period")
+		deadline   = flag.Duration("deadline", 0, "default per-query deadline (0 = none)")
+		keepRows   = flag.Int("keep-rows", 50, "result rows retained per session")
+		stallAfter = flag.Duration("stall-after", 0, "flag sessions whose call counter stops advancing for this long (0 = watchdog off)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,7 @@ func main() {
 		SampleInterval:  *interval,
 		DefaultDeadline: *deadline,
 		KeepRows:        *keepRows,
+		StallAfter:      *stallAfter,
 	})
 	httpSrv := &http.Server{Handler: server.New(mgr)}
 

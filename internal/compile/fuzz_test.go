@@ -149,146 +149,140 @@ func compare(t *testing.T, sql string, got, want [][]int64) {
 	}
 }
 
-func TestFuzzFilterProjection(t *testing.T) {
-	for seed := int64(0); seed < 25; seed++ {
-		r := rand.New(rand.NewSource(seed))
-		db := newFuzzDB(r)
-		p1, p2 := randPred(r), randPred(r)
-		conj := r.Intn(2) == 0
-		connector := "AND"
+// Each family checks one query shape for one seed; the Test wrappers sweep
+// fixed seed ranges as deterministic regressions, and FuzzDifferential
+// explores arbitrary (seed, family) pairs under the native fuzzer.
+
+func fuzzFilterProjection(t *testing.T, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	db := newFuzzDB(r)
+	p1, p2 := randPred(r), randPred(r)
+	conj := r.Intn(2) == 0
+	connector := "AND"
+	if !conj {
+		connector = "OR"
+	}
+	sql := fmt.Sprintf("SELECT a, b, c FROM t1 WHERE %s %s %s", p1.sql(), connector, p2.sql())
+	var want [][]int64
+	for _, row := range db.t1 {
+		keep := p1.eval(row) && p2.eval(row)
 		if !conj {
-			connector = "OR"
+			keep = p1.eval(row) || p2.eval(row)
 		}
-		sql := fmt.Sprintf("SELECT a, b, c FROM t1 WHERE %s %s %s", p1.sql(), connector, p2.sql())
-		var want [][]int64
-		for _, row := range db.t1 {
-			keep := p1.eval(row) && p2.eval(row)
-			if !conj {
-				keep = p1.eval(row) || p2.eval(row)
-			}
-			if keep {
-				want = append(want, []int64{row[0], row[1], row[2]})
-			}
+		if keep {
+			want = append(want, []int64{row[0], row[1], row[2]})
 		}
-		compare(t, sql, runFuzzSQL(t, db, sql), want)
 	}
+	compare(t, sql, runFuzzSQL(t, db, sql), want)
 }
 
-func TestFuzzJoin(t *testing.T) {
-	for seed := int64(100); seed < 125; seed++ {
-		r := rand.New(rand.NewSource(seed))
-		db := newFuzzDB(r)
-		p := randPred(r)
-		sql := fmt.Sprintf("SELECT a, b, e FROM t1, t2 WHERE a = d AND %s", p.sql())
-		var want [][]int64
-		for _, r1 := range db.t1 {
-			if !p.eval(r1) {
-				continue
-			}
-			for _, r2 := range db.t2 {
-				if r1[0] == r2[0] {
-					want = append(want, []int64{r1[0], r1[1], r2[1]})
-				}
+func fuzzJoin(t *testing.T, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	db := newFuzzDB(r)
+	p := randPred(r)
+	sql := fmt.Sprintf("SELECT a, b, e FROM t1, t2 WHERE a = d AND %s", p.sql())
+	var want [][]int64
+	for _, r1 := range db.t1 {
+		if !p.eval(r1) {
+			continue
+		}
+		for _, r2 := range db.t2 {
+			if r1[0] == r2[0] {
+				want = append(want, []int64{r1[0], r1[1], r2[1]})
 			}
 		}
-		compare(t, sql, runFuzzSQL(t, db, sql), want)
 	}
+	compare(t, sql, runFuzzSQL(t, db, sql), want)
 }
 
-func TestFuzzGroupByAggregates(t *testing.T) {
-	for seed := int64(200); seed < 225; seed++ {
-		r := rand.New(rand.NewSource(seed))
-		db := newFuzzDB(r)
-		p := randPred(r)
-		sql := fmt.Sprintf(
-			"SELECT b, COUNT(*), SUM(c), MIN(c), MAX(c) FROM t1 WHERE %s GROUP BY b", p.sql())
-		type agg struct{ cnt, sum, min, max int64 }
-		groups := map[int64]*agg{}
-		for _, row := range db.t1 {
-			if !p.eval(row) {
+func fuzzGroupByAggregates(t *testing.T, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	db := newFuzzDB(r)
+	p := randPred(r)
+	sql := fmt.Sprintf(
+		"SELECT b, COUNT(*), SUM(c), MIN(c), MAX(c) FROM t1 WHERE %s GROUP BY b", p.sql())
+	type agg struct{ cnt, sum, min, max int64 }
+	groups := map[int64]*agg{}
+	for _, row := range db.t1 {
+		if !p.eval(row) {
+			continue
+		}
+		g := groups[row[1]]
+		if g == nil {
+			g = &agg{min: row[2], max: row[2]}
+			groups[row[1]] = g
+		}
+		g.cnt++
+		g.sum += row[2]
+		if row[2] < g.min {
+			g.min = row[2]
+		}
+		if row[2] > g.max {
+			g.max = row[2]
+		}
+	}
+	var want [][]int64
+	for b, g := range groups {
+		want = append(want, []int64{b, g.cnt, g.sum, g.min, g.max})
+	}
+	compare(t, sql, runFuzzSQL(t, db, sql), want)
+}
+
+func fuzzJoinGroupBy(t *testing.T, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	db := newFuzzDB(r)
+	sql := "SELECT b, COUNT(*), SUM(e) FROM t1 JOIN t2 ON a = d GROUP BY b"
+	type agg struct{ cnt, sum int64 }
+	groups := map[int64]*agg{}
+	for _, r1 := range db.t1 {
+		for _, r2 := range db.t2 {
+			if r1[0] != r2[0] {
 				continue
 			}
-			g := groups[row[1]]
+			g := groups[r1[1]]
 			if g == nil {
-				g = &agg{min: row[2], max: row[2]}
-				groups[row[1]] = g
+				g = &agg{}
+				groups[r1[1]] = g
 			}
 			g.cnt++
-			g.sum += row[2]
-			if row[2] < g.min {
-				g.min = row[2]
-			}
-			if row[2] > g.max {
-				g.max = row[2]
-			}
+			g.sum += r2[1]
 		}
-		var want [][]int64
-		for b, g := range groups {
-			want = append(want, []int64{b, g.cnt, g.sum, g.min, g.max})
-		}
-		compare(t, sql, runFuzzSQL(t, db, sql), want)
 	}
+	var want [][]int64
+	for b, g := range groups {
+		want = append(want, []int64{b, g.cnt, g.sum})
+	}
+	compare(t, sql, runFuzzSQL(t, db, sql), want)
 }
 
-func TestFuzzJoinGroupBy(t *testing.T) {
-	for seed := int64(300); seed < 320; seed++ {
-		r := rand.New(rand.NewSource(seed))
-		db := newFuzzDB(r)
-		sql := "SELECT b, COUNT(*), SUM(e) FROM t1 JOIN t2 ON a = d GROUP BY b"
-		type agg struct{ cnt, sum int64 }
-		groups := map[int64]*agg{}
+func fuzzSemiAntiJoin(t *testing.T, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	db := newFuzzDB(r)
+	exists := map[int64]bool{}
+	for _, r2 := range db.t2 {
+		exists[r2[0]] = true
+	}
+	for _, neg := range []bool{false, true} {
+		kw := "EXISTS"
+		if neg {
+			kw = "NOT EXISTS"
+		}
+		sql := fmt.Sprintf(
+			"SELECT a, c FROM t1 WHERE %s (SELECT 1 FROM t2 WHERE t2.d = t1.a)", kw)
+		var want [][]int64
 		for _, r1 := range db.t1 {
-			for _, r2 := range db.t2 {
-				if r1[0] != r2[0] {
-					continue
-				}
-				g := groups[r1[1]]
-				if g == nil {
-					g = &agg{}
-					groups[r1[1]] = g
-				}
-				g.cnt++
-				g.sum += r2[1]
+			if exists[r1[0]] != neg {
+				want = append(want, []int64{r1[0], r1[2]})
 			}
-		}
-		var want [][]int64
-		for b, g := range groups {
-			want = append(want, []int64{b, g.cnt, g.sum})
 		}
 		compare(t, sql, runFuzzSQL(t, db, sql), want)
 	}
 }
 
-func TestFuzzSemiAntiJoin(t *testing.T) {
-	for seed := int64(400); seed < 420; seed++ {
-		r := rand.New(rand.NewSource(seed))
-		db := newFuzzDB(r)
-		exists := map[int64]bool{}
-		for _, r2 := range db.t2 {
-			exists[r2[0]] = true
-		}
-		for _, neg := range []bool{false, true} {
-			kw := "EXISTS"
-			if neg {
-				kw = "NOT EXISTS"
-			}
-			sql := fmt.Sprintf(
-				"SELECT a, c FROM t1 WHERE %s (SELECT 1 FROM t2 WHERE t2.d = t1.a)", kw)
-			var want [][]int64
-			for _, r1 := range db.t1 {
-				if exists[r1[0]] != neg {
-					want = append(want, []int64{r1[0], r1[2]})
-				}
-			}
-			compare(t, sql, runFuzzSQL(t, db, sql), want)
-		}
-	}
-}
-
-// TestFuzzProgressInvariantsOnRandomQueries runs every random query under a
-// monitor and asserts the core invariants hold for arbitrary compiled
+// fuzzProgressInvariants runs a fixed query set over seed-random data under
+// a monitor and asserts the core invariants hold for arbitrary compiled
 // plans, not just the hand-built experiment plans.
-func TestFuzzProgressInvariantsOnRandomQueries(t *testing.T) {
+func fuzzProgressInvariants(t *testing.T, seed int64) {
 	queries := []string{
 		"SELECT a, b FROM t1 WHERE c > 50",
 		"SELECT b, COUNT(*) FROM t1 GROUP BY b ORDER BY b",
@@ -296,15 +290,73 @@ func TestFuzzProgressInvariantsOnRandomQueries(t *testing.T) {
 		"SELECT b, SUM(e) FROM t1 JOIN t2 ON a = d GROUP BY b ORDER BY b LIMIT 3",
 		"SELECT a FROM t1 WHERE EXISTS (SELECT 1 FROM t2 WHERE t2.d = t1.a) ORDER BY a",
 	}
-	for seed := int64(500); seed < 510; seed++ {
-		r := rand.New(rand.NewSource(seed))
-		db := newFuzzDB(r)
-		for _, sql := range queries {
-			op, err := CompileSQL(db.cat, sql)
-			if err != nil {
-				t.Fatalf("compile %q: %v", sql, err)
-			}
-			checkProgressInvariants(t, sql, op)
+	r := rand.New(rand.NewSource(seed))
+	db := newFuzzDB(r)
+	for _, sql := range queries {
+		op, err := CompileSQL(db.cat, sql)
+		if err != nil {
+			t.Fatalf("compile %q: %v", sql, err)
 		}
+		checkProgressInvariants(t, sql, op)
+	}
+}
+
+// fuzzFamilies dispatches a fuzz input's kind byte to one query family.
+var fuzzFamilies = []func(*testing.T, int64){
+	fuzzFilterProjection,
+	fuzzJoin,
+	fuzzGroupByAggregates,
+	fuzzJoinGroupBy,
+	fuzzSemiAntiJoin,
+	fuzzProgressInvariants,
+}
+
+// FuzzDifferential is the native-fuzzing entry point over all six
+// differential families: the fuzzer explores (seed, family) pairs, every
+// one of which must produce results identical to the naive evaluator (and
+// clean progress invariants for the last family). The checked-in corpus
+// under testdata/fuzz/FuzzDifferential seeds one input per family.
+func FuzzDifferential(f *testing.F) {
+	for kind := range fuzzFamilies {
+		f.Add(int64(kind*100), byte(kind))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, kind byte) {
+		fuzzFamilies[int(kind)%len(fuzzFamilies)](t, seed)
+	})
+}
+
+func TestFuzzFilterProjection(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		fuzzFilterProjection(t, seed)
+	}
+}
+
+func TestFuzzJoin(t *testing.T) {
+	for seed := int64(100); seed < 125; seed++ {
+		fuzzJoin(t, seed)
+	}
+}
+
+func TestFuzzGroupByAggregates(t *testing.T) {
+	for seed := int64(200); seed < 225; seed++ {
+		fuzzGroupByAggregates(t, seed)
+	}
+}
+
+func TestFuzzJoinGroupBy(t *testing.T) {
+	for seed := int64(300); seed < 320; seed++ {
+		fuzzJoinGroupBy(t, seed)
+	}
+}
+
+func TestFuzzSemiAntiJoin(t *testing.T) {
+	for seed := int64(400); seed < 420; seed++ {
+		fuzzSemiAntiJoin(t, seed)
+	}
+}
+
+func TestFuzzProgressInvariantsOnRandomQueries(t *testing.T) {
+	for seed := int64(500); seed < 510; seed++ {
+		fuzzProgressInvariants(t, seed)
 	}
 }

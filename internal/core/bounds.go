@@ -46,7 +46,11 @@ type BoundsOptions struct {
 //     scaled by a bound on the number of rescans (the driving side's UB),
 //     and are never pinned at EOF;
 //   - every node's emission is bounded by its parent's demand where that
-//     demand is itself bounded (Top/Project chains).
+//     demand is itself bounded (Top/Project chains);
+//   - nodes an ancestor may stop pulling early (EarlyStopper children and
+//     their streaming descendants) keep no static lower bound: the query
+//     may finish with them short of EOF, so only rows already returned
+//     bound them from below.
 func ComputeBounds(root exec.Operator) BoundsSnapshot {
 	return ComputeBoundsOpt(root, BoundsOptions{})
 }
@@ -55,7 +59,7 @@ func ComputeBounds(root exec.Operator) BoundsSnapshot {
 func ComputeBoundsOpt(root exec.Operator, opts BoundsOptions) BoundsSnapshot {
 	var snap BoundsSnapshot
 	snap.opts = opts
-	walkBounds(root, 1, -1, &snap)
+	walkBounds(root, 1, -1, false, &snap)
 	for _, nb := range snap.Nodes {
 		snap.LB = exec.SatAdd(snap.LB, nb.Bounds.LB)
 		snap.UB = exec.SatAdd(snap.UB, nb.Bounds.UB)
@@ -68,8 +72,9 @@ func ComputeBoundsOpt(root exec.Operator, opts BoundsOptions) BoundsSnapshot {
 // count in the snapshot. The two differ only for scans with embedded
 // predicates. mult bounds how many times this subtree may be re-opened
 // (1 outside nested loops); demandCap bounds how many rows ancestors will
-// ever pull from this node (-1 = unbounded).
-func walkBounds(op exec.Operator, mult, demandCap int64, snap *BoundsSnapshot) exec.CardBounds {
+// ever pull from this node (-1 = unbounded); mayStop marks nodes an
+// ancestor may abandon before EOF, voiding their static lower bounds.
+func walkBounds(op exec.Operator, mult, demandCap int64, mayStop bool, snap *BoundsSnapshot) exec.CardBounds {
 	children := op.Children()
 	rescanned := make(map[int]bool)
 	if r, ok := op.(exec.Rescanner); ok {
@@ -78,6 +83,7 @@ func walkBounds(op exec.Operator, mult, demandCap int64, snap *BoundsSnapshot) e
 		}
 	}
 	childCaps := demandCaps(op, demandCap, len(children), snap.opts)
+	childStops := earlyStops(op, mayStop, len(children))
 
 	childBounds := make([]exec.CardBounds, len(children))
 	// Non-rescanned children first: a rescanned child's run count is
@@ -85,7 +91,7 @@ func walkBounds(op exec.Operator, mult, demandCap int64, snap *BoundsSnapshot) e
 	var driveUB int64 = exec.Unbounded
 	for i, c := range children {
 		if !rescanned[i] {
-			childBounds[i] = walkBounds(c, mult, childCaps[i], snap)
+			childBounds[i] = walkBounds(c, mult, childCaps[i], childStops[i], snap)
 		}
 	}
 	if stream := op.StreamChildren(); len(stream) > 0 && len(rescanned) > 0 {
@@ -93,7 +99,7 @@ func walkBounds(op exec.Operator, mult, demandCap int64, snap *BoundsSnapshot) e
 	}
 	for i, c := range children {
 		if rescanned[i] {
-			childBounds[i] = walkBounds(c, exec.SatMul(mult, driveUB), childCaps[i], snap)
+			childBounds[i] = walkBounds(c, exec.SatMul(mult, driveUB), childCaps[i], childStops[i], snap)
 		}
 	}
 
@@ -103,6 +109,12 @@ func walkBounds(op exec.Operator, mult, demandCap int64, snap *BoundsSnapshot) e
 	if db, ok := op.(exec.DeliveredBounder); ok {
 		deliveredRule = db.DeliveredBounds()
 		sameEmission = deliveredRule == rule
+	}
+	if mayStop {
+		// An ancestor may stop pulling before this node reaches EOF: the
+		// static rules' lower bounds assume a full drain and are unsound
+		// here. refineWithRuntime restores LB = rows already returned.
+		rule.LB, deliveredRule.LB = 0, 0
 	}
 	if demandCap >= 0 && mult == 1 {
 		// The parent will never pull more than demandCap rows, so the
@@ -159,6 +171,26 @@ func demandCaps(op exec.Operator, selfCap int64, nChildren int, opts BoundsOptio
 		caps[0] = selfCap
 	}
 	return caps
+}
+
+// earlyStops derives per-child may-stop flags: a child is at risk of being
+// abandoned before EOF when its parent declares it (EarlyStopper), or when
+// the parent itself may stop early and pulls the child on demand (a
+// streaming child dries up with its parent; a blocking child is fully
+// consumed during Open regardless).
+func earlyStops(op exec.Operator, selfMayStop bool, nChildren int) []bool {
+	stops := make([]bool, nChildren)
+	if es, ok := op.(exec.EarlyStopper); ok {
+		for _, i := range es.EarlyStopChildren() {
+			stops[i] = true
+		}
+	}
+	if selfMayStop {
+		for _, i := range op.StreamChildren() {
+			stops[i] = true
+		}
+	}
+	return stops
 }
 
 // capBounds clamps both ends of b at cap.

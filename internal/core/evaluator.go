@@ -36,6 +36,7 @@ type evalNode struct {
 	firstStream int // driving child's index in children, -1 if none
 
 	demandCap int64 // static pull bound reaching this node (-1 = unbounded)
+	mayStop   bool  // an ancestor may abandon this node before EOF
 
 	childBounds []exec.CardBounds // scratch, parallel to children
 	snapIdx     int               // position in BoundsSnapshot.Nodes
@@ -50,7 +51,7 @@ func NewBoundsEvaluator(root exec.Operator) *BoundsEvaluator {
 // NewBoundsEvaluatorOpt is NewBoundsEvaluator with explicit options.
 func NewBoundsEvaluatorOpt(root exec.Operator, opts BoundsOptions) *BoundsEvaluator {
 	ev := &BoundsEvaluator{opts: opts}
-	ev.root = ev.build(root, -1)
+	ev.root = ev.build(root, -1, false)
 	ev.snap.opts = opts
 	ev.snap.Nodes = make([]NodeBounds, ev.n)
 	for _, idx := range ev.indexNodes(ev.root, nil) {
@@ -63,7 +64,7 @@ func NewBoundsEvaluatorOpt(root exec.Operator, opts BoundsOptions) *BoundsEvalua
 // the snapshot in the exact emission order of the full walk (non-rescanned
 // subtrees, then rescanned subtrees, then the node itself), so snapshots
 // from both implementations are comparable element-wise.
-func (ev *BoundsEvaluator) build(op exec.Operator, demandCap int64) *evalNode {
+func (ev *BoundsEvaluator) build(op exec.Operator, demandCap int64, mayStop bool) *evalNode {
 	children := op.Children()
 	n := &evalNode{
 		op:          op,
@@ -73,6 +74,7 @@ func (ev *BoundsEvaluator) build(op exec.Operator, demandCap int64) *evalNode {
 		childBounds: make([]exec.CardBounds, len(children)),
 		firstStream: -1,
 		demandCap:   demandCap,
+		mayStop:     mayStop,
 	}
 	if db, ok := op.(exec.DeliveredBounder); ok {
 		n.db = db
@@ -87,14 +89,15 @@ func (ev *BoundsEvaluator) build(op exec.Operator, demandCap int64) *evalNode {
 		n.firstStream = stream[0]
 	}
 	caps := demandCaps(op, demandCap, len(children), ev.opts)
+	stops := earlyStops(op, mayStop, len(children))
 	for i, c := range children {
 		if !n.rescanned[i] {
-			n.children[i] = ev.build(c, caps[i])
+			n.children[i] = ev.build(c, caps[i], stops[i])
 		}
 	}
 	for i, c := range children {
 		if n.rescanned[i] {
-			n.children[i] = ev.build(c, caps[i])
+			n.children[i] = ev.build(c, caps[i], stops[i])
 		}
 	}
 	n.snapIdx = ev.n
@@ -165,6 +168,9 @@ func (ev *BoundsEvaluator) eval(n *evalNode, mult int64) exec.CardBounds {
 	if n.db != nil {
 		deliveredRule = n.db.DeliveredBounds()
 		sameEmission = deliveredRule == rule
+	}
+	if n.mayStop {
+		rule.LB, deliveredRule.LB = 0, 0
 	}
 	if n.demandCap >= 0 && mult == 1 {
 		deliveredRule = capBounds(deliveredRule, n.demandCap)

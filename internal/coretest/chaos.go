@@ -1,0 +1,159 @@
+package coretest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sqlprogress/internal/core"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/fault"
+)
+
+// chaosEstimators builds the estimator set every chaos run samples. Fresh
+// values per run: estimators may keep history.
+func chaosEstimators() []core.Estimator {
+	return []core.Estimator{core.Dne{}, core.Pmax{}, core.Safe{}}
+}
+
+var chaosNames = []string{"dne", "pmax", "safe"}
+
+var horizonMem = struct {
+	sync.Mutex
+	m map[string]int64
+}{m: map[string]int64{}}
+
+// cleanTotal returns the entry's fault-free total(Q), computed once per
+// label: schedule generation needs the call horizon so fault indices land
+// inside the run.
+func cleanTotal(entry CorpusEntry) (int64, error) {
+	horizonMem.Lock()
+	defer horizonMem.Unlock()
+	if v, ok := horizonMem.m[entry.Label]; ok {
+		return v, nil
+	}
+	ctx := exec.NewCtx()
+	if _, err := exec.Run(ctx, entry.Build()); err != nil {
+		return 0, fmt.Errorf("coretest: clean run of %s: %w", entry.Label, err)
+	}
+	horizonMem.m[entry.Label] = ctx.Calls()
+	return ctx.Calls(), nil
+}
+
+// chaosProfile is the schedule shape RunChaos draws from: a handful of
+// short stalls (enough to shear the async sampler against the executor
+// without slowing the suite), and a terminal fault — injected operator
+// error or exact-call cancellation — on ~40% of schedules.
+func chaosProfile(horizon int64) fault.Profile {
+	return fault.Profile{
+		Horizon:   horizon,
+		MaxStalls: 3,
+		MaxStall:  200 * time.Microsecond,
+		PError:    0.2,
+		PCancel:   0.2,
+	}
+}
+
+// RunChaos executes one seeded chaos schedule — corpus entry and fault
+// schedule both derived deterministically from seed — and verifies every
+// invariant. A non-nil error embeds the seed and the schedule's replay
+// string; rerunning RunChaos with the same seed reproduces the failure
+// exactly.
+func RunChaos(seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	corpus := Corpus()
+	entry := corpus[rng.Intn(len(corpus))]
+	horizon, err := cleanTotal(entry)
+	if err != nil {
+		return err
+	}
+	sched := fault.Generate(seed, chaosProfile(horizon))
+	if err := RunChaosSchedule(entry, sched); err != nil {
+		return fmt.Errorf("chaos seed %d [%s] schedule %q: %w", seed, entry.Label, sched.String(), err)
+	}
+	return nil
+}
+
+// RunChaosSchedule executes entry under the given fault schedule with two
+// monitors attached — the inline Monitor sampling every call on the
+// execution goroutine, and an AsyncMonitor racing it from a sampler
+// goroutine — then cross-validates the outcome against the faults that
+// actually fired and checks both sample series against the paper's
+// guarantees.
+func RunChaosSchedule(entry CorpusEntry, sched fault.Schedule) error {
+	root := entry.Build()
+	ctx := exec.NewCtx()
+	inj := fault.NewInjector(sched)
+	inj.Arm(ctx)
+
+	mon := core.NewMonitor(root, 1, chaosEstimators()...)
+	ctx.OnGetNext = mon.Hook()
+	async := core.NewAsyncMonitorCalls(root, 64, chaosEstimators()...)
+	async.Start(ctx)
+	_, runErr := exec.Run(ctx, root)
+	async.Stop()
+	total := ctx.Calls()
+
+	// Cross-validate the outcome against the fired faults: a scheduled
+	// fault must surface as exactly the failure it models, at exactly the
+	// call it was scheduled for.
+	var errEv, cancelEv *fault.Event
+	for i, ev := range inj.Fired() {
+		switch ev.Kind {
+		case fault.ErrorFault:
+			errEv = &inj.Fired()[i]
+		case fault.CancelFault:
+			cancelEv = &inj.Fired()[i]
+		}
+	}
+	switch {
+	case errEv != nil:
+		if !errors.Is(runErr, fault.ErrInjected) {
+			return fmt.Errorf("error fault fired at call %d but run returned %v", errEv.At, runErr)
+		}
+		if total != errEv.At {
+			return fmt.Errorf("error fault at call %d but run stopped at %d calls", errEv.At, total)
+		}
+	case cancelEv != nil:
+		// Cancellation stops the run at the next counted call, which never
+		// happens when the fault lands on the run's very last call — the
+		// plan then drains to EOF normally. Either way no call after At is
+		// counted.
+		if runErr != nil && !errors.Is(runErr, exec.ErrCanceled) {
+			return fmt.Errorf("cancel fault fired at call %d but run returned %v", cancelEv.At, runErr)
+		}
+		if total != cancelEv.At {
+			return fmt.Errorf("cancel fault at call %d but run stopped at %d calls", cancelEv.At, total)
+		}
+	default:
+		if runErr != nil {
+			return fmt.Errorf("no terminal fault fired but run returned %v", runErr)
+		}
+	}
+
+	completed := runErr == nil
+	var mu float64
+	if completed {
+		mon.Finish(total)
+		mu = core.Mu(root)
+	}
+	for _, src := range []struct {
+		name    string
+		samples []core.Sample
+	}{{"inline", mon.Samples}, {"async", async.Samples}} {
+		s := Series{
+			Label:     entry.Label + "/" + src.name,
+			Names:     chaosNames,
+			Samples:   src.samples,
+			Completed: completed,
+			Total:     total,
+			Mu:        mu,
+		}
+		if err := s.Check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

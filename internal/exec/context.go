@@ -23,6 +23,13 @@ func (c *Ctx) Bind(stdctx context.Context) (release func() error) {
 	if stdctx == nil || stdctx.Done() == nil {
 		return func() error { return nil }
 	}
+	if err := stdctx.Err(); err != nil {
+		// Already done: cancel synchronously so the run stops at its first
+		// counted call, instead of racing a watcher goroutine that may not
+		// be scheduled for thousands of calls.
+		c.Cancel()
+		return func() error { return err }
+	}
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	fired := false

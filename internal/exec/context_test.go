@@ -84,6 +84,87 @@ func TestRunContextCancelMidRun(t *testing.T) {
 	}
 }
 
+// TestBindAfterStartRace binds a context to an execution that is already
+// mid-flight — the session layer's attach order inverted — and cancels
+// through it. The watcher races the executor's tick loop; under -race this
+// verifies the binding is safe to attach late, and the stop must still be
+// reported as the binding's (context.Canceled), not an explicit cancel.
+func TestBindAfterStartRace(t *testing.T) {
+	ctx := NewCtx()
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, slowPlan(8_000))
+		runDone <- err
+	}()
+	// Let the run get underway before binding.
+	for ctx.Calls() < 50 {
+		time.Sleep(20 * time.Microsecond)
+	}
+	stdctx, cancel := context.WithCancel(context.Background())
+	release := ctx.Bind(stdctx)
+	cancel()
+	err := <-runDone
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("run err = %v, want ErrCanceled", err)
+	}
+	if got := release(); !errors.Is(got, context.Canceled) {
+		t.Fatalf("release = %v, want context.Canceled", got)
+	}
+}
+
+// TestRunContextPreExpiredDeadline submits against a deadline that has
+// already passed: the run must stop at its first counted call and report
+// the deadline, not a generic cancel.
+func TestRunContextPreExpiredDeadline(t *testing.T) {
+	stdctx, cancel := context.WithTimeout(context.Background(), -time.Millisecond)
+	defer cancel()
+	ctx := NewCtx()
+	_, err := RunContext(stdctx, ctx, slowPlan(8_000))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// The cancel check runs before a call is counted, so nothing was
+	// counted as delivered work.
+	if got := ctx.Calls(); got != 0 {
+		t.Fatalf("Calls = %d, want 0", got)
+	}
+}
+
+func TestRunContextPreCanceledContext(t *testing.T) {
+	stdctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctx := NewCtx()
+	_, err := RunContext(stdctx, ctx, slowPlan(8_000))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ctx.Calls(); got != 0 {
+		t.Fatalf("Calls = %d, want 0", got)
+	}
+}
+
+// TestExplicitCancelBeatsLiveBinding holds a live (never-firing) binding
+// while the query is explicitly canceled: release must report nil so the
+// caller attributes the stop to the user, not the binding.
+func TestExplicitCancelBeatsLiveBinding(t *testing.T) {
+	stdctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx := NewCtx()
+	release := ctx.Bind(stdctx)
+	ctx.OnGetNext = func(calls int64) {
+		if calls == 100 {
+			ctx.Cancel()
+		}
+	}
+	_, err := Run(ctx, slowPlan(8_000))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("run err = %v, want ErrCanceled", err)
+	}
+	if got := release(); got != nil {
+		t.Fatalf("release = %v, want nil (binding never fired)", got)
+	}
+}
+
 func TestBindReleaseAfterCompletion(t *testing.T) {
 	// The watcher must exit promptly on release even though the context
 	// never fires.

@@ -53,11 +53,12 @@ func rowsEqual(a, b schema.Row) bool {
 func (d *Distinct) Next(ctx *Ctx) (schema.Row, bool, error) {
 	for {
 		row, ok, err := d.child.Next(ctx)
-		if err != nil || !ok {
-			if !ok {
-				d.rt.done.Store(true)
-			}
+		if err != nil {
 			return nil, false, err
+		}
+		if !ok {
+			d.rt.done.Store(true)
+			return nil, false, nil
 		}
 		h := rowHash(row)
 		dup := false

@@ -44,6 +44,15 @@ type Ctx struct {
 	// the run starts.
 	OnGetNext func(calls int64)
 
+	// Inject, when non-nil, is invoked on every counted call (before
+	// OnGetNext) with the post-increment count, and may return an error to
+	// abort the run with that error — the produced row still counts, so the
+	// bounds invariants hold at the instant of failure. It runs on the
+	// execution goroutine and must be set before the run starts; the fault
+	// layer (internal/fault) uses it to create deterministic stalls, operator
+	// errors, and exact-call cancellations.
+	Inject func(calls int64) error
+
 	canceled atomic.Bool
 }
 
@@ -62,11 +71,17 @@ func (c *Ctx) Canceled() bool { return c.canceled.Load() }
 // all operators (the paper's Curr). Safe to call from any goroutine.
 func (c *Ctx) Calls() int64 { return c.calls.Load() }
 
-func (c *Ctx) tick() {
+func (c *Ctx) tick() error {
 	n := c.calls.Add(1)
+	if c.Inject != nil {
+		if err := c.Inject(n); err != nil {
+			return err
+		}
+	}
 	if c.OnGetNext != nil {
 		c.OnGetNext(n)
 	}
+	return nil
 }
 
 // RuntimeStats is the execution feedback a node exposes; progress estimators
@@ -238,7 +253,9 @@ func (b *base) emit(ctx *Ctx, row schema.Row) (schema.Row, bool, error) {
 	}
 	b.rt.returned.Add(1)
 	b.rt.delivered.Add(1)
-	ctx.tick()
+	if err := ctx.tick(); err != nil {
+		return nil, false, err
+	}
 	return row, true, nil
 }
 
@@ -326,4 +343,17 @@ func Explain(op Operator) string {
 // cardinalities upward.
 type DeliveredBounder interface {
 	DeliveredBounds() CardBounds
+}
+
+// EarlyStopper is implemented by operators that may stop pulling from a
+// child before that child reaches EOF for data-dependent reasons — a merge
+// join stops pulling the surviving side the moment the other side
+// exhausts. Such a child (and any node it streams from in turn) may end
+// the query short of EOF, so its static *lower* bound on final call count
+// is unsound; the bounds pass keeps only runtime feedback (rows already
+// returned) as its LB. Upper bounds are unaffected.
+type EarlyStopper interface {
+	// EarlyStopChildren lists child indexes (as in Children()) the
+	// operator may abandon before EOF.
+	EarlyStopChildren() []int
 }

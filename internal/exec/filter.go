@@ -33,11 +33,14 @@ func (f *Filter) Open(ctx *Ctx) error {
 func (f *Filter) Next(ctx *Ctx) (schema.Row, bool, error) {
 	for {
 		row, ok, err := f.child.Next(ctx)
-		if err != nil || !ok {
-			if !ok {
-				f.rt.done.Store(true)
-			}
+		if err != nil {
+			// Not EOF: an aborted run must not mark the node done, or the
+			// bounds pass would wrongly pin it at its current count.
 			return nil, false, err
+		}
+		if !ok {
+			f.rt.done.Store(true)
+			return nil, false, nil
 		}
 		if expr.Truthy(f.Pred.Eval(row)) {
 			return f.emit(ctx, row)
@@ -95,11 +98,12 @@ func (p *Project) Open(ctx *Ctx) error {
 // Next implements Operator.
 func (p *Project) Next(ctx *Ctx) (schema.Row, bool, error) {
 	row, ok, err := p.child.Next(ctx)
-	if err != nil || !ok {
-		if !ok {
-			p.rt.done.Store(true)
-		}
+	if err != nil {
 		return nil, false, err
+	}
+	if !ok {
+		p.rt.done.Store(true)
+		return nil, false, nil
 	}
 	out := make(schema.Row, len(p.Exprs))
 	for i, e := range p.Exprs {
@@ -154,11 +158,12 @@ func (t *Top) Next(ctx *Ctx) (schema.Row, bool, error) {
 		return t.eof()
 	}
 	row, ok, err := t.child.Next(ctx)
-	if err != nil || !ok {
-		if !ok {
-			t.rt.done.Store(true)
-		}
+	if err != nil {
 		return nil, false, err
+	}
+	if !ok {
+		t.rt.done.Store(true)
+		return nil, false, nil
 	}
 	t.n++
 	return t.emit(ctx, row)

@@ -208,5 +208,10 @@ func (j *MergeJoin) FinalBounds(ch []CardBounds) CardBounds {
 // multi-driver pipeline case the paper notes in Section 4.1's footnote.
 func (j *MergeJoin) StreamChildren() []int { return []int{0, 1} }
 
+// EarlyStopChildren implements EarlyStopper: once either input exhausts,
+// the join stops pulling the other, which may therefore end the query
+// short of EOF with rows still unread.
+func (j *MergeJoin) EarlyStopChildren() []int { return []int{0, 1} }
+
 // BlockingChildren implements Operator.
 func (j *MergeJoin) BlockingChildren() []int { return nil }

@@ -72,7 +72,9 @@ func (s *Scan) Next(ctx *Ctx) (schema.Row, bool, error) {
 				return nil, false, ErrCanceled
 			}
 			s.rt.returned.Add(1)
-			ctx.tick()
+			if err := ctx.tick(); err != nil {
+				return nil, false, err
+			}
 			continue
 		}
 		return s.emit(ctx, row)
@@ -163,7 +165,9 @@ func (r *RangeScan) Next(ctx *Ctx) (schema.Row, bool, error) {
 				return nil, false, ErrCanceled
 			}
 			r.rt.returned.Add(1)
-			ctx.tick()
+			if err := ctx.tick(); err != nil {
+				return nil, false, err
+			}
 			continue
 		}
 		return r.emit(ctx, row)

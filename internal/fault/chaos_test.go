@@ -1,0 +1,57 @@
+package fault_test
+
+import (
+	"flag"
+	"testing"
+
+	"sqlprogress/internal/coretest"
+	"sqlprogress/internal/fault"
+)
+
+// chaosSchedules is the number of seeded fault schedules the chaos harness
+// replays the invariant corpus under. The full acceptance sweep is 500+;
+// CI's race job runs a reduced set (-chaos-schedules=96) to stay fast.
+var chaosSchedules = flag.Int("chaos-schedules", 500, "seeded fault schedules to run in TestChaosInvariants")
+
+// TestChaosInvariants is the chaos harness: it replays the coretest
+// invariant corpus under randomized-but-seeded fault schedules — operator
+// stalls, forced operator errors, exact-call cancellations — and asserts
+// the paper's guarantees at every recorded sample of both the inline and
+// the concurrent monitor. Every failure message embeds the seed and the
+// schedule's replay string; `coretest.RunChaos(seed)` reproduces it
+// exactly.
+func TestChaosInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep skipped in -short mode")
+	}
+	for seed := int64(1); seed <= int64(*chaosSchedules); seed++ {
+		if err := coretest.RunChaos(seed); err != nil {
+			t.Fatalf("%v", err)
+		}
+	}
+}
+
+// TestChaosScheduleReplay pins the replay contract: a failing seed's
+// schedule can be re-derived and re-run bit-for-bit, and its String form
+// round-trips through Parse.
+func TestChaosScheduleReplay(t *testing.T) {
+	corpus := coretest.Corpus()
+	sched := fault.Generate(42, fault.Profile{Horizon: 500, MaxStalls: 3, MaxStall: 100, PError: 0.5, PCancel: 0.5})
+	again := fault.Generate(42, fault.Profile{Horizon: 500, MaxStalls: 3, MaxStall: 100, PError: 0.5, PCancel: 0.5})
+	if sched.String() != again.String() {
+		t.Fatalf("Generate not deterministic: %q vs %q", sched, again)
+	}
+	parsed, err := fault.Parse(sched.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sched, err)
+	}
+	if parsed.String() != sched.String() {
+		t.Fatalf("round trip changed schedule: %q vs %q", parsed, sched)
+	}
+	// The same schedule against the same entry must reach the same verdict.
+	for i := 0; i < 2; i++ {
+		if err := coretest.RunChaosSchedule(corpus[0], parsed); err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schedule is a replayable set of fault events plus the seed that generated
+// it (0 for hand-built schedules). Its String form is the replay format the
+// chaos harness prints on failure; Parse round-trips it.
+type Schedule struct {
+	Seed   int64
+	Events []Event
+}
+
+// sorted returns the events ordered by At (stable, so same-call events keep
+// schedule order).
+func (s Schedule) sorted() []Event {
+	out := make([]Event, len(s.Events))
+	copy(out, s.Events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// String renders the replayable schedule format: semicolon-separated
+// entries, `seed=N` first when a seed is recorded, then one `kind@call`
+// entry per event with the kind's argument after a colon —
+// `stall@123:500µs`, `error@456:disk gone`, `cancel@789`.
+func (s Schedule) String() string {
+	var parts []string
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	}
+	for _, ev := range s.sorted() {
+		switch ev.Kind {
+		case StallFault:
+			parts = append(parts, fmt.Sprintf("stall@%d:%s", ev.At, ev.Dur))
+		case ErrorFault:
+			parts = append(parts, fmt.Sprintf("error@%d:%s", ev.At, ev.Msg))
+		default:
+			parts = append(parts, fmt.Sprintf("%s@%d", ev.Kind, ev.At))
+		}
+	}
+	return strings.Join(parts, ";")
+}
+
+// Parse reads the String format back into a Schedule.
+func Parse(text string) (Schedule, error) {
+	var s Schedule
+	for _, part := range strings.Split(text, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(part, "seed="); ok {
+			seed, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("fault: bad seed %q: %w", rest, err)
+			}
+			s.Seed = seed
+			continue
+		}
+		kind, rest, ok := strings.Cut(part, "@")
+		if !ok {
+			return Schedule{}, fmt.Errorf("fault: bad schedule entry %q", part)
+		}
+		atText, arg, hasArg := strings.Cut(rest, ":")
+		at, err := strconv.ParseInt(atText, 10, 64)
+		if err != nil || at < 1 {
+			return Schedule{}, fmt.Errorf("fault: bad call index in %q", part)
+		}
+		ev := Event{At: at, Kind: Kind(kind)}
+		switch ev.Kind {
+		case StallFault:
+			d, err := time.ParseDuration(arg)
+			if err != nil || !hasArg {
+				return Schedule{}, fmt.Errorf("fault: bad stall duration in %q", part)
+			}
+			ev.Dur = d
+		case ErrorFault:
+			ev.Msg = arg
+		case CancelFault:
+			if hasArg {
+				return Schedule{}, fmt.Errorf("fault: cancel takes no argument in %q", part)
+			}
+		default:
+			return Schedule{}, fmt.Errorf("fault: unknown kind %q", kind)
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return s, nil
+}
+
+// Profile shapes schedule generation for runs expected to perform about
+// Horizon GetNext calls.
+type Profile struct {
+	// Horizon is the expected total GetNext calls of the run; generated
+	// call indices fall in [1, Horizon].
+	Horizon int64
+	// MaxStalls is the number of stall events to draw from [0, MaxStalls].
+	MaxStalls int
+	// MaxStall bounds each stall's duration (drawn uniformly from
+	// (0, MaxStall]).
+	MaxStall time.Duration
+	// PError is the probability of one terminal ErrorFault; PCancel the
+	// probability of one CancelFault. At most one of the two is generated,
+	// so a schedule's terminal fault is unambiguous.
+	PError, PCancel float64
+}
+
+// Generate derives a randomized schedule deterministically from seed: the
+// same seed and profile always produce the same schedule, so any failing
+// chaos run is replayable from its printed seed alone.
+func Generate(seed int64, p Profile) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed}
+	horizon := p.Horizon
+	if horizon < 1 {
+		horizon = 1
+	}
+	if p.MaxStalls > 0 && p.MaxStall > 0 {
+		for i, n := 0, rng.Intn(p.MaxStalls+1); i < n; i++ {
+			s.Events = append(s.Events, Event{
+				At:   1 + rng.Int63n(horizon),
+				Kind: StallFault,
+				Dur:  time.Duration(1 + rng.Int63n(int64(p.MaxStall))),
+			})
+		}
+	}
+	switch draw := rng.Float64(); {
+	case draw < p.PError:
+		s.Events = append(s.Events, Event{
+			At:   1 + rng.Int63n(horizon),
+			Kind: ErrorFault,
+			Msg:  fmt.Sprintf("chaos op failure (seed %d)", seed),
+		})
+	case draw < p.PError+p.PCancel:
+		s.Events = append(s.Events, Event{At: 1 + rng.Int63n(horizon), Kind: CancelFault})
+	}
+	return s
+}
+
+// ConsumerPlan is the service-level analogue of an executor schedule: it
+// scripts one progress subscriber's hostile behavior for the chaos harness.
+// Slow and frozen consumers exercise the session layer's lossy latest-wins
+// fan-out and its slow-subscriber eviction.
+type ConsumerPlan struct {
+	// ReadDelay is slept between channel receives (0 = read eagerly).
+	ReadDelay time.Duration
+	// FreezeAfter stops reading after this many received events, leaving
+	// the subscription attached (< 0 = never freeze).
+	FreezeAfter int
+	// Reattach re-subscribes after the frozen subscription is evicted (or
+	// the session ends), verifying the final event is still observable.
+	Reattach bool
+}
+
+// ServiceProfile shapes service-level chaos generation.
+type ServiceProfile struct {
+	// Burst is the number of sessions submitted back-to-back (the
+	// shed-storm size; admission capacity decides how many survive).
+	Burst int
+	// PSlowConsumer / PFrozenConsumer are per-session probabilities of a
+	// hostile subscriber; the rest read eagerly.
+	PSlowConsumer, PFrozenConsumer float64
+	// MaxReadDelay bounds a slow consumer's per-event delay.
+	MaxReadDelay time.Duration
+}
+
+// GenerateConsumers derives one ConsumerPlan per burst slot, deterministic
+// in seed. Frozen consumers always reattach, so every generated plan ends
+// by observing the session's final event.
+func GenerateConsumers(seed int64, p ServiceProfile) []ConsumerPlan {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]ConsumerPlan, p.Burst)
+	for i := range out {
+		switch draw := rng.Float64(); {
+		case draw < p.PFrozenConsumer:
+			out[i] = ConsumerPlan{FreezeAfter: rng.Intn(3), Reattach: true}
+		case draw < p.PFrozenConsumer+p.PSlowConsumer:
+			out[i] = ConsumerPlan{
+				ReadDelay:   time.Duration(1 + rng.Int63n(int64(p.MaxReadDelay))),
+				FreezeAfter: -1,
+			}
+		default:
+			out[i] = ConsumerPlan{FreezeAfter: -1}
+		}
+	}
+	return out
+}

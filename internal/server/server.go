@@ -12,11 +12,15 @@
 //	GET    /metrics                aggregate counters
 //	GET    /healthz                liveness
 //
-// SSE framing: each observation is sent as "event: progress" with a JSON
-// data line; the stream ends with a single "event: done" carrying the
-// terminal state and the final estimates, after which the server closes the
-// connection. Comment lines (": keepalive") are sent during idle gaps so
-// proxies do not reap quiet streams.
+// SSE framing: each observation is sent as "event: progress" with the
+// observation's sequence number as its "id:" line and a JSON payload; the
+// stream ends with a single "event: done" carrying the terminal state and
+// the final estimates, after which the server closes the connection.
+// "event: heartbeat" frames (no id) are sent during idle gaps so proxies do
+// not reap quiet streams, and a "retry:" hint opens the stream. A client
+// reconnecting with a Last-Event-ID header is only sent observations it
+// has not yet seen — and always observes the terminal done frame, even
+// when it reconnects after the session ended.
 package server
 
 import (

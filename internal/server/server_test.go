@@ -191,6 +191,7 @@ func TestCancelEndpoint(t *testing.T) {
 // sseEvent is one parsed frame from the SSE stream.
 type sseEvent struct {
 	name string
+	id   string
 	data map[string]any
 }
 
@@ -206,6 +207,8 @@ func readSSE(t *testing.T, resp *http.Response) []sseEvent {
 		switch {
 		case strings.HasPrefix(line, "event: "):
 			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
 		case strings.HasPrefix(line, "data: "):
 			cur.data = map[string]any{}
 			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.data); err != nil {
@@ -249,6 +252,9 @@ func TestProgressStreamEndsWithDone(t *testing.T) {
 		t.Fatalf("final_estimate = %v", last.data["final_estimate"])
 	}
 	for _, ev := range events[:len(events)-1] {
+		if ev.name == "heartbeat" {
+			continue
+		}
 		if ev.name != "progress" {
 			t.Fatalf("unexpected event %q", ev.name)
 		}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"sqlprogress/internal/session"
@@ -26,8 +28,25 @@ type doneEvent struct {
 	FinalEstimate float64 `json:"final_estimate"`
 }
 
+// heartbeatEvent is the periodic liveness frame sent between observations.
+// Unlike a comment keepalive it is visible to EventSource clients and
+// carries the live call counter; it deliberately has no event id, so a
+// reconnecting client's Last-Event-ID still names the last observation.
+type heartbeatEvent struct {
+	Calls int64         `json:"calls"`
+	State session.State `json:"state"`
+}
+
 // handleProgress streams a session's progress as Server-Sent Events until
 // the session reaches a terminal state or the client disconnects.
+//
+// Every progress frame carries the observation's sequence number as its
+// SSE id; a client reconnecting with Last-Event-ID is replayed only what
+// it has not seen, and — because the subscription primes with the latest
+// observation and the final event closes the channel — always observes a
+// terminal `done` frame, even if it reconnects after the session ended.
+// Subscribers evicted for not draining (frozen consumers) are silently
+// reattached.
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
@@ -36,17 +55,28 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		// SSE requires incremental writes; without a Flusher the stream
+		// would sit in a buffer until the session ends.
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("streaming unsupported: ResponseWriter is not an http.Flusher"))
 		return
+	}
+	var lastID int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			lastID = n
+		}
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
+	// Reconnection hint: EventSource clients retry after this many ms.
+	fmt.Fprint(w, "retry: 1000\n\n")
 	fl.Flush()
 
 	ch, unsub := sess.Subscribe()
-	defer unsub()
+	defer func() { unsub() }()
 	keepAlive := s.KeepAlive
 	if keepAlive <= 0 {
 		keepAlive = time.Second
@@ -61,20 +91,32 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 			// DELETE is the cancellation path).
 			return
 		case <-tick.C:
-			fmt.Fprint(w, ": keepalive\n\n")
-			fl.Flush()
+			in := sess.Info()
+			writeEvent(w, fl, 0, "heartbeat", heartbeatEvent{Calls: in.Calls, State: in.State})
 		case p, open := <-ch:
 			if !open {
-				// Channel closed without us seeing the final event (it was
-				// dropped before we subscribed): synthesize done from Info.
-				s.writeDone(w, fl, sess, nil)
-				return
+				if sess.State().Terminal() {
+					// Closed by the final event (delivered before we
+					// subscribed, or displaced): synthesize done from Info.
+					s.writeDone(w, fl, sess, nil)
+					return
+				}
+				// Evicted as a slow subscriber while the session still
+				// runs: reattach. The fresh subscription primes with the
+				// latest observation, so the final event cannot be missed.
+				unsub()
+				ch, unsub = sess.Subscribe()
+				continue
 			}
 			if p.Final {
 				s.writeDone(w, fl, sess, &p)
 				return
 			}
-			writeEvent(w, fl, "progress", p)
+			if p.Seq <= lastID {
+				// The client saw this observation before it reconnected.
+				continue
+			}
+			writeEvent(w, fl, p.Seq, "progress", p)
 		}
 	}
 }
@@ -93,20 +135,55 @@ func (s *Server) writeDone(w http.ResponseWriter, fl http.Flusher, sess *session
 		Error:        in.Error,
 		CancelReason: in.CancelReason,
 	}
+	var seq int64
 	if p != nil {
 		ev.Estimates = p.Estimates
 		ev.FinalEstimate = p.Hi
+		seq = p.Seq
 	}
-	writeEvent(w, fl, "done", ev)
+	writeEvent(w, fl, seq, "done", ev)
 }
 
-// writeEvent frames one SSE event: an event name line, a single JSON data
-// line, and the blank separator, flushed immediately.
-func writeEvent(w http.ResponseWriter, fl http.Flusher, name string, v any) {
+// writeEvent marshals v and writes one SSE frame, flushed immediately.
+// id 0 means no id line (heartbeats, synthesized frames).
+func writeEvent(w http.ResponseWriter, fl http.Flusher, id int64, name string, v any) {
 	buf, err := json.Marshal(v)
 	if err != nil {
 		return
 	}
-	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, buf)
+	idLine := ""
+	if id > 0 {
+		idLine = strconv.FormatInt(id, 10)
+	}
+	fmt.Fprint(w, formatSSEFrame(idLine, name, string(buf)))
 	fl.Flush()
+}
+
+// formatSSEFrame renders one Server-Sent Events frame. The SSE spec
+// terminates a data line at any newline, so payloads containing LF, CR, or
+// CRLF must be split into one `data:` line per payload line (the client
+// reassembles them joined by LF); a payload naively interpolated into a
+// single data line would otherwise smuggle frame delimiters. JSON payloads
+// escape control characters, but the framing layer must not rely on that.
+func formatSSEFrame(id, event, data string) string {
+	var b strings.Builder
+	if id != "" {
+		b.WriteString("id: ")
+		b.WriteString(id)
+		b.WriteByte('\n')
+	}
+	if event != "" {
+		b.WriteString("event: ")
+		b.WriteString(event)
+		b.WriteByte('\n')
+	}
+	data = strings.ReplaceAll(data, "\r\n", "\n")
+	data = strings.ReplaceAll(data, "\r", "\n")
+	for _, line := range strings.Split(data, "\n") {
+		b.WriteString("data: ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	return b.String()
 }

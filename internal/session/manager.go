@@ -45,6 +45,12 @@ type Config struct {
 	// KeepRows caps result rows retained per finished session for
 	// inspection (0 = default 50, negative = unlimited).
 	KeepRows int
+	// StallAfter enables the per-session watchdog: a running session whose
+	// GetNext counter does not advance for this long is flagged stalled
+	// (Info.Stalled, Metrics.StallEvents). 0 disables the watchdog. The
+	// flag is advisory — a stall can be a lock wait or slow I/O, not only a
+	// wedged query — so nothing is canceled automatically.
+	StallAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +81,11 @@ type SubmitOptions struct {
 	Deadline time.Duration
 	// Estimators overrides Config.Estimators.
 	Estimators []string
+	// Instrument, when non-nil, is invoked with the session's execution
+	// context after it is created and before the run starts — the
+	// attachment point for fault injectors (internal/fault) and test
+	// gates. It runs on the session's run goroutine.
+	Instrument func(*exec.Ctx)
 }
 
 // Manager admits, schedules, tracks, and cancels query sessions over one
@@ -94,18 +105,69 @@ type Manager struct {
 	closed   bool
 	wg       sync.WaitGroup
 
+	watchDone chan struct{}
+
 	c counters
 }
 
 // New returns a Manager serving queries over cat.
 func New(cat *catalog.Catalog, cfg Config) *Manager {
 	base, cancel := context.WithCancel(context.Background())
-	return &Manager{
+	m := &Manager{
 		cfg:        cfg.withDefaults(),
 		cat:        cat,
 		base:       base,
 		baseCancel: cancel,
 		sessions:   make(map[string]*Session),
+	}
+	if m.cfg.StallAfter > 0 {
+		m.watchDone = make(chan struct{})
+		go m.watchdog()
+	}
+	return m
+}
+
+// watchdog periodically sweeps running sessions and flags those whose
+// GetNext counter has stopped advancing for at least StallAfter. It exits
+// when the manager's base context is canceled (Close).
+func (m *Manager) watchdog() {
+	defer close(m.watchDone)
+	period := m.cfg.StallAfter / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.base.Done():
+			return
+		case now := <-tick.C:
+			for _, s := range m.List() {
+				m.watchTick(s, now)
+			}
+		}
+	}
+}
+
+// watchTick updates one session's stall state at the given sweep instant.
+func (m *Manager) watchTick(s *Session, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateRunning || s.execCtx == nil {
+		return
+	}
+	calls := s.execCtx.Calls()
+	switch {
+	case calls != s.watchCalls || s.watchAdvance.IsZero():
+		s.watchCalls = calls
+		s.watchAdvance = now
+		s.stalled = false
+	case !s.stalled && now.Sub(s.watchAdvance) >= m.cfg.StallAfter:
+		// One StallEvent per stall episode: the flag clears (and the
+		// counter re-arms) only once the session advances again.
+		s.stalled = true
+		m.c.stallEvents.Add(1)
 	}
 }
 
@@ -159,15 +221,17 @@ func (m *Manager) admit(root exec.Operator, text string, opt SubmitOptions) (*Se
 	}
 	m.nextID++
 	s := &Session{
-		id:       fmt.Sprintf("q%06d", m.nextID),
-		text:     text,
-		created:  time.Now(),
-		state:    StateQueued,
-		root:     root,
-		estNames: estNames,
-		keepRows: m.cfg.KeepRows,
-		deadline: deadline,
-		subs:     make(map[int]chan Progress),
+		id:         fmt.Sprintf("q%06d", m.nextID),
+		text:       text,
+		created:    time.Now(),
+		state:      StateQueued,
+		root:       root,
+		estNames:   estNames,
+		keepRows:   m.cfg.KeepRows,
+		deadline:   deadline,
+		subs:       make(map[int]*subscriber),
+		instrument: opt.Instrument,
+		onEvict:    func() { m.c.subsEvicted.Add(1) },
 	}
 	m.sessions[s.id] = s
 	m.order = append(m.order, s)
@@ -210,7 +274,14 @@ func (m *Manager) execute(s *Session) {
 	s.mon = mon
 	deadline := s.deadline
 	root := s.root
+	instrument := s.instrument
 	s.mu.Unlock()
+
+	if instrument != nil {
+		// Fault injectors and test gates attach here, before the context is
+		// bound or the monitor started.
+		instrument(execCtx)
+	}
 
 	stdctx := m.base
 	if deadline > 0 {
@@ -371,6 +442,9 @@ func (m *Manager) Close() error {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		if m.watchDone != nil {
+			<-m.watchDone
+		}
 		m.wg.Wait()
 		return nil
 	}
@@ -390,6 +464,9 @@ func (m *Manager) Close() error {
 		s.mu.Unlock()
 	}
 	m.baseCancel()
+	if m.watchDone != nil {
+		<-m.watchDone
+	}
 	m.wg.Wait()
 	return nil
 }

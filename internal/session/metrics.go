@@ -19,6 +19,8 @@ type counters struct {
 	cancelObserved atomic.Int64
 	cancelNs       atomic.Int64
 	cancelMaxNs    atomic.Int64
+	stallEvents    atomic.Int64
+	subsEvicted    atomic.Int64
 }
 
 // recordCancelLatency records one request-to-stop latency: the time from a
@@ -61,6 +63,12 @@ type Metrics struct {
 	// latency over observed mid-flight cancels.
 	CancelLatencyAvg time.Duration `json:"cancel_latency_avg_ns"`
 	CancelLatencyMax time.Duration `json:"cancel_latency_max_ns"`
+	// StallEvents counts watchdog stall detections (one per episode of a
+	// session's GetNext counter not advancing for StallAfter).
+	StallEvents int64 `json:"stall_events"`
+	// SubscribersEvicted counts progress subscribers closed for never
+	// draining their channel (frozen consumers).
+	SubscribersEvicted int64 `json:"subscribers_evicted"`
 }
 
 // Metrics snapshots the aggregate counters and gauges.
@@ -69,17 +77,19 @@ func (m *Manager) Metrics() Metrics {
 	active, queued := m.running, len(m.queue)
 	m.mu.Unlock()
 	out := Metrics{
-		Admitted:         m.c.admitted.Load(),
-		Shed:             m.c.shed.Load(),
-		Rejected:         m.c.rejected.Load(),
-		Active:           active,
-		Queued:           queued,
-		Completed:        m.c.completed.Load(),
-		Canceled:         m.c.canceled.Load(),
-		Failed:           m.c.failed.Load(),
-		CancelRequests:   m.c.cancelRequests.Load(),
-		CancelObserved:   m.c.cancelObserved.Load(),
-		CancelLatencyMax: time.Duration(m.c.cancelMaxNs.Load()),
+		Admitted:           m.c.admitted.Load(),
+		Shed:               m.c.shed.Load(),
+		Rejected:           m.c.rejected.Load(),
+		Active:             active,
+		Queued:             queued,
+		Completed:          m.c.completed.Load(),
+		Canceled:           m.c.canceled.Load(),
+		Failed:             m.c.failed.Load(),
+		CancelRequests:     m.c.cancelRequests.Load(),
+		CancelObserved:     m.c.cancelObserved.Load(),
+		CancelLatencyMax:   time.Duration(m.c.cancelMaxNs.Load()),
+		StallEvents:        m.c.stallEvents.Load(),
+		SubscribersEvicted: m.c.subsEvicted.Load(),
 	}
 	if n := out.CancelObserved; n > 0 {
 		out.CancelLatencyAvg = time.Duration(m.c.cancelNs.Load() / n)

@@ -43,6 +43,10 @@ func (s State) Terminal() bool {
 // interval and every configured estimator's output at one instant of the
 // execution, plus lifecycle framing for the final event.
 type Progress struct {
+	// Seq numbers the session's published events from 1, monotonically.
+	// SSE serving uses it as the event id, letting a client that
+	// reconnects with Last-Event-ID skip observations it already has.
+	Seq int64 `json:"seq"`
 	// Calls is Curr at the observation.
 	Calls int64 `json:"calls"`
 	// LB and UB bound total(Q) at the observation.
@@ -90,9 +94,30 @@ type Session struct {
 	workMu       float64
 	last         Progress
 	hasLast      bool
-	subs         map[int]chan Progress
+	seq          int64
+	subs         map[int]*subscriber
 	nextSub      int
+	instrument   func(*exec.Ctx)
+	onEvict      func()
+
+	// Watchdog state (maintained by the Manager's watchdog goroutine).
+	watchCalls   int64
+	watchAdvance time.Time
+	stalled      bool
 }
+
+// subscriber is one progress listener with its slow-consumer bookkeeping.
+type subscriber struct {
+	ch chan Progress
+	// dropStreak counts consecutive publishes that found the channel full
+	// and had to displace an observation; a clean send resets it.
+	dropStreak int
+}
+
+// evictAfter is the consecutive-forced-drop threshold beyond which a
+// subscriber is deemed frozen (not merely slow) and evicted. With a
+// 16-slot buffer a reader only hits this by not reading at all.
+const evictAfter = 32
 
 // ID returns the session's registry identifier.
 func (s *Session) ID() string { return s.id }
@@ -130,6 +155,10 @@ type Info struct {
 	Deadline time.Duration `json:"deadline_ns,omitempty"`
 	// Calls is Curr — live for running sessions, total(Q) once finished.
 	Calls int64 `json:"calls"`
+	// Stalled marks a running session whose GetNext counter has not
+	// advanced for at least the manager's StallAfter window (watchdog
+	// flag; clears if the counter moves again).
+	Stalled bool `json:"stalled,omitempty"`
 	// CancelReason says why a canceled session was canceled.
 	CancelReason string `json:"cancel_reason,omitempty"`
 	// Error is the terminal error message for failed sessions.
@@ -156,6 +185,7 @@ func (s *Session) Info() Info {
 		CancelReason: s.cancelReason,
 		RowCount:     s.rowCount,
 		Mu:           s.workMu,
+		Stalled:      s.stalled,
 	}
 	if !s.started.IsZero() {
 		t := s.started
@@ -215,6 +245,13 @@ func (s *Session) Samples() []core.Sample {
 // and is closed after the final event; a slow consumer loses intermediate
 // observations, never the final one. The unsubscribe function is idempotent
 // and must be called when the consumer is done.
+//
+// A subscriber that stops reading entirely is eventually evicted: its
+// channel closes without a Final-marked event. Because eviction only
+// happens on a live session, re-subscribing always works — and since
+// Subscribe primes the channel with the latest observation (the final one
+// included, for terminal sessions), an evicted-then-reattached consumer is
+// still guaranteed to observe the session's final event.
 func (s *Session) Subscribe() (<-chan Progress, func()) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -228,7 +265,7 @@ func (s *Session) Subscribe() (<-chan Progress, func()) {
 	}
 	id := s.nextSub
 	s.nextSub++
-	s.subs[id] = ch
+	s.subs[id] = &subscriber{ch: ch}
 	return ch, func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -273,30 +310,41 @@ func (s *Session) progressLocked(smp core.Sample, final bool) Progress {
 	return p
 }
 
-// publishLocked stores the latest observation and fans it out to every
-// subscriber. Sends are lossy (latest-wins) for intermediate events; the
-// final event closes all subscriber channels, so it is always observed as
-// the channel's last value or its closure.
+// publishLocked assigns the event its sequence number, stores it as the
+// latest observation, and fans it out to every subscriber. Sends are lossy
+// (latest-wins) for intermediate events; the final event closes all
+// subscriber channels, so it is always observed as the channel's last
+// value or its closure. A subscriber whose buffer is found full on
+// evictAfter consecutive publishes is evicted (closed without a final
+// event) so a frozen consumer cannot pin per-event work forever; see
+// Subscribe for the reattach guarantee.
 func (s *Session) publishLocked(p Progress) {
+	s.seq++
+	p.Seq = s.seq
 	s.last = p
 	s.hasLast = true
-	for id, ch := range s.subs {
+	for id, sub := range s.subs {
 		select {
-		case ch <- p:
+		case sub.ch <- p:
+			sub.dropStreak = 0
 		default:
 			// Full buffer: drop one stale observation, then retry once.
+			sub.dropStreak++
 			select {
-			case <-ch:
+			case <-sub.ch:
 			default:
 			}
 			select {
-			case ch <- p:
+			case sub.ch <- p:
 			default:
 			}
 		}
-		if p.Final {
+		if p.Final || sub.dropStreak > evictAfter {
+			if !p.Final && s.onEvict != nil {
+				s.onEvict()
+			}
 			delete(s.subs, id)
-			close(ch)
+			close(sub.ch)
 		}
 	}
 }
