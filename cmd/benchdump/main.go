@@ -27,7 +27,9 @@ import (
 	"sqlprogress/internal/coretest"
 	"sqlprogress/internal/datagen"
 	"sqlprogress/internal/exec"
+	"sqlprogress/internal/ledger"
 	"sqlprogress/internal/plan"
+	"sqlprogress/internal/schema"
 	"sqlprogress/internal/session"
 	"sqlprogress/internal/tpch"
 )
@@ -40,6 +42,9 @@ type result struct {
 	BytesOp   int64   `json:"bytes_per_op"`
 	N         int     `json:"n"`
 	TotalSecs float64 `json:"total_secs"`
+	// Speedup is the wall-clock ratio vs the 1-worker row of the same
+	// experiment (parallel-scan rows only).
+	Speedup float64 `json:"speedup_vs_1_worker,omitempty"`
 }
 
 // dump is the file layout.
@@ -167,9 +172,81 @@ func chaosSweep(n int) result {
 	return res
 }
 
+// parallelScanPlan builds an Exchange over `workers` scan partitions of rel,
+// each simulating paged I/O: a pageDelay stall every pageRows rows. On any
+// machine (even GOMAXPROCS=1) the stalls of different workers overlap, so
+// the wall-clock ratio vs the 1-worker row measures how well the exchange +
+// disjoint-ledger-slot design actually parallelises a scan.
+func parallelScanPlan(rel *schema.Relation, workers, pageRows int, pageDelay time.Duration) exec.Operator {
+	parts := make([]exec.Operator, workers)
+	for i := range parts {
+		s := exec.NewScanPartition(rel, i, workers)
+		s.SimPageRows = pageRows
+		s.SimPageDelay = pageDelay
+		s.SetEstimatedCard(s.FinalBounds(nil).LB)
+		parts[i] = s
+	}
+	return exec.NewExchange(parts...)
+}
+
+// parallelScanRows times full parallel-scan executions at each worker count
+// and reports per-run wall time plus speedup vs the 1-worker baseline. Timed
+// by hand (like chaosSweep): the runs are sleep-dominated by design, so
+// testing.Benchmark's auto-scaling would only add minutes of wall time.
+func parallelScanRows(workerCounts []int, runs int) []result {
+	const (
+		nRows     = 40_000
+		pageRows  = 400
+		pageDelay = time.Millisecond
+	)
+	rel := datagen.IntRelation("bigscan", "v", datagen.Sequence(nRows))
+	var out []result
+	var base float64
+	for _, w := range workerCounts {
+		var elapsed time.Duration
+		for r := 0; r < runs; r++ {
+			op := parallelScanPlan(rel, w, pageRows, pageDelay)
+			start := time.Now()
+			rows, err := exec.Run(exec.NewCtx(), op)
+			elapsed += time.Since(start)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if len(rows) != nRows {
+				fmt.Fprintf(os.Stderr, "parallel scan at %d workers: got %d rows, want %d\n", w, len(rows), nRows)
+				os.Exit(1)
+			}
+		}
+		res := result{
+			Name:      fmt.Sprintf("parallel_scan_workers_%d", w),
+			NsPerOp:   float64(elapsed.Nanoseconds()) / float64(runs),
+			N:         runs,
+			TotalSecs: elapsed.Seconds(),
+		}
+		if w == 1 {
+			base = res.NsPerOp
+		} else if base > 0 {
+			res.Speedup = base / res.NsPerOp
+		}
+		fmt.Printf("%-28s %12.1f ns/op %8s %6.2fx vs 1 worker\n",
+			res.Name, res.NsPerOp, "", maxF(res.Speedup, 1))
+		out = append(out, res)
+	}
+	return out
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 func main() {
 	out := flag.String("o", "BENCH_1.json", "output path")
 	out2 := flag.String("o2", "BENCH_2.json", "session-service output path")
+	out3 := flag.String("o3", "BENCH_3.json", "ledger + parallel-scan output path")
 	chaosN := flag.Int("chaos", 500, "fault schedules in the chaos sweep (0 = skip)")
 	flag.Parse()
 
@@ -240,7 +317,42 @@ func main() {
 		sessResults = append(sessResults, chaosSweep(*chaosN))
 	}
 	writeDump(*out2, sessResults)
+
+	// Ledger benchmarks: the progress-ledger PR's artifact. First the
+	// sample-path cost — reading the flat ledger (what estimators and the
+	// serving layer do now) vs walking the operator tree summing per-node
+	// counters (how the seed sampled before the ledger existed) — then the
+	// parallel-scan scaling rows that the disjoint-slot design unlocks.
+	var ledResults []result
+	led := exec.EnsureLedger(op) // q21 plan from above, already executed
+	ledResults = record("sample_ledger_total_returned", ledResults, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += led.TotalReturned()
+		}
+	})
+	var buf []ledger.Snapshot
+	ledResults = record("sample_ledger_snapshot_all", ledResults, func(b *testing.B) {
+		b.ReportAllocs()
+		buf = led.SnapshotAll(buf[:0])
+		for i := 0; i < b.N; i++ {
+			buf = led.SnapshotAll(buf[:0])
+		}
+	})
+	ledResults = record("sample_tree_walk_seed", ledResults, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var total int64
+			exec.Walk(op, func(o exec.Operator) { total += o.Runtime().Returned() })
+			sink += total
+		}
+	})
+	ledResults = append(ledResults, parallelScanRows([]int{1, 2, 4, 8}, 3)...)
+	writeDump(*out3, ledResults)
 }
+
+// sink defeats dead-code elimination in the sample-path benchmarks.
+var sink int64
 
 func writeDump(path string, results []result) {
 	d := dump{

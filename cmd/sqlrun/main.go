@@ -91,6 +91,7 @@ func main() {
 		ests  map[sqlprogress.EstimatorKind]float64
 	}
 	var samples []sample
+	var lastNodes []sqlprogress.NodeCount
 	res, err := q.RunWithProgress(sqlprogress.ProgressOptions{
 		Estimator: headline,
 		Extra:     kinds,
@@ -102,6 +103,7 @@ func main() {
 			ests[k] = v
 		}
 		samples = append(samples, sample{calls: u.Calls, ests: ests})
+		lastNodes = u.Nodes
 	})
 	if err != nil {
 		fatal(err)
@@ -116,6 +118,15 @@ func main() {
 			break
 		}
 		fmt.Println(sqlprogress.FormatRow(r))
+	}
+
+	// Per-node ledger counters from the last sample: where the work went.
+	if len(lastNodes) > 0 {
+		fmt.Println("\nper-node work at the last sample (ledger counters):")
+		for _, n := range lastNodes {
+			fmt.Printf("  [%2d] %-32s calls=%-9d delivered=%-9d rescans=%-5d done=%v\n",
+				n.ID, n.Name, n.Calls, n.Delivered, n.Rescans, n.Done)
+		}
 	}
 
 	// Post-hoc accuracy report.

@@ -41,15 +41,25 @@ func main() {
 	fmt.Println("physical plan:")
 	fmt.Print(q.Explain())
 
+	var lastNodes []sqlprogress.NodeCount
 	res, err := q.RunWithProgress(sqlprogress.ProgressOptions{
 		Estimator: sqlprogress.Pmax, // never underestimates (Property 4)
 		Extra:     []sqlprogress.EstimatorKind{sqlprogress.Safe},
 	}, func(u sqlprogress.ProgressUpdate) {
 		fmt.Printf("\rprogress: %5.1f%%  (hard bounds %4.1f%%–%5.1f%%, safe says %5.1f%%)",
 			100*u.Estimate, 100*u.Lo, 100*u.Hi, 100*u.Estimates[sqlprogress.Safe])
+		lastNodes = u.Nodes
 	})
 	check(err)
 	fmt.Println()
+
+	// Each update also carries every plan node's ledger counters — the
+	// per-operator view of where the work went.
+	fmt.Println("\nper-node work at the last sample:")
+	for _, n := range lastNodes {
+		fmt.Printf("  [%d] %-28s calls=%-7d delivered=%-7d done=%v\n",
+			n.ID, n.Name, n.Calls, n.Delivered, n.Done)
+	}
 
 	fmt.Printf("\n%d hottest devices (total work: %d GetNext calls, mu=%.3f):\n",
 		len(res.Rows), res.TotalCalls, res.Mu)

@@ -8,7 +8,9 @@ import (
 	"testing"
 
 	"sqlprogress/internal/catalog"
+	"sqlprogress/internal/coretest"
 	"sqlprogress/internal/exec"
+	"sqlprogress/internal/expr"
 	"sqlprogress/internal/schema"
 	"sqlprogress/internal/sqlval"
 )
@@ -301,6 +303,44 @@ func fuzzProgressInvariants(t *testing.T, seed int64) {
 	}
 }
 
+// fuzzExchangeParallel cross-validates the parallel access path: an
+// Exchange over a seed-random number of partition scans of t1, with an
+// embedded predicate, must produce exactly the serial evaluation's rows
+// (order aside) — and the progress invariants must hold while the workers
+// write their disjoint ledger slots concurrently.
+func fuzzExchangeParallel(t *testing.T, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	db := newFuzzDB(r)
+	p := randPred(r)
+	workers := 1 + r.Intn(4)
+	rel := db.cat.MustRelation("t1")
+	ops := map[string]expr.CmpOp{"=": expr.EQ, "<>": expr.NE, "<": expr.LT, "<=": expr.LE, ">": expr.GT, ">=": expr.GE}
+	build := func() exec.Operator {
+		parts := make([]exec.Operator, workers)
+		for i := range parts {
+			s := exec.NewScanPartition(rel, i, workers)
+			s.Pred = expr.Compare(ops[p.op],
+				expr.NewCol(rel.Schema(), "", [3]string{"a", "b", "c"}[p.col]),
+				expr.Literal(sqlval.Int(p.val)))
+			parts[i] = s
+		}
+		return exec.NewExchange(parts...)
+	}
+	label := fmt.Sprintf("exchange(%d) WHERE %s", workers, p.sql())
+	rows, err := exec.Run(exec.NewCtx(), build())
+	if err != nil {
+		t.Fatalf("run %s: %v", label, err)
+	}
+	var want [][]int64
+	for _, row := range db.t1 {
+		if p.eval(row) {
+			want = append(want, []int64{row[0], row[1], row[2]})
+		}
+	}
+	compare(t, label, resultToInts(t, rows), want)
+	coretest.CheckParallelInvariants(t, label, build(), 1)
+}
+
 // fuzzFamilies dispatches a fuzz input's kind byte to one query family.
 var fuzzFamilies = []func(*testing.T, int64){
 	fuzzFilterProjection,
@@ -309,13 +349,14 @@ var fuzzFamilies = []func(*testing.T, int64){
 	fuzzJoinGroupBy,
 	fuzzSemiAntiJoin,
 	fuzzProgressInvariants,
+	fuzzExchangeParallel,
 }
 
-// FuzzDifferential is the native-fuzzing entry point over all six
+// FuzzDifferential is the native-fuzzing entry point over all seven
 // differential families: the fuzzer explores (seed, family) pairs, every
 // one of which must produce results identical to the naive evaluator (and
-// clean progress invariants for the last family). The checked-in corpus
-// under testdata/fuzz/FuzzDifferential seeds one input per family.
+// clean progress invariants for the invariant families). The checked-in
+// corpus under testdata/fuzz/FuzzDifferential seeds one input per family.
 func FuzzDifferential(f *testing.F) {
 	for kind := range fuzzFamilies {
 		f.Add(int64(kind*100), byte(kind))
@@ -358,5 +399,11 @@ func TestFuzzSemiAntiJoin(t *testing.T) {
 func TestFuzzProgressInvariantsOnRandomQueries(t *testing.T) {
 	for seed := int64(500); seed < 510; seed++ {
 		fuzzProgressInvariants(t, seed)
+	}
+}
+
+func TestFuzzExchangeParallel(t *testing.T) {
+	for seed := int64(600); seed < 615; seed++ {
+		fuzzExchangeParallel(t, seed)
 	}
 }

@@ -5,12 +5,13 @@ import (
 	"strings"
 
 	"sqlprogress/internal/exec"
+	"sqlprogress/internal/ledger"
 )
 
-// NodeBounds pairs an operator with bounds on its final total row count
-// (across rescans, for nested-loops inners).
+// NodeBounds pairs a plan node (by ledger NodeID) with bounds on its final
+// total row count (across rescans, for nested-loops inners).
 type NodeBounds struct {
-	Op     exec.Operator
+	ID     ledger.NodeID
 	Bounds exec.CardBounds
 }
 
@@ -55,11 +56,22 @@ func ComputeBounds(root exec.Operator) BoundsSnapshot {
 	return ComputeBoundsOpt(root, BoundsOptions{})
 }
 
-// ComputeBoundsOpt is ComputeBounds with explicit options.
+// ComputeBoundsOpt is ComputeBounds with explicit options. It derives the
+// plan's shape (binding the ledger if needed) and delegates to
+// ComputeShapeBounds — the operator tree is only touched for this static
+// derivation, never for the counters.
 func ComputeBoundsOpt(root exec.Operator, opts BoundsOptions) BoundsSnapshot {
+	shape, led := ShapeOf(root)
+	return ComputeShapeBounds(shape, led, opts)
+}
+
+// ComputeShapeBounds is the full bounds pass over (PlanShape, *Ledger): the
+// reference implementation the incremental BoundsEvaluator must agree with
+// at every instant.
+func ComputeShapeBounds(shape *PlanShape, led *ledger.Ledger, opts BoundsOptions) BoundsSnapshot {
 	var snap BoundsSnapshot
 	snap.opts = opts
-	walkBounds(root, 1, -1, false, &snap)
+	walkBounds(shape, led, shape.Root().ID, 1, -1, false, &snap)
 	for _, nb := range snap.Nodes {
 		snap.LB = exec.SatAdd(snap.LB, nb.Bounds.LB)
 		snap.UB = exec.SatAdd(snap.UB, nb.Bounds.UB)
@@ -67,47 +79,41 @@ func ComputeBoundsOpt(root exec.Operator, opts BoundsOptions) BoundsSnapshot {
 	return snap
 }
 
-// walkBounds returns per-run bounds on op's *delivered* rows (what the
-// parent's FinalBounds rule expects) while recording bounds on its GetNext
+// walkBounds returns per-run bounds on a node's *delivered* rows (what the
+// parent's bounds rule expects) while recording bounds on its GetNext
 // count in the snapshot. The two differ only for scans with embedded
 // predicates. mult bounds how many times this subtree may be re-opened
 // (1 outside nested loops); demandCap bounds how many rows ancestors will
 // ever pull from this node (-1 = unbounded); mayStop marks nodes an
 // ancestor may abandon before EOF, voiding their static lower bounds.
-func walkBounds(op exec.Operator, mult, demandCap int64, mayStop bool, snap *BoundsSnapshot) exec.CardBounds {
-	children := op.Children()
-	rescanned := make(map[int]bool)
-	if r, ok := op.(exec.Rescanner); ok {
-		for _, i := range r.RescannedChildren() {
-			rescanned[i] = true
-		}
-	}
-	childCaps := demandCaps(op, demandCap, len(children), snap.opts)
-	childStops := earlyStops(op, mayStop, len(children))
+func walkBounds(shape *PlanShape, led *ledger.Ledger, id ledger.NodeID, mult, demandCap int64, mayStop bool, snap *BoundsSnapshot) exec.CardBounds {
+	n := shape.Node(id)
+	childCaps := n.demandCaps(demandCap, snap.opts, make([]int64, len(n.Children)))
+	childStops := n.earlyStops(mayStop, make([]bool, len(n.Children)))
 
-	childBounds := make([]exec.CardBounds, len(children))
+	childBounds := make([]exec.CardBounds, len(n.Children))
 	// Non-rescanned children first: a rescanned child's run count is
 	// bounded by the driving (first streaming) child's final cardinality.
 	var driveUB int64 = exec.Unbounded
-	for i, c := range children {
-		if !rescanned[i] {
-			childBounds[i] = walkBounds(c, mult, childCaps[i], childStops[i], snap)
+	for i, c := range n.Children {
+		if !n.Rescanned[i] {
+			childBounds[i] = walkBounds(shape, led, c, mult, childCaps[i], childStops[i], snap)
 		}
 	}
-	if stream := op.StreamChildren(); len(stream) > 0 && len(rescanned) > 0 {
-		driveUB = childBounds[stream[0]].UB
+	if n.FirstStream >= 0 && n.HasRescan {
+		driveUB = childBounds[n.FirstStream].UB
 	}
-	for i, c := range children {
-		if rescanned[i] {
-			childBounds[i] = walkBounds(c, exec.SatMul(mult, driveUB), childCaps[i], childStops[i], snap)
+	for i, c := range n.Children {
+		if n.Rescanned[i] {
+			childBounds[i] = walkBounds(shape, led, c, exec.SatMul(mult, driveUB), childCaps[i], childStops[i], snap)
 		}
 	}
 
-	rule := op.FinalBounds(childBounds)
+	rule := n.Rule.FinalBounds(childBounds)
 	deliveredRule := rule
 	sameEmission := true
-	if db, ok := op.(exec.DeliveredBounder); ok {
-		deliveredRule = db.DeliveredBounds()
+	if n.Delivered != nil {
+		deliveredRule = n.Delivered.DeliveredBounds()
 		sameEmission = deliveredRule == rule
 	}
 	if mayStop {
@@ -127,7 +133,7 @@ func walkBounds(op exec.Operator, mult, demandCap int64, mayStop bool, snap *Bou
 			rule = capBounds(rule, demandCap)
 		}
 	}
-	rt := op.Runtime().Snapshot()
+	rt := led.Slot(id).Snapshot()
 
 	var perRun, total exec.CardBounds
 	if mult == 1 {
@@ -143,54 +149,8 @@ func walkBounds(op exec.Operator, mult, demandCap int64, mayStop bool, snap *Bou
 			total.UB = total.LB
 		}
 	}
-	snap.Nodes = append(snap.Nodes, NodeBounds{Op: op, Bounds: total})
+	snap.Nodes = append(snap.Nodes, NodeBounds{ID: id, Bounds: total})
 	return perRun
-}
-
-// demandCaps derives per-child pull bounds from this node's own demand cap.
-// Only operators that pull at most one input row per output row propagate
-// demand: Top pulls at most K (its limit) from its input, and Project pulls
-// exactly what it emits. Everything else (filters, joins, aggregations,
-// blocking consumers) may pull unboundedly more than it emits.
-func demandCaps(op exec.Operator, selfCap int64, nChildren int, opts BoundsOptions) []int64 {
-	caps := make([]int64, nChildren)
-	for i := range caps {
-		caps[i] = -1
-	}
-	if opts.DisableDemandCap || nChildren == 0 {
-		return caps
-	}
-	switch t := op.(type) {
-	case *exec.Top:
-		c := t.K
-		if selfCap >= 0 && selfCap < c {
-			c = selfCap
-		}
-		caps[0] = c
-	case *exec.Project:
-		caps[0] = selfCap
-	}
-	return caps
-}
-
-// earlyStops derives per-child may-stop flags: a child is at risk of being
-// abandoned before EOF when its parent declares it (EarlyStopper), or when
-// the parent itself may stop early and pulls the child on demand (a
-// streaming child dries up with its parent; a blocking child is fully
-// consumed during Open regardless).
-func earlyStops(op exec.Operator, selfMayStop bool, nChildren int) []bool {
-	stops := make([]bool, nChildren)
-	if es, ok := op.(exec.EarlyStopper); ok {
-		for _, i := range es.EarlyStopChildren() {
-			stops[i] = true
-		}
-	}
-	if selfMayStop {
-		for _, i := range op.StreamChildren() {
-			stops[i] = true
-		}
-	}
-	return stops
 }
 
 // capBounds clamps both ends of b at cap.
@@ -270,16 +230,16 @@ func Mu(root exec.Operator) float64 {
 // when debugging why pmax or safe behaves as it does on a plan.
 func ExplainBounds(root exec.Operator) string {
 	snap := ComputeBounds(root)
-	byOp := make(map[exec.Operator]exec.CardBounds, len(snap.Nodes))
+	byID := make(map[ledger.NodeID]exec.CardBounds, len(snap.Nodes))
 	for _, nb := range snap.Nodes {
-		byOp[nb.Op] = nb.Bounds
+		byID[nb.ID] = nb.Bounds
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "total bounds: LB=%d UB=%d (Curr=%d)\n", snap.LB, snap.UB, exec.TotalCalls(root))
 	var rec func(op exec.Operator, depth int)
 	rec = func(op exec.Operator, depth int) {
 		rt := op.Runtime()
-		nb := byOp[op]
+		nb := byID[op.LedgerID()]
 		ubStr := fmt.Sprintf("%d", nb.UB)
 		if nb.UB >= exec.Unbounded {
 			ubStr = "inf"

@@ -53,11 +53,12 @@ func TestPipelinesSinglePipeline(t *testing.T) {
 	r1 := intRel("r1", "a", seq(10))
 	r2 := intRel("r2", "b", seq(10))
 	j, scan := example1Plan(r1, r2, nil, nil, false)
-	ps := Pipelines(j)
+	shape, _ := ShapeOf(j)
+	ps := Pipelines(shape)
 	if len(ps) != 1 {
 		t.Fatalf("pipelines = %d, want 1", len(ps))
 	}
-	if len(ps[0].Drivers) != 1 || ps[0].Drivers[0] != exec.Operator(scan) {
+	if len(ps[0].Drivers) != 1 || ps[0].Drivers[0] != scan.LedgerID() {
 		t.Errorf("driver should be the R1 scan, got %v", ps[0].Drivers)
 	}
 }
@@ -70,18 +71,19 @@ func TestPipelinesHashJoin(t *testing.T) {
 		[]expr.Expr{expr.NewCol(build.Schema(), "r1", "a")},
 		[]expr.Expr{expr.NewCol(probe.Schema(), "r2", "b")},
 		exec.InnerJoin)
-	ps := Pipelines(j)
+	shape, _ := ShapeOf(j)
+	ps := Pipelines(shape)
 	if len(ps) != 2 {
 		t.Fatalf("pipelines = %d, want 2 (probe pipeline + build pipeline)", len(ps))
 	}
 	// Root pipeline driven by the probe scan; build pipeline by the build scan.
-	if ps[0].Drivers[0] != exec.Operator(probe) {
-		t.Errorf("root pipeline driver = %v, want probe scan", ps[0].Drivers[0].Name())
+	if ps[0].Drivers[0] != probe.LedgerID() {
+		t.Errorf("root pipeline driver = %v, want probe scan", ps[0].Drivers[0])
 	}
-	if ps[1].Drivers[0] != exec.Operator(build) {
-		t.Errorf("build pipeline driver = %v, want build scan", ps[1].Drivers[0].Name())
+	if ps[1].Drivers[0] != build.LedgerID() {
+		t.Errorf("build pipeline driver = %v, want build scan", ps[1].Drivers[0])
 	}
-	drivers := DriverNodes(j)
+	drivers := DriverNodes(shape)
 	if len(drivers) != 2 {
 		t.Errorf("DriverNodes = %d, want 2", len(drivers))
 	}
@@ -92,15 +94,16 @@ func TestPipelinesSortIsDriverOfParent(t *testing.T) {
 	scan := exec.NewScan(r)
 	srt := exec.NewSort(scan, []exec.SortKey{{Expr: expr.NewCol(scan.Schema(), "r", "a")}})
 	f := exec.NewFilter(srt, expr.Literal(sqlval.Bool(true)))
-	ps := Pipelines(f)
+	shape, _ := ShapeOf(f)
+	ps := Pipelines(shape)
 	if len(ps) != 2 {
 		t.Fatalf("pipelines = %d, want 2", len(ps))
 	}
-	if ps[0].Drivers[0] != exec.Operator(srt) {
-		t.Errorf("parent pipeline driver = %s, want the sort node", ps[0].Drivers[0].Name())
+	if ps[0].Drivers[0] != srt.LedgerID() {
+		t.Errorf("parent pipeline driver = %v, want the sort node", ps[0].Drivers[0])
 	}
-	if ps[1].Drivers[0] != exec.Operator(scan) {
-		t.Errorf("sort input pipeline driver = %s, want the scan", ps[1].Drivers[0].Name())
+	if ps[1].Drivers[0] != scan.LedgerID() {
+		t.Errorf("sort input pipeline driver = %v, want the scan", ps[1].Drivers[0])
 	}
 }
 
@@ -111,12 +114,82 @@ func TestPipelinesMergeJoinTwoDrivers(t *testing.T) {
 	j := exec.NewMergeJoin(s1, s2,
 		[]expr.Expr{expr.NewCol(s1.Schema(), "r1", "a")},
 		[]expr.Expr{expr.NewCol(s2.Schema(), "r2", "b")})
-	ps := Pipelines(j)
+	shape, _ := ShapeOf(j)
+	ps := Pipelines(shape)
 	if len(ps) != 1 {
 		t.Fatalf("pipelines = %d, want 1", len(ps))
 	}
 	if len(ps[0].Drivers) != 2 {
 		t.Errorf("merge join pipeline drivers = %d, want 2", len(ps[0].Drivers))
+	}
+}
+
+func TestPipelinesSingleNodePlan(t *testing.T) {
+	r := intRel("r", "a", seq(3))
+	scan := exec.NewScan(r)
+	shape, led := ShapeOf(scan)
+	if shape.Len() != 1 || led.Len() != 1 {
+		t.Fatalf("shape/ledger size = %d/%d, want 1/1", shape.Len(), led.Len())
+	}
+	ps := Pipelines(shape)
+	if len(ps) != 1 {
+		t.Fatalf("pipelines = %d, want 1", len(ps))
+	}
+	id := scan.LedgerID()
+	if ps[0].Root != id || len(ps[0].Ops) != 1 || ps[0].Ops[0] != id {
+		t.Errorf("single-node pipeline = %+v, want root/ops = %d", ps[0], id)
+	}
+	if len(ps[0].Drivers) != 1 || ps[0].Drivers[0] != id {
+		t.Errorf("single-node drivers = %v, want [%d]", ps[0].Drivers, id)
+	}
+	if got := DriverNodes(shape); len(got) != 1 || got[0] != id {
+		t.Errorf("DriverNodes = %v, want [%d]", got, id)
+	}
+}
+
+func TestPipelinesBushyPlan(t *testing.T) {
+	// Bushy: a hash join whose build AND probe sides are themselves hash
+	// joins. Each build side is blocking, so the decomposition yields four
+	// pipelines with one scan driver each (the two probe scans drive their
+	// join pipelines; the two build scans get leaf pipelines).
+	mk := func(name string) *exec.Scan { return exec.NewScan(intRel(name, "a", seq(4))) }
+	s1, s2, s3, s4 := mk("r1"), mk("r2"), mk("r3"), mk("r4")
+	join := func(build, probe *exec.Scan) *exec.HashJoin {
+		return exec.NewHashJoin(build, probe,
+			[]expr.Expr{expr.NewCol(build.Schema(), "", "a")},
+			[]expr.Expr{expr.NewCol(probe.Schema(), "", "a")},
+			exec.InnerJoin)
+	}
+	j1, j2 := join(s1, s2), join(s3, s4)
+	top := exec.NewHashJoin(j1, j2,
+		[]expr.Expr{expr.NewCol(j1.Schema(), "r1", "a")},
+		[]expr.Expr{expr.NewCol(j2.Schema(), "r3", "a")},
+		exec.InnerJoin)
+	shape, _ := ShapeOf(top)
+	ps := Pipelines(shape)
+	if len(ps) != 4 {
+		t.Fatalf("pipelines = %d, want 4", len(ps))
+	}
+	// Root pipeline: top join streaming from j2, driven by j2's probe scan.
+	if ps[0].Root != top.LedgerID() || len(ps[0].Ops) != 3 {
+		t.Errorf("root pipeline = %+v, want {top, j2, s4}", ps[0])
+	}
+	if len(ps[0].Drivers) != 1 || ps[0].Drivers[0] != s4.LedgerID() {
+		t.Errorf("root pipeline driver = %v, want s4", ps[0].Drivers)
+	}
+	// j1's pipeline driven by its probe scan s2; the build scans s1 and s3
+	// drive their own leaf pipelines.
+	wantDrivers := []struct {
+		pipe   int
+		driver *exec.Scan
+	}{{1, s2}, {2, s1}, {3, s3}}
+	for _, w := range wantDrivers {
+		if len(ps[w.pipe].Drivers) != 1 || ps[w.pipe].Drivers[0] != w.driver.LedgerID() {
+			t.Errorf("pipeline %d drivers = %v, want [%d]", w.pipe, ps[w.pipe].Drivers, w.driver.LedgerID())
+		}
+	}
+	if got := DriverNodes(shape); len(got) != 4 {
+		t.Errorf("DriverNodes = %d, want 4", len(got))
 	}
 }
 

@@ -1,18 +1,22 @@
 package core
 
-import "sqlprogress/internal/exec"
+import (
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/ledger"
+)
 
-// BoundsEvaluator is the incremental form of ComputeBounds. The plan's
-// static structure — child lists, rescan and demand-cap topology, interface
-// assertions, the snapshot layout — is resolved once at construction; each
-// Compute call then only folds the runtime counters into preallocated
-// buffers. One Compute is an allocation-free sweep of the plan instead of
-// the full walk's per-node map and slice rebuilding, which is what lets a
-// monitor sample frequently (and off-thread) without throttling the
-// executor.
+// BoundsEvaluator is the incremental form of the bounds pass. The plan's
+// static structure — child lists, rescan and demand-cap topology, bounds
+// rules, the snapshot layout — comes from the PlanShape once at
+// construction; each Compute call then only folds the ledger counters into
+// preallocated buffers. One Compute is an allocation-free sweep of the
+// shape instead of the full walk's per-node map and slice rebuilding, which
+// is what lets a monitor sample frequently (and off-thread) without
+// throttling the executor. No exec.Operator is touched on the sample path:
+// the evaluator reads cached ledger slot pointers and static rule closures.
 //
-// Compute reads runtime counters through RuntimeStats.Snapshot, so it is
-// safe to call from a goroutine other than the one executing the plan; the
+// Compute reads runtime counters through ledger.Slot.Snapshot, so it is
+// safe to call from a goroutine other than the ones executing the plan; the
 // bounds it derives are valid even against slightly-stale counters (see
 // DESIGN.md, "Concurrency model & monitoring overhead"). Compute itself is
 // not reentrant: at most one goroutine may call it at a time.
@@ -20,15 +24,16 @@ type BoundsEvaluator struct {
 	opts BoundsOptions
 	root *evalNode
 	snap BoundsSnapshot
-	n    int // node count
+	n    int   // node count
+	idx  []int // NodeID -> position in snap.Nodes
 }
 
-// evalNode caches the per-operator static structure the full walk re-derives
+// evalNode caches the per-node static structure the full walk re-derives
 // every pass.
 type evalNode struct {
-	op exec.Operator
-	rt *exec.RuntimeStats
-	db exec.DeliveredBounder // non-nil iff op implements DeliveredBounder
+	slot      *ledger.Slot
+	rule      FinalBounder
+	delivered exec.DeliveredBounder // non-nil iff node is a DeliveredBounder
 
 	children    []*evalNode
 	rescanned   []bool // parallel to children
@@ -40,23 +45,37 @@ type evalNode struct {
 
 	childBounds []exec.CardBounds // scratch, parallel to children
 	snapIdx     int               // position in BoundsSnapshot.Nodes
+	id          ledger.NodeID
 }
 
 // NewBoundsEvaluator prepares an incremental evaluator for the plan rooted
-// at root with default options.
+// at root with default options, binding the plan's ledger if needed.
 func NewBoundsEvaluator(root exec.Operator) *BoundsEvaluator {
 	return NewBoundsEvaluatorOpt(root, BoundsOptions{})
 }
 
 // NewBoundsEvaluatorOpt is NewBoundsEvaluator with explicit options.
 func NewBoundsEvaluatorOpt(root exec.Operator, opts BoundsOptions) *BoundsEvaluator {
-	ev := &BoundsEvaluator{opts: opts}
-	ev.root = ev.build(root, -1, false)
+	shape, led := ShapeOf(root)
+	return NewShapeEvaluator(shape, led, opts)
+}
+
+// NewShapeEvaluator prepares an incremental evaluator over an
+// already-derived (PlanShape, *Ledger) pair.
+func NewShapeEvaluator(shape *PlanShape, led *ledger.Ledger, opts BoundsOptions) *BoundsEvaluator {
+	ev := &BoundsEvaluator{opts: opts, idx: make([]int, shape.Len())}
+	ev.root = ev.build(shape, led, shape.Root().ID, -1, false)
 	ev.snap.opts = opts
 	ev.snap.Nodes = make([]NodeBounds, ev.n)
-	for _, idx := range ev.indexNodes(ev.root, nil) {
-		ev.snap.Nodes[idx.snapIdx].Op = idx.op
+	var index func(n *evalNode)
+	index = func(n *evalNode) {
+		ev.snap.Nodes[n.snapIdx].ID = n.id
+		ev.idx[n.id] = n.snapIdx
+		for _, c := range n.children {
+			index(c)
+		}
 	}
+	index(ev.root)
 	return ev
 }
 
@@ -64,40 +83,31 @@ func NewBoundsEvaluatorOpt(root exec.Operator, opts BoundsOptions) *BoundsEvalua
 // the snapshot in the exact emission order of the full walk (non-rescanned
 // subtrees, then rescanned subtrees, then the node itself), so snapshots
 // from both implementations are comparable element-wise.
-func (ev *BoundsEvaluator) build(op exec.Operator, demandCap int64, mayStop bool) *evalNode {
-	children := op.Children()
+func (ev *BoundsEvaluator) build(shape *PlanShape, led *ledger.Ledger, id ledger.NodeID, demandCap int64, mayStop bool) *evalNode {
+	sn := shape.Node(id)
 	n := &evalNode{
-		op:          op,
-		rt:          op.Runtime(),
-		children:    make([]*evalNode, len(children)),
-		rescanned:   make([]bool, len(children)),
-		childBounds: make([]exec.CardBounds, len(children)),
-		firstStream: -1,
+		slot:        led.Slot(id),
+		rule:        sn.Rule,
+		delivered:   sn.Delivered,
+		children:    make([]*evalNode, len(sn.Children)),
+		rescanned:   sn.Rescanned,
+		hasRescan:   sn.HasRescan,
+		childBounds: make([]exec.CardBounds, len(sn.Children)),
+		firstStream: sn.FirstStream,
 		demandCap:   demandCap,
 		mayStop:     mayStop,
+		id:          id,
 	}
-	if db, ok := op.(exec.DeliveredBounder); ok {
-		n.db = db
-	}
-	if r, ok := op.(exec.Rescanner); ok {
-		for _, i := range r.RescannedChildren() {
-			n.rescanned[i] = true
-			n.hasRescan = true
+	caps := sn.demandCaps(demandCap, ev.opts, make([]int64, len(sn.Children)))
+	stops := sn.earlyStops(mayStop, make([]bool, len(sn.Children)))
+	for i, c := range sn.Children {
+		if !sn.Rescanned[i] {
+			n.children[i] = ev.build(shape, led, c, caps[i], stops[i])
 		}
 	}
-	if stream := op.StreamChildren(); len(stream) > 0 {
-		n.firstStream = stream[0]
-	}
-	caps := demandCaps(op, demandCap, len(children), ev.opts)
-	stops := earlyStops(op, mayStop, len(children))
-	for i, c := range children {
-		if !n.rescanned[i] {
-			n.children[i] = ev.build(c, caps[i], stops[i])
-		}
-	}
-	for i, c := range children {
-		if n.rescanned[i] {
-			n.children[i] = ev.build(c, caps[i], stops[i])
+	for i, c := range sn.Children {
+		if sn.Rescanned[i] {
+			n.children[i] = ev.build(shape, led, c, caps[i], stops[i])
 		}
 	}
 	n.snapIdx = ev.n
@@ -105,68 +115,62 @@ func (ev *BoundsEvaluator) build(op exec.Operator, demandCap int64, mayStop bool
 	return n
 }
 
-func (ev *BoundsEvaluator) indexNodes(n *evalNode, acc []*evalNode) []*evalNode {
-	acc = append(acc, n)
-	for _, c := range n.children {
-		acc = ev.indexNodes(c, acc)
+// IndexOfID returns the node's position in Compute's snapshot Nodes, or -1
+// when the id is out of range.
+func (ev *BoundsEvaluator) IndexOfID(id ledger.NodeID) int {
+	if id < 0 || int(id) >= len(ev.idx) {
+		return -1
 	}
-	return acc
+	return ev.idx[id]
 }
 
 // IndexOf returns the operator's position in Compute's snapshot Nodes, or
 // -1 when the operator is not part of the plan.
 func (ev *BoundsEvaluator) IndexOf(op exec.Operator) int {
-	var find func(n *evalNode) int
-	find = func(n *evalNode) int {
-		if n.op == op {
-			return n.snapIdx
-		}
-		for _, c := range n.children {
-			if idx := find(c); idx >= 0 {
-				return idx
-			}
-		}
-		return -1
-	}
-	return find(ev.root)
+	return ev.IndexOfID(op.LedgerID())
 }
 
 // Compute performs one incremental bounds pass, equivalent to
-// ComputeBoundsOpt(root, opts) at the same instant. The returned snapshot is
-// owned by the evaluator and overwritten by the next Compute call.
+// ComputeShapeBounds over the same shape and ledger at the same instant.
+// The returned snapshot is owned by the evaluator and overwritten by the
+// next Compute call.
 func (ev *BoundsEvaluator) Compute() *BoundsSnapshot {
-	ev.eval(ev.root, 1)
 	ev.snap.LB, ev.snap.UB = 0, 0
-	for i := range ev.snap.Nodes {
-		ev.snap.LB = exec.SatAdd(ev.snap.LB, ev.snap.Nodes[i].Bounds.LB)
-		ev.snap.UB = exec.SatAdd(ev.snap.UB, ev.snap.Nodes[i].Bounds.UB)
-	}
+	ev.eval(ev.root, 1)
 	return &ev.snap
 }
 
 // eval is walkBounds over the cached structure: same arithmetic, no
-// allocations. mult bounds how many times this subtree may be re-opened.
+// allocations, with the plan-total LB/UB accumulated in-line (the totals
+// fold node bounds in post-order instead of a second sweep over the
+// snapshot). mult bounds how many times this subtree may be re-opened.
 func (ev *BoundsEvaluator) eval(n *evalNode, mult int64) exec.CardBounds {
-	for i, c := range n.children {
-		if !n.rescanned[i] {
+	if !n.hasRescan {
+		for i, c := range n.children {
 			n.childBounds[i] = ev.eval(c, mult)
 		}
-	}
-	var driveUB int64 = exec.Unbounded
-	if n.firstStream >= 0 && n.hasRescan {
-		driveUB = n.childBounds[n.firstStream].UB
-	}
-	for i, c := range n.children {
-		if n.rescanned[i] {
-			n.childBounds[i] = ev.eval(c, exec.SatMul(mult, driveUB))
+	} else {
+		for i, c := range n.children {
+			if !n.rescanned[i] {
+				n.childBounds[i] = ev.eval(c, mult)
+			}
+		}
+		var driveUB int64 = exec.Unbounded
+		if n.firstStream >= 0 {
+			driveUB = n.childBounds[n.firstStream].UB
+		}
+		for i, c := range n.children {
+			if n.rescanned[i] {
+				n.childBounds[i] = ev.eval(c, exec.SatMul(mult, driveUB))
+			}
 		}
 	}
 
-	rule := n.op.FinalBounds(n.childBounds)
+	rule := n.rule.FinalBounds(n.childBounds)
 	deliveredRule := rule
 	sameEmission := true
-	if n.db != nil {
-		deliveredRule = n.db.DeliveredBounds()
+	if n.delivered != nil {
+		deliveredRule = n.delivered.DeliveredBounds()
 		sameEmission = deliveredRule == rule
 	}
 	if n.mayStop {
@@ -178,7 +182,7 @@ func (ev *BoundsEvaluator) eval(n *evalNode, mult int64) exec.CardBounds {
 			rule = capBounds(rule, n.demandCap)
 		}
 	}
-	rt := n.rt.Snapshot()
+	rt := n.slot.Snapshot()
 
 	var perRun, total exec.CardBounds
 	if mult == 1 {
@@ -193,5 +197,7 @@ func (ev *BoundsEvaluator) eval(n *evalNode, mult int64) exec.CardBounds {
 		}
 	}
 	ev.snap.Nodes[n.snapIdx].Bounds = total
+	ev.snap.LB = exec.SatAdd(ev.snap.LB, total.LB)
+	ev.snap.UB = exec.SatAdd(ev.snap.UB, total.UB)
 	return perRun
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"sqlprogress/internal/exec"
 	"sqlprogress/internal/schema"
@@ -30,6 +31,14 @@ type SampleSet struct {
 
 func (ss *SampleSet) capture(tracker *Tracker, calls int64) {
 	s := tracker.Capture()
+	// Anchor the sample to the ledger total its own capture read, not the
+	// triggering call count: under parallel plans other workers advance the
+	// global counter between the trigger and the capture, and the paper's
+	// per-instant guarantees are stated against the captured Curr. In serial
+	// execution the two are identical.
+	if s.Curr > calls {
+		calls = s.Curr
+	}
 	sample := Sample{Calls: calls, LB: s.LB, UB: s.UB, Estimates: make([]float64, len(ss.Estimators))}
 	for i, e := range ss.Estimators {
 		sample.Estimates[i] = e.Estimate(s)
@@ -136,12 +145,25 @@ func NewMonitor(root exec.Operator, every int64, ests ...Estimator) *Monitor {
 	}
 }
 
-// Hook returns the callback to install as exec.Ctx.OnGetNext.
+// Hook returns the callback to install as exec.Ctx.OnGetNext. Under
+// parallel (exchange-based) plans the hook fires concurrently from several
+// worker goroutines; a mutex serializes captures (Tracker.Capture is not
+// reentrant) and stale firings — a worker whose trigger count was already
+// overtaken by a recorded sample — are skipped so Samples stays ordered by
+// Calls.
 func (m *Monitor) Hook() func(int64) {
+	var mu sync.Mutex
+	var last int64
 	return func(calls int64) {
 		if calls%m.Every != 0 {
 			return
 		}
+		mu.Lock()
+		defer mu.Unlock()
+		if calls <= last {
+			return
+		}
+		last = calls
 		m.capture(m.tracker, calls)
 	}
 }

@@ -3,7 +3,7 @@
 //
 // It provides
 //
-//   - pipeline decomposition of an operator tree with driver-node
+//   - pipeline decomposition of a plan shape with driver-node
 //     identification (Section 4.1),
 //   - continuously-refined lower/upper bounds on every node's cardinality
 //     and hence on total(Q) (Section 5.1),
@@ -13,47 +13,52 @@
 //   - a Monitor that samples estimates during execution, and error metrics
 //     (ratio error, threshold requirement, absolute errors) to evaluate
 //     them (Section 2.5).
+//
+// All sampling consumes (PlanShape, *Ledger) — the static plan skeleton
+// plus the flat block of per-node atomic counters — never the operator
+// tree itself.
 package core
 
-import "sqlprogress/internal/exec"
+import "sqlprogress/internal/ledger"
 
 // Pipeline is a maximal set of concurrently-executing operators in a serial
 // execution of the plan, in the sense of [5, 13]: blocking inputs (hash-join
 // build sides, sort and hash-aggregation inputs) and rescanned nested-loops
-// inners start new pipelines.
+// inners start new pipelines. Nodes are identified by their ledger NodeID.
 type Pipeline struct {
-	// Root is the topmost operator of the pipeline (the plan root, or a
-	// node whose output feeds a blocking consumer).
-	Root exec.Operator
-	// Ops lists every operator in the pipeline, in pre-order from Root.
-	Ops []exec.Operator
-	// Drivers are the pipeline's input nodes — operators with no streaming
+	// Root is the topmost node of the pipeline (the plan root, or a node
+	// whose output feeds a blocking consumer).
+	Root ledger.NodeID
+	// Ops lists every node in the pipeline, in pre-order from Root.
+	Ops []ledger.NodeID
+	// Drivers are the pipeline's input nodes — nodes with no streaming
 	// children: base-table leaves, or blocking operators (a completed sort)
 	// whose output drives this pipeline. dne measures progress at these
 	// nodes. A pipeline can have several drivers (e.g. both inputs of a
 	// merge join), the case the paper's footnote 1 notes.
-	Drivers []exec.Operator
+	Drivers []ledger.NodeID
 }
 
-// Pipelines decomposes the operator tree rooted at root. The root's own
-// pipeline comes first; sub-pipelines follow in pre-order.
-func Pipelines(root exec.Operator) []Pipeline {
+// Pipelines decomposes the plan shape. The root's own pipeline comes first;
+// sub-pipelines follow in pre-order.
+func Pipelines(shape *PlanShape) []Pipeline {
 	var out []*Pipeline
-	var decompose func(op exec.Operator)
-	decompose = func(op exec.Operator) {
-		p := &Pipeline{Root: op}
+	var decompose func(id ledger.NodeID)
+	decompose = func(id ledger.NodeID) {
+		p := &Pipeline{Root: id}
 		out = append(out, p)
-		var collect func(o exec.Operator)
-		collect = func(o exec.Operator) {
-			p.Ops = append(p.Ops, o)
+		var collect func(id ledger.NodeID)
+		collect = func(id ledger.NodeID) {
+			n := shape.Node(id)
+			p.Ops = append(p.Ops, id)
 			stream := make(map[int]bool)
-			for _, i := range o.StreamChildren() {
+			for _, i := range n.Stream {
 				stream[i] = true
 			}
 			if len(stream) == 0 {
-				p.Drivers = append(p.Drivers, o)
+				p.Drivers = append(p.Drivers, id)
 			}
-			for i, c := range o.Children() {
+			for i, c := range n.Children {
 				if stream[i] {
 					collect(c)
 				} else {
@@ -61,9 +66,9 @@ func Pipelines(root exec.Operator) []Pipeline {
 				}
 			}
 		}
-		collect(op)
+		collect(id)
 	}
-	decompose(root)
+	decompose(shape.Root().ID)
 	res := make([]Pipeline, len(out))
 	for i, p := range out {
 		res[i] = *p
@@ -73,9 +78,9 @@ func Pipelines(root exec.Operator) []Pipeline {
 
 // DriverNodes returns the drivers of every pipeline of the plan, the node
 // set over which dne aggregates.
-func DriverNodes(root exec.Operator) []exec.Operator {
-	var out []exec.Operator
-	for _, p := range Pipelines(root) {
+func DriverNodes(shape *PlanShape) []ledger.NodeID {
+	var out []ledger.NodeID
+	for _, p := range Pipelines(shape) {
 		out = append(out, p.Drivers...)
 	}
 	return out

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sqlprogress/internal/exec"
+	"sqlprogress/internal/ledger"
 )
 
 // DriverState is the progress-relevant view of one driver node.
@@ -80,69 +81,84 @@ func (s *State) MuRunning() float64 {
 	return float64(s.Curr) / float64(s.LeafConsumed)
 }
 
-// Tracker captures States from a running plan. It owns a prebuilt
-// BoundsEvaluator, so each capture is one incremental bounds pass plus a
-// sweep over precomputed node indices — no per-capture maps or tree walks.
-// Captures read runtime counters atomically and may therefore run on a
-// goroutine other than the executing one (AsyncMonitor does); Capture
+// Tracker captures States from a running plan. It owns the plan's shape,
+// its ledger, and a prebuilt BoundsEvaluator, so each capture is one
+// incremental bounds pass plus a sweep over precomputed node indices — no
+// per-capture maps, and no operator-tree access of any kind on the sample
+// path. Captures read ledger counters atomically and may therefore run on a
+// goroutine other than the executing ones (AsyncMonitor does); Capture
 // itself is not reentrant.
 type Tracker struct {
-	root      exec.Operator
+	shape     *PlanShape
+	led       *ledger.Ledger
 	ev        *BoundsEvaluator
-	drivers   []exec.Operator
+	drivers   []ledger.NodeID
 	driverIdx []int
-	leaves    []exec.Operator // leaves outside rescanned subtrees
+	leaves    []ledger.NodeID // leaves outside rescanned subtrees
 	leafIdx   []int
 	pipelines []Pipeline
 	pipeOps   [][]int // snapshot index per pipeline member
 	pipeDrvs  [][]int // snapshot index per pipeline driver
 }
 
-// NewTracker prepares a tracker for the plan rooted at root (the plan
-// structure is fixed; only runtime counters change between captures).
+// NewTracker prepares a tracker for the plan rooted at root, deriving its
+// shape and binding its ledger (the plan structure is fixed; only runtime
+// counters change between captures).
 func NewTracker(root exec.Operator) *Tracker {
-	t := &Tracker{root: root, ev: NewBoundsEvaluator(root), pipelines: Pipelines(root)}
+	shape, led := ShapeOf(root)
+	return NewShapeTracker(shape, led)
+}
+
+// NewShapeTracker prepares a tracker over an already-derived
+// (PlanShape, *Ledger) pair.
+func NewShapeTracker(shape *PlanShape, led *ledger.Ledger) *Tracker {
+	t := &Tracker{
+		shape:     shape,
+		led:       led,
+		ev:        NewShapeEvaluator(shape, led, BoundsOptions{}),
+		pipelines: Pipelines(shape),
+	}
 	for _, p := range t.pipelines {
 		t.drivers = append(t.drivers, p.Drivers...)
 	}
-	var walk func(op exec.Operator, underRescan bool)
-	walk = func(op exec.Operator, underRescan bool) {
-		children := op.Children()
-		if len(children) == 0 && !underRescan {
-			t.leaves = append(t.leaves, op)
+	var walk func(id ledger.NodeID, underRescan bool)
+	walk = func(id ledger.NodeID, underRescan bool) {
+		n := shape.Node(id)
+		if n.IsLeaf() && !underRescan {
+			t.leaves = append(t.leaves, id)
 			return
 		}
-		rescanned := make(map[int]bool)
-		if r, ok := op.(exec.Rescanner); ok {
-			for _, i := range r.RescannedChildren() {
-				rescanned[i] = true
-			}
-		}
-		for i, c := range children {
-			walk(c, underRescan || rescanned[i])
+		for i, c := range n.Children {
+			walk(c, underRescan || n.Rescanned[i])
 		}
 	}
-	walk(root, false)
+	walk(shape.Root().ID, false)
 	for _, d := range t.drivers {
-		t.driverIdx = append(t.driverIdx, t.ev.IndexOf(d))
+		t.driverIdx = append(t.driverIdx, t.ev.IndexOfID(d))
 	}
 	for _, l := range t.leaves {
-		t.leafIdx = append(t.leafIdx, t.ev.IndexOf(l))
+		t.leafIdx = append(t.leafIdx, t.ev.IndexOfID(l))
 	}
 	for _, p := range t.pipelines {
 		ops := make([]int, len(p.Ops))
-		for i, op := range p.Ops {
-			ops[i] = t.ev.IndexOf(op)
+		for i, id := range p.Ops {
+			ops[i] = t.ev.IndexOfID(id)
 		}
 		drvs := make([]int, len(p.Drivers))
 		for i, d := range p.Drivers {
-			drvs[i] = t.ev.IndexOf(d)
+			drvs[i] = t.ev.IndexOfID(d)
 		}
 		t.pipeOps = append(t.pipeOps, ops)
 		t.pipeDrvs = append(t.pipeDrvs, drvs)
 	}
 	return t
 }
+
+// Ledger returns the plan's progress ledger.
+func (t *Tracker) Ledger() *ledger.Ledger { return t.led }
+
+// Shape returns the plan's shape.
+func (t *Tracker) Shape() *PlanShape { return t.shape }
 
 // Capture snapshots the current State.
 func (t *Tracker) Capture() *State {
@@ -156,7 +172,7 @@ func (t *Tracker) Capture() *State {
 	// bounds of nodes that have not produced yet), so re-read the monotone
 	// Returned counters. Reading them at most after the bounds pass keeps
 	// Curr <= total(Q) <= UB.
-	s.Curr = exec.TotalCalls(t.root)
+	s.Curr = t.led.TotalReturned()
 	if s.LB < 1 {
 		s.LB = 1
 	}
@@ -164,32 +180,32 @@ func (t *Tracker) Capture() *State {
 		s.UB = s.LB
 	}
 	for i, d := range t.drivers {
-		rt := d.Runtime().Snapshot()
+		rt := t.led.Slot(d).Snapshot()
 		ds := DriverState{
 			Returned: rt.Returned,
 			Done:     rt.Done && rt.Rescans == 0,
-			Total:    estimateNodeTotal(d, rt, snap.Nodes[t.driverIdx[i]].Bounds),
+			Total:    estimateNodeTotal(t.shape.Node(d).EstCard, rt, snap.Nodes[t.driverIdx[i]].Bounds),
 		}
 		s.Drivers = append(s.Drivers, ds)
 	}
 	for i, l := range t.leaves {
 		s.LeafCard += snap.Nodes[t.leafIdx[i]].Bounds.LB
-		s.LeafConsumed += l.Runtime().Returned()
+		s.LeafConsumed += t.led.Slot(l).Returned()
 	}
 	for pi, p := range t.pipelines {
 		ps := PipelineState{Done: true}
-		for oi, op := range p.Ops {
-			rt := op.Runtime().Snapshot()
+		for oi, id := range p.Ops {
+			rt := t.led.Slot(id).Snapshot()
 			ps.Work += rt.Returned
-			ps.EstWork += estimateNodeTotal(op, rt, snap.Nodes[t.pipeOps[pi][oi]].Bounds)
+			ps.EstWork += estimateNodeTotal(t.shape.Node(id).EstCard, rt, snap.Nodes[t.pipeOps[pi][oi]].Bounds)
 			if !rt.Done || rt.Rescans > 0 {
 				ps.Done = false
 			}
 		}
 		for di, d := range p.Drivers {
-			rt := d.Runtime().Snapshot()
+			rt := t.led.Slot(d).Snapshot()
 			ps.DriverReturned += rt.Returned
-			ps.DriverTotal += estimateNodeTotal(d, rt, snap.Nodes[t.pipeDrvs[pi][di]].Bounds)
+			ps.DriverTotal += estimateNodeTotal(t.shape.Node(d).EstCard, rt, snap.Nodes[t.pipeDrvs[pi][di]].Bounds)
 		}
 		s.Pipelines = append(s.Pipelines, ps)
 	}
@@ -200,7 +216,7 @@ func (t *Tracker) Capture() *State {
 // node finished or its bounds pin it, otherwise the plan-time estimate
 // clamped into the current hard bounds (falling back to the bounds midpoint
 // or lower bound).
-func estimateNodeTotal(op exec.Operator, rt exec.StatsSnapshot, b exec.CardBounds) float64 {
+func estimateNodeTotal(est int64, rt exec.StatsSnapshot, b exec.CardBounds) float64 {
 	var total float64
 	switch {
 	case rt.Done && rt.Rescans == 0:
@@ -208,7 +224,6 @@ func estimateNodeTotal(op exec.Operator, rt exec.StatsSnapshot, b exec.CardBound
 	case b.LB == b.UB:
 		total = float64(b.LB)
 	default:
-		est := op.EstimatedCard()
 		switch {
 		case est >= 0:
 			total = clampF(float64(est), float64(b.LB), float64(b.UB))

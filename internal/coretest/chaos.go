@@ -109,6 +109,32 @@ func RunChaosSchedule(entry CorpusEntry, sched fault.Schedule) error {
 		}
 	}
 	switch {
+	case entry.Parallel:
+		// Parallel plans relax the exact-call accounting: a worker that
+		// triggers a terminal fault cannot stop its siblings' in-flight
+		// counted calls, so the run quiesces at or past the scheduled call,
+		// never before it. Which terminal error surfaces first is a race
+		// between the failing worker and the cancellation sweep, so either
+		// injected-error or canceled is an acceptable outcome when a
+		// terminal fault fired.
+		if errEv == nil && cancelEv == nil {
+			if runErr != nil {
+				return fmt.Errorf("no terminal fault fired but run returned %v", runErr)
+			}
+			break
+		}
+		if errEv != nil && runErr == nil {
+			return fmt.Errorf("error fault fired at call %d but run completed cleanly", errEv.At)
+		}
+		if runErr != nil && !errors.Is(runErr, fault.ErrInjected) && !errors.Is(runErr, exec.ErrCanceled) {
+			return fmt.Errorf("terminal fault fired but run returned unrelated error %v", runErr)
+		}
+		if errEv != nil && total < errEv.At {
+			return fmt.Errorf("error fault at call %d but run stopped at %d calls", errEv.At, total)
+		}
+		if cancelEv != nil && total < cancelEv.At {
+			return fmt.Errorf("cancel fault at call %d but run stopped at %d calls", cancelEv.At, total)
+		}
 	case errEv != nil:
 		if !errors.Is(runErr, fault.ErrInjected) {
 			return fmt.Errorf("error fault fired at call %d but run returned %v", errEv.At, runErr)

@@ -18,6 +18,11 @@ import (
 type CorpusEntry struct {
 	Label string
 	Build func() exec.Operator
+	// Parallel marks plans with an Exchange: GetNext calls fire from
+	// several worker goroutines, so invariant checkers must serialize
+	// sampling and chaos cross-validation must allow workers to count past
+	// a terminal fault's scheduled call (see RunChaosSchedule).
+	Parallel bool
 }
 
 var corpusMem = struct {
@@ -80,6 +85,14 @@ func Corpus() []CorpusEntry {
 		{Label: "scalar-agg", Build: func() exec.Operator {
 			b := plan.NewBuilder(corpusCatalog())
 			return b.Scan("r2").ScalarAgg(count).Op
+		}},
+		{Label: "parallel-scan-agg", Parallel: true, Build: func() exec.Operator {
+			b := plan.NewBuilder(corpusCatalog())
+			return b.ParallelScan("r2", 4).ScalarAgg(count).Op
+		}},
+		{Label: "parallel-scan-join", Parallel: true, Build: func() exec.Operator {
+			b := plan.NewBuilder(corpusCatalog())
+			return b.ParallelScan("r2", 3).HashJoin(b.Scan("r1"), "b", "a", exec.InnerJoin).Op
 		}},
 	}
 }

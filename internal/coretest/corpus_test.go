@@ -15,7 +15,11 @@ func TestCorpusCleanInvariants(t *testing.T) {
 	for _, entry := range Corpus() {
 		entry := entry
 		t.Run(entry.Label, func(t *testing.T) {
-			CheckProgressInvariants(t, entry.Label, entry.Build(), 1)
+			if entry.Parallel {
+				CheckParallelInvariants(t, entry.Label, entry.Build(), 1)
+			} else {
+				CheckProgressInvariants(t, entry.Label, entry.Build(), 1)
+			}
 			if err := RunChaosSchedule(entry, fault.Schedule{}); err != nil {
 				t.Fatalf("%v", err)
 			}

@@ -53,13 +53,13 @@ func (c *equivChecker) check(t testing.TB, label string, calls int64) {
 				label, v.name, calls, len(got.Nodes), len(want.Nodes))
 		}
 		for j := range want.Nodes {
-			if got.Nodes[j].Op != want.Nodes[j].Op {
-				t.Fatalf("%s: [%s] at call %d node %d operator mismatch (emission order diverged)",
+			if got.Nodes[j].ID != want.Nodes[j].ID {
+				t.Fatalf("%s: [%s] at call %d node %d id mismatch (emission order diverged)",
 					label, v.name, calls, j)
 			}
 			if got.Nodes[j].Bounds != want.Nodes[j].Bounds {
-				t.Fatalf("%s: [%s] at call %d node %d (%T) evaluator bounds %+v != full walk %+v",
-					label, v.name, calls, j, want.Nodes[j].Op, got.Nodes[j].Bounds, want.Nodes[j].Bounds)
+				t.Fatalf("%s: [%s] at call %d node %d (id %d) evaluator bounds %+v != full walk %+v",
+					label, v.name, calls, j, want.Nodes[j].ID, got.Nodes[j].Bounds, want.Nodes[j].Bounds)
 			}
 		}
 	}

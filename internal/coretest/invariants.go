@@ -4,6 +4,7 @@
 package coretest
 
 import (
+	"sync"
 	"testing"
 
 	"sqlprogress/internal/core"
@@ -26,6 +27,25 @@ import (
 // It returns total(Q) so callers can chain further assertions.
 func CheckProgressInvariants(t testing.TB, label string, op exec.Operator, every int64) int64 {
 	t.Helper()
+	return checkInvariants(t, label, op, every, false)
+}
+
+// CheckParallelInvariants is CheckProgressInvariants for plans containing an
+// Exchange: GetNext calls fire concurrently from worker goroutines, so
+// sampling is serialized behind a mutex and each sample anchors to the
+// ledger total its own capture read (the paper's Curr) rather than the
+// triggering worker's call count. The evaluator-vs-full-walk equivalence is
+// asserted only at quiescence — mid-run the two passes read live counters at
+// different instants, so element-wise equality is not defined for them.
+// Every per-instant guarantee (hard bounds, monotonicity, pmax, safe) is
+// still asserted at every sample.
+func CheckParallelInvariants(t testing.TB, label string, op exec.Operator, every int64) int64 {
+	t.Helper()
+	return checkInvariants(t, label, op, every, true)
+}
+
+func checkInvariants(t testing.TB, label string, op exec.Operator, every int64, parallel bool) int64 {
+	t.Helper()
 	if every < 1 {
 		every = 1
 	}
@@ -41,15 +61,26 @@ func CheckProgressInvariants(t testing.TB, label string, op exec.Operator, every
 		bound  float64
 	}
 	var snaps []snap
+	var mu sync.Mutex
+	var last int64
 	ctx := exec.NewCtx()
 	ctx.OnGetNext = func(calls int64) {
 		if calls%every != 0 {
 			return
 		}
-		equiv.check(t, label, calls)
+		mu.Lock()
+		defer mu.Unlock()
+		if calls <= last && parallel {
+			// Another worker's sample already covered this instant.
+			return
+		}
+		last = calls
+		if !parallel {
+			equiv.check(t, label, calls)
+		}
 		s := tracker.Capture()
 		snaps = append(snaps, snap{
-			calls: calls, lb: s.LB, ub: s.UB,
+			calls: s.Curr, lb: s.LB, ub: s.UB,
 			pmax:  (core.Pmax{}).Estimate(s),
 			safe:  (core.Safe{}).Estimate(s),
 			dne:   (core.Dne{}).Estimate(s),
@@ -65,7 +96,7 @@ func CheckProgressInvariants(t testing.TB, label string, op exec.Operator, every
 	if total == 0 {
 		return 0
 	}
-	mu := core.Mu(op)
+	mucost := core.Mu(op)
 	for i, s := range snaps {
 		if s.lb > total || s.ub < total {
 			t.Fatalf("%s: sample %d bounds [%d,%d] miss total %d", label, i, s.lb, s.ub, total)
@@ -82,8 +113,8 @@ func CheckProgressInvariants(t testing.TB, label string, op exec.Operator, every
 		if s.pmax < actual-1e-9 {
 			t.Fatalf("%s: pmax %f underestimated %f at sample %d", label, s.pmax, actual, i)
 		}
-		if r := core.RatioError(actual, s.pmax); r > mu+1e-9 {
-			t.Fatalf("%s: pmax ratio error %f exceeds mu %f at sample %d", label, r, mu, i)
+		if r := core.RatioError(actual, s.pmax); r > mucost+1e-9 {
+			t.Fatalf("%s: pmax ratio error %f exceeds mu %f at sample %d", label, r, mucost, i)
 		}
 		if r := core.RatioError(actual, s.safe); r > s.bound*(1+1e-9) {
 			t.Fatalf("%s: safe ratio error %f exceeds sqrt(UB/LB) %f at sample %d", label, r, s.bound, i)

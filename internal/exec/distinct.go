@@ -57,7 +57,7 @@ func (d *Distinct) Next(ctx *Ctx) (schema.Row, bool, error) {
 			return nil, false, err
 		}
 		if !ok {
-			d.rt.done.Store(true)
+			d.markDone()
 			return nil, false, nil
 		}
 		h := rowHash(row)

@@ -1,0 +1,203 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"sqlprogress/internal/schema"
+)
+
+// exchangeBatch is the number of rows a worker accumulates before handing
+// them to the reader; batching amortizes channel synchronization without
+// letting per-partition progress lag far behind the counters.
+const exchangeBatch = 128
+
+// Exchange runs N same-schema children on N worker goroutines and merges
+// their output into one stream — the classic exchange (gather) operator
+// that unlocks intra-query parallelism under the iterator model. It is the
+// proof of the progress ledger's decoupling: each worker writes only its
+// own subtree's ledger slots (the single-writer-per-slot discipline the
+// snapshot protocol relies on), the reader writes only the exchange's own
+// slot, and samplers on other goroutines read the flat ledger without
+// caring which goroutine produced which counter.
+//
+// Row order across partitions is nondeterministic; everything else about
+// the run — the rows produced, every node's final counts — is not.
+type Exchange struct {
+	base
+	parts []Operator
+
+	ch       chan []schema.Row
+	quit     chan struct{}
+	wg       *sync.WaitGroup
+	errMu    sync.Mutex
+	firstErr error
+	buf      []schema.Row
+	pos      int
+}
+
+// NewExchange builds an exchange over the given partitions (at least one;
+// all must produce the same schema).
+func NewExchange(parts ...Operator) *Exchange {
+	if len(parts) == 0 {
+		panic("exec: exchange needs at least one partition")
+	}
+	e := &Exchange{parts: parts}
+	e.init(parts[0].Schema())
+	return e
+}
+
+// NewParallelScan builds the canonical parallel plan fragment: an Exchange
+// over `workers` disjoint partition scans of rel. Each worker counts into
+// its own partition's ledger slots; the reader's merge is the only point of
+// contact between them.
+func NewParallelScan(rel *schema.Relation, workers int) *Exchange {
+	parts := make([]Operator, workers)
+	for i := range parts {
+		parts[i] = NewScanPartition(rel, i, workers)
+	}
+	return NewExchange(parts...)
+}
+
+// Open implements Operator: it launches one worker per partition. Workers
+// open, drain, and (at Close) close their partition themselves, so every
+// counted call of a subtree happens on that subtree's worker goroutine.
+func (e *Exchange) Open(ctx *Ctx) error {
+	e.reopen()
+	e.ch = make(chan []schema.Row, len(e.parts))
+	e.quit = make(chan struct{})
+	e.firstErr = nil
+	e.buf, e.pos = nil, 0
+	wg := &sync.WaitGroup{}
+	e.wg = wg
+	for _, c := range e.parts {
+		wg.Add(1)
+		go e.worker(ctx, c, wg)
+	}
+	ch := e.ch
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	return nil
+}
+
+// fail records a worker's error. The first non-cancellation error wins:
+// when a fault injector aborts one worker while cancellation sweeps the
+// others, the run must surface the injected error, exactly as the serial
+// executor would.
+func (e *Exchange) fail(err error) {
+	e.errMu.Lock()
+	if e.firstErr == nil || (e.firstErr == ErrCanceled && err != ErrCanceled) {
+		e.firstErr = err
+	}
+	e.errMu.Unlock()
+}
+
+func (e *Exchange) worker(ctx *Ctx, part Operator, wg *sync.WaitGroup) {
+	defer wg.Done()
+	if err := part.Open(ctx); err != nil {
+		e.fail(err)
+		return
+	}
+	batch := make([]schema.Row, 0, exchangeBatch)
+	send := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		out := batch
+		batch = make([]schema.Row, 0, exchangeBatch)
+		select {
+		case e.ch <- out:
+			return true
+		case <-e.quit:
+			return false
+		}
+	}
+	for {
+		row, ok, err := part.Next(ctx)
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		if !ok {
+			break
+		}
+		batch = append(batch, row)
+		if len(batch) == exchangeBatch && !send() {
+			return
+		}
+	}
+	send()
+}
+
+// Next implements Operator: it merges worker batches into one counted
+// stream. Only the reader goroutine touches the exchange's own ledger slot.
+func (e *Exchange) Next(ctx *Ctx) (schema.Row, bool, error) {
+	for {
+		if e.pos < len(e.buf) {
+			row := e.buf[e.pos]
+			e.pos++
+			return e.emit(ctx, row)
+		}
+		batch, ok := <-e.ch
+		if !ok {
+			e.errMu.Lock()
+			err := e.firstErr
+			e.errMu.Unlock()
+			if err != nil {
+				return nil, false, err
+			}
+			return e.eof()
+		}
+		e.buf, e.pos = batch, 0
+	}
+}
+
+// Close implements Operator: it stops the workers, waits for them to exit,
+// and closes the partitions (quiesced by then, so the reader goroutine may
+// touch them).
+func (e *Exchange) Close() error {
+	if e.quit != nil {
+		close(e.quit)
+		e.wg.Wait()
+		e.quit = nil
+	}
+	var first error
+	for _, c := range e.parts {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Children implements Operator.
+func (e *Exchange) Children() []Operator { return e.parts }
+
+// Name implements Operator.
+func (e *Exchange) Name() string { return fmt.Sprintf("Exchange(%d)", len(e.parts)) }
+
+// FinalBounds implements Operator: the exchange forwards every partition
+// row exactly once.
+func (e *Exchange) FinalBounds(children []CardBounds) CardBounds {
+	var b CardBounds
+	for _, c := range children {
+		b.LB = SatAdd(b.LB, c.LB)
+		b.UB = SatAdd(b.UB, c.UB)
+	}
+	return b
+}
+
+// StreamChildren implements Operator: every partition executes in the
+// exchange's pipeline (concurrently, rather than interleaved).
+func (e *Exchange) StreamChildren() []int {
+	out := make([]int, len(e.parts))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// BlockingChildren implements Operator.
+func (e *Exchange) BlockingChildren() []int { return nil }

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"sqlprogress/internal/ledger"
 	"sqlprogress/internal/schema"
 )
 
@@ -86,68 +87,21 @@ func (c *Ctx) tick() error {
 
 // RuntimeStats is the execution feedback a node exposes; progress estimators
 // may read it at any instant (it is exactly the "execution trace seen so
-// far" the paper allows).
+// far" the paper allows). It is a ledger slot: the node's counters live in
+// the per-query progress ledger (internal/ledger), not inside the operator
+// struct, so samplers read a flat array rather than walking the tree.
 //
-// All counters are updated atomically by the execution goroutine, so a
+// All counters are updated atomically by the writing goroutine, so a
 // sampler on another goroutine can read them while the plan runs. Individual
 // accessor loads are not mutually consistent; use Snapshot for the
 // read-ordering protocol that keeps bound derivations sound (see DESIGN.md,
 // "Concurrency model & monitoring overhead").
-type RuntimeStats struct {
-	returned  atomic.Int64
-	delivered atomic.Int64
-	rescans   atomic.Int64
-	done      atomic.Bool
-}
-
-// Returned counts GetNext calls this node has performed over its lifetime,
-// accumulated across rescans. For scans with embedded predicates this
-// includes scanned-but-filtered rows.
-func (r *RuntimeStats) Returned() int64 { return r.returned.Load() }
-
-// Delivered counts rows actually handed to the parent. It equals Returned
-// except for scans with embedded predicates.
-func (r *RuntimeStats) Delivered() int64 { return r.delivered.Load() }
-
-// Done reports that the node has reached EOF. For nodes inside a rescanned
-// nested-loops inner it refers to the current rescan only.
-func (r *RuntimeStats) Done() bool { return r.done.Load() }
-
-// Rescans counts how many times the node was re-opened.
-func (r *RuntimeStats) Rescans() int64 { return r.rescans.Load() }
+type RuntimeStats = ledger.Slot
 
 // StatsSnapshot is a plain-value copy of a node's runtime counters, taken
-// with Snapshot's ordering guarantee.
-type StatsSnapshot struct {
-	Returned  int64
-	Delivered int64
-	Rescans   int64
-	Done      bool
-}
-
-// Snapshot reads the counters in an order that makes EOF pinning exact even
-// against a concurrently-running plan: done is loaded first, Rescans last.
-// If the result has Done && Rescans == 0, then Returned and Delivered are
-// the node's exact final counts:
-//
-//   - observing done == true means every counted call of the finished run
-//     happened before the load, so the subsequent Returned load sees at
-//     least the run's final count (atomic loads are acquire loads);
-//   - a rescan increments Rescans before re-opening the node, so any row
-//     produced after the run that finished would have been preceded by a
-//     Rescans increment — observing Rescans == 0 *after* loading Returned
-//     proves Returned contains no such row.
-//
-// Counters of a still-running node may lag the writer, but each is
-// monotonically non-decreasing, which is all the bounds pass needs
-// (LB refinements only ever use stale counts as lower bounds).
-func (r *RuntimeStats) Snapshot() StatsSnapshot {
-	done := r.done.Load()
-	ret := r.returned.Load()
-	del := r.delivered.Load()
-	resc := r.rescans.Load()
-	return StatsSnapshot{Returned: ret, Delivered: del, Rescans: resc, Done: done}
-}
+// with Snapshot's ordering guarantee: if Done && Rescans == 0, Returned and
+// Delivered are the node's exact final counts (see internal/ledger).
+type StatsSnapshot = ledger.Snapshot
 
 // CardBounds is a closed interval bounding a node's final output cardinality
 // (total rows it will have produced when the query completes).
@@ -196,8 +150,13 @@ type Operator interface {
 	// Name is a short physical-operator name for plan explanation.
 	Name() string
 
-	// Runtime exposes execution feedback for progress estimation.
+	// Runtime exposes execution feedback for progress estimation: the
+	// node's current ledger slot (or its private fallback slot before
+	// EnsureLedger binds the plan).
 	Runtime() *RuntimeStats
+	// LedgerID returns the node's dense ledger NodeID assigned by
+	// EnsureLedger, or ledger.None before the plan is bound.
+	LedgerID() ledger.NodeID
 	// FinalBounds returns static bounds on this node's final GetNext-call
 	// count given bounds on its children's *delivered* rows (ordered as
 	// Children()). The progress layer tightens the result with runtime
@@ -215,25 +174,46 @@ type Operator interface {
 	// BlockingChildren lists the child indexes fully consumed before this
 	// node produces output (e.g. a hash join's build side, a sort's input).
 	BlockingChildren() []int
+
+	// progressBase exposes the embedded bookkeeping for ledger binding.
+	// All operators live in this package; wrappers elsewhere compose plans
+	// from these nodes rather than implementing Operator themselves.
+	progressBase() *base
 }
 
 // base carries the bookkeeping shared by all operators.
 type base struct {
-	rt  RuntimeStats
-	sch *schema.Schema
-	est int64
+	// own is the node's private fallback slot, valid from construction so
+	// counters work even for fragments executed without EnsureLedger.
+	own ledger.Slot
+	// slot points at the counters currently in use: &own until EnsureLedger
+	// rebinds the node into a per-query ledger. It is atomic because a
+	// sampler goroutine may call Runtime() concurrently with the rebinding
+	// that Run performs just before execution starts.
+	slot atomic.Pointer[ledger.Slot]
+	id   ledger.NodeID
+	led  *ledger.Ledger
+	sch  *schema.Schema
+	est  int64
 }
 
-// init prepares the bookkeeping in place. RuntimeStats holds atomics, so a
-// base must never be copied after construction — operators initialize the
-// embedded field rather than assigning a composite literal.
+// init prepares the bookkeeping in place. base holds atomics, so it must
+// never be copied after construction — operators initialize the embedded
+// field rather than assigning a composite literal.
 func (b *base) init(sch *schema.Schema) {
 	b.sch = sch
 	b.est = -1
+	b.id = ledger.None
+	b.slot.Store(&b.own)
 }
 
 // Runtime implements Operator.
-func (b *base) Runtime() *RuntimeStats { return &b.rt }
+func (b *base) Runtime() *RuntimeStats { return b.slot.Load() }
+
+// LedgerID implements Operator.
+func (b *base) LedgerID() ledger.NodeID { return b.id }
+
+func (b *base) progressBase() *base { return b }
 
 // Schema implements Operator.
 func (b *base) Schema() *schema.Schema { return b.sch }
@@ -251,37 +231,98 @@ func (b *base) emit(ctx *Ctx, row schema.Row) (schema.Row, bool, error) {
 	if ctx.canceled.Load() {
 		return nil, false, ErrCanceled
 	}
-	b.rt.returned.Add(1)
-	b.rt.delivered.Add(1)
+	s := b.slot.Load()
+	s.CountCall()
+	s.CountDelivered()
 	if err := ctx.tick(); err != nil {
 		return nil, false, err
 	}
 	return row, true, nil
 }
 
+// countScanned counts a scanned-but-filtered row: one GetNext of work with
+// no row delivered to the parent (scans with embedded predicates). It
+// mirrors emit minus the delivery.
+func (b *base) countScanned(ctx *Ctx) error {
+	if ctx.canceled.Load() {
+		return ErrCanceled
+	}
+	b.slot.Load().CountCall()
+	return ctx.tick()
+}
+
 // eof marks the node done and returns end-of-stream.
 func (b *base) eof() (schema.Row, bool, error) {
-	b.rt.done.Store(true)
+	b.slot.Load().MarkDone()
 	return nil, false, nil
 }
+
+// markDone sets the EOF flag without ending the caller's Next — operators
+// that exhaust a child mid-call use it before continuing.
+func (b *base) markDone() { b.slot.Load().MarkDone() }
 
 // reopen resets per-run state for a rescan. The rescan counter is bumped
 // *before* done is cleared: a concurrent Snapshot that still sees the
 // previous run's done=true will then see Rescans > 0 and refuse to pin the
-// node (see RuntimeStats.Snapshot).
+// node (see ledger.Slot.Snapshot).
 func (b *base) reopen() {
-	if b.rt.done.Load() || b.rt.returned.Load() > 0 {
-		b.rt.rescans.Add(1)
+	s := b.slot.Load()
+	if s.Done() || s.Returned() > 0 {
+		s.MarkRescan()
 	}
-	b.rt.done.Store(false)
+	s.ClearDone()
+}
+
+// EnsureLedger binds every node of the plan to one per-query ledger,
+// assigning dense pre-order NodeIDs (the shape index used by core's
+// PlanShape). It is idempotent: a tree already densely bound to a single
+// ledger is returned as-is, so repeated runs of the same plan keep their
+// accumulated counters. Otherwise a fresh ledger sized to the tree is
+// allocated, any counts accumulated in the nodes' previous slots are
+// carried over, and each node's slot pointer is swapped atomically —
+// callers must bind before execution starts (Run does it), but a sampler
+// already watching the tree observes the switch safely.
+func EnsureLedger(root Operator) *ledger.Ledger {
+	n := 0
+	bound := true
+	var led *ledger.Ledger
+	Walk(root, func(o Operator) {
+		b := o.progressBase()
+		if b.led == nil || b.id != ledger.NodeID(n) {
+			bound = false
+		} else if led == nil {
+			led = b.led
+		} else if b.led != led {
+			bound = false
+		}
+		n++
+	})
+	if bound && led != nil && led.Len() == n {
+		return led
+	}
+	led = ledger.New(n)
+	id := ledger.NodeID(0)
+	Walk(root, func(o Operator) {
+		b := o.progressBase()
+		s := led.Slot(id)
+		s.CopyFrom(b.slot.Load())
+		b.led = led
+		b.id = id
+		b.slot.Store(s)
+		id++
+	})
+	return led
 }
 
 // Run drains an operator tree to completion, returning all produced root
-// rows. It is the standard way tests and examples execute a plan.
+// rows. It is the standard way tests and examples execute a plan. Run binds
+// the plan to a progress ledger first, so samplers attached to the tree
+// always observe ledger-backed counters.
 func Run(ctx *Ctx, op Operator) ([]schema.Row, error) {
 	if ctx == nil {
 		ctx = NewCtx()
 	}
+	EnsureLedger(op)
 	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}

@@ -39,7 +39,7 @@ func (f *Filter) Next(ctx *Ctx) (schema.Row, bool, error) {
 			return nil, false, err
 		}
 		if !ok {
-			f.rt.done.Store(true)
+			f.markDone()
 			return nil, false, nil
 		}
 		if expr.Truthy(f.Pred.Eval(row)) {
@@ -102,7 +102,7 @@ func (p *Project) Next(ctx *Ctx) (schema.Row, bool, error) {
 		return nil, false, err
 	}
 	if !ok {
-		p.rt.done.Store(true)
+		p.markDone()
 		return nil, false, nil
 	}
 	out := make(schema.Row, len(p.Exprs))
@@ -162,7 +162,7 @@ func (t *Top) Next(ctx *Ctx) (schema.Row, bool, error) {
 		return nil, false, err
 	}
 	if !ok {
-		t.rt.done.Store(true)
+		t.markDone()
 		return nil, false, nil
 	}
 	t.n++

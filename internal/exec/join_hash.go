@@ -137,7 +137,7 @@ func (j *HashJoin) Next(ctx *Ctx) (schema.Row, bool, error) {
 			return nil, false, err
 		}
 		if !ok {
-			j.rt.done.Store(true)
+			j.markDone()
 			return nil, false, nil
 		}
 		j.curProbe, j.emittedCur = probe, false

@@ -143,7 +143,7 @@ func (j *MergeJoin) Next(ctx *Ctx) (schema.Row, bool, error) {
 			continue
 		}
 		if !j.lOk || !j.rOk {
-			j.rt.done.Store(true)
+			j.markDone()
 			return nil, false, nil
 		}
 		lk, _ := evalKeys(j.lKeys, j.lRow)

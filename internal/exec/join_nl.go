@@ -70,7 +70,7 @@ func (j *INLJoin) Next(ctx *Ctx) (schema.Row, bool, error) {
 			return nil, false, err
 		}
 		if !ok {
-			j.rt.done.Store(true)
+			j.markDone()
 			return nil, false, nil
 		}
 		j.curOuter = outer
@@ -169,7 +169,7 @@ func (j *NLJoin) Next(ctx *Ctx) (schema.Row, bool, error) {
 				return nil, false, err
 			}
 			if !ok {
-				j.rt.done.Store(true)
+				j.markDone()
 				return nil, false, nil
 			}
 			j.curOuter = outer

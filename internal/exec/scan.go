@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"sqlprogress/internal/expr"
 	"sqlprogress/internal/index"
@@ -30,6 +31,19 @@ type Scan struct {
 	// sigma node inflates total(Q).
 	Pred      expr.Expr
 	delivered *CardBounds
+	// part/parts describe the partition window this scan covers (parts == 0
+	// means the whole relation). A partitioned scan visits scan positions
+	// [n*part/parts, n*(part+1)/parts) of the (possibly permuted) relation —
+	// the building block an Exchange runs one worker over.
+	part, parts int
+	lo, hi      int
+	// SimPageRows/SimPageDelay simulate paged I/O: the scan sleeps for
+	// SimPageDelay before each run of SimPageRows rows. The engine's tables
+	// are memory-resident, so this stall is what makes partitioned parallel
+	// scans observably faster — workers overlap their page waits the way a
+	// real scan overlaps disk reads — including on a single-core host.
+	SimPageRows  int
+	SimPageDelay time.Duration
 }
 
 // NewScan builds a table scan.
@@ -50,29 +64,51 @@ func NewScanWithOrder(rel *schema.Relation, order []int32) *Scan {
 	return s
 }
 
+// NewScanPartition builds a scan over partition `part` of `parts` equal
+// slices of the relation's scan positions. The windows of parts sibling
+// scans are disjoint and cover the relation exactly, so an Exchange over
+// them produces the same multiset of rows as one full Scan.
+func NewScanPartition(rel *schema.Relation, part, parts int) *Scan {
+	if parts < 1 || part < 0 || part >= parts {
+		panic(fmt.Sprintf("scan %s: invalid partition %d of %d", rel.Name, part, parts))
+	}
+	s := &Scan{Rel: rel, part: part, parts: parts}
+	s.init(rel.Schema())
+	return s
+}
+
+// window returns the scan-position window [lo, hi) this scan covers.
+func (s *Scan) window() (int, int) {
+	n := len(s.Rel.Rows)
+	if s.parts <= 1 {
+		return 0, n
+	}
+	return n * s.part / s.parts, n * (s.part + 1) / s.parts
+}
+
 // Open implements Operator.
 func (s *Scan) Open(*Ctx) error {
 	s.reopen()
-	s.pos = 0
+	s.lo, s.hi = s.window()
+	s.pos = s.lo
 	return nil
 }
 
 // Next implements Operator.
 func (s *Scan) Next(ctx *Ctx) (schema.Row, bool, error) {
-	for s.pos < len(s.Rel.Rows) {
+	for s.pos < s.hi {
 		i := s.pos
 		s.pos++
+		if s.SimPageDelay > 0 && s.SimPageRows > 0 && (i-s.lo)%s.SimPageRows == 0 {
+			time.Sleep(s.SimPageDelay)
+		}
 		if s.Order != nil {
 			i = int(s.Order[i])
 		}
 		row := s.Rel.Rows[i]
 		if s.Pred != nil && !expr.Truthy(s.Pred.Eval(row)) {
 			// The row was scanned (one GetNext of work) but not delivered.
-			if ctx.Canceled() {
-				return nil, false, ErrCanceled
-			}
-			s.rt.returned.Add(1)
-			if err := ctx.tick(); err != nil {
+			if err := s.countScanned(ctx); err != nil {
 				return nil, false, err
 			}
 			continue
@@ -89,12 +125,18 @@ func (s *Scan) Close() error { return nil }
 func (s *Scan) Children() []Operator { return nil }
 
 // Name implements Operator.
-func (s *Scan) Name() string { return fmt.Sprintf("Scan(%s)", s.Rel.Name) }
+func (s *Scan) Name() string {
+	if s.parts > 1 {
+		return fmt.Sprintf("Scan(%s[%d/%d])", s.Rel.Name, s.part, s.parts)
+	}
+	return fmt.Sprintf("Scan(%s)", s.Rel.Name)
+}
 
-// FinalBounds implements Operator: a full scan performs exactly one GetNext
-// per stored row.
+// FinalBounds implements Operator: a (partition) scan performs exactly one
+// GetNext per stored row of its window.
 func (s *Scan) FinalBounds([]CardBounds) CardBounds {
-	n := s.Rel.Cardinality()
+	lo, hi := s.window()
+	n := int64(hi - lo)
 	return CardBounds{LB: n, UB: n}
 }
 
@@ -110,7 +152,8 @@ func (s *Scan) DeliveredBounds() CardBounds {
 	if s.delivered != nil {
 		return *s.delivered
 	}
-	return CardBounds{LB: 0, UB: s.Rel.Cardinality()}
+	lo, hi := s.window()
+	return CardBounds{LB: 0, UB: int64(hi - lo)}
 }
 
 // StreamChildren implements Operator.
@@ -161,11 +204,7 @@ func (r *RangeScan) Next(ctx *Ctx) (schema.Row, bool, error) {
 		row := r.Idx.Rel.Rows[r.Idx.At(r.pos)]
 		r.pos++
 		if r.Pred != nil && !expr.Truthy(r.Pred.Eval(row)) {
-			if ctx.Canceled() {
-				return nil, false, ErrCanceled
-			}
-			r.rt.returned.Add(1)
-			if err := ctx.tick(); err != nil {
+			if err := r.countScanned(ctx); err != nil {
 				return nil, false, err
 			}
 			continue

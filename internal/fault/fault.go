@@ -14,6 +14,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"sqlprogress/internal/exec"
@@ -76,6 +77,7 @@ func (e *OpError) Is(target error) bool { return target == ErrInjected }
 // and Fired reports what actually triggered. Build a fresh Injector per
 // execution.
 type Injector struct {
+	mu     sync.Mutex
 	events []Event
 	next   int
 	fired  []Event
@@ -88,28 +90,43 @@ func NewInjector(s Schedule) *Injector {
 }
 
 // Arm installs the injector on ctx (via exec.Ctx.Inject). Must be called
-// before the run starts; the hook runs on the execution goroutine, so no
-// synchronization is needed around the cursor.
+// before the run starts. Under parallel (exchange-based) plans the hook
+// fires concurrently from several worker goroutines, so the event cursor
+// is mutex-guarded; stalls sleep outside the lock so one worker's latency
+// spike never serializes the other workers' counted calls.
 func (in *Injector) Arm(ctx *exec.Ctx) {
 	ctx.Inject = func(calls int64) error {
+		var stall time.Duration
+		var err error
+		in.mu.Lock()
 		for in.next < len(in.events) && in.events[in.next].At <= calls {
 			ev := in.events[in.next]
 			in.next++
 			in.fired = append(in.fired, ev)
 			switch ev.Kind {
 			case StallFault:
-				time.Sleep(ev.Dur)
+				stall += ev.Dur
 			case CancelFault:
 				ctx.Cancel()
 			case ErrorFault:
-				return &OpError{At: calls, Msg: ev.Msg}
+				err = &OpError{At: calls, Msg: ev.Msg}
+			}
+			if err != nil {
+				break
 			}
 		}
-		return nil
+		in.mu.Unlock()
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+		return err
 	}
 }
 
 // Fired returns the events that actually triggered, in firing order. Valid
-// once the run has finished (the slice is written by the execution
-// goroutine).
-func (in *Injector) Fired() []Event { return in.fired }
+// once the run has finished.
+func (in *Injector) Fired() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}

@@ -1,0 +1,152 @@
+// Package ledger holds the progress ledger: the flat, cache-friendly block
+// of per-plan-node atomic runtime counters that decouples progress
+// accounting from the operator tree. At compile time every plan node is
+// assigned a stable dense NodeID (pre-order position); at run time the
+// node's operator writes its slot through a handle, and estimators, bounds
+// passes, and the serving layer read slots by ID — no operator-tree walk
+// ever happens on the sample path.
+//
+// The package sits below the executor (it imports only sync/atomic) so
+// both exec and core can share the slot layout without a dependency cycle.
+//
+// # The snapshot ordering protocol
+//
+// Snapshot loads done first and rescans last (returned/delivered in
+// between). This ordering gives the one exactness property the bounds pass
+// relies on: if a snapshot shows Done && Rescans == 0, its Returned is
+// exactly the node's final count. Writers must therefore (a) store counter
+// increments before setting done, and (b) bump rescans before clearing
+// done or producing new rows on a re-open — which is exactly what
+// MarkRescan/ClearDone are for. Under parallel (exchange) execution each
+// worker writes only its own partition's slots, so the single-writer
+// reasoning still applies per slot.
+package ledger
+
+import "sync/atomic"
+
+// NodeID is a plan node's stable dense identifier: its pre-order position
+// in the plan tree, assigned once at ledger-binding time. IDs index
+// directly into the Ledger's slot array and into core's PlanShape.
+type NodeID int32
+
+// None is the NodeID of a node not bound to any ledger.
+const None NodeID = -1
+
+// Slot is one plan node's runtime progress state: GetNext counts, rows
+// delivered to the parent, rescan (re-open) count, and the EOF flag. All
+// fields are atomics written by the owning operator (exactly one writer
+// goroutine per slot, even under exchange-based parallelism) and read by
+// any number of samplers.
+//
+// The struct is padded to 64 bytes so adjacent slots written by different
+// exchange workers never share a cache line.
+type Slot struct {
+	// returned counts the node's counted GetNext calls (rows scanned or
+	// produced — the paper's unit of work).
+	returned atomic.Int64
+	// delivered counts rows actually handed to the parent; it diverges
+	// from returned only on scans with pushed predicates.
+	delivered atomic.Int64
+	// rescans counts re-opens (nested-loops inners).
+	rescans atomic.Int64
+	// done is the EOF flag.
+	done atomic.Bool
+	_    [64 - 3*8 - 4]byte
+}
+
+// Snapshot is a consistent-enough point-in-time view of one slot; see the
+// package comment for the exactness guarantee.
+type Snapshot struct {
+	Returned  int64
+	Delivered int64
+	Rescans   int64
+	Done      bool
+}
+
+// CountCall records one counted GetNext call.
+func (s *Slot) CountCall() { s.returned.Add(1) }
+
+// CountDelivered records one row delivered to the parent.
+func (s *Slot) CountDelivered() { s.delivered.Add(1) }
+
+// MarkDone sets the EOF flag. Counter increments from the finished run
+// happen-before this store (same goroutine, atomic release).
+func (s *Slot) MarkDone() { s.done.Store(true) }
+
+// MarkRescan records a re-open. It must be called before ClearDone so a
+// racing Snapshot can never observe done with the pre-rescan rescan count.
+func (s *Slot) MarkRescan() { s.rescans.Add(1) }
+
+// ClearDone clears the EOF flag on re-open, after MarkRescan.
+func (s *Slot) ClearDone() { s.done.Store(false) }
+
+// Returned returns the counted GetNext calls so far.
+func (s *Slot) Returned() int64 { return s.returned.Load() }
+
+// Delivered returns the rows delivered to the parent so far.
+func (s *Slot) Delivered() int64 { return s.delivered.Load() }
+
+// Rescans returns the re-open count.
+func (s *Slot) Rescans() int64 { return s.rescans.Load() }
+
+// Done reports whether the node has reached EOF.
+func (s *Slot) Done() bool { return s.done.Load() }
+
+// Snapshot reads the slot under the ordering protocol: done first,
+// rescans last.
+func (s *Slot) Snapshot() Snapshot {
+	done := s.done.Load()
+	ret := s.returned.Load()
+	del := s.delivered.Load()
+	res := s.rescans.Load()
+	return Snapshot{Returned: ret, Delivered: del, Rescans: res, Done: done}
+}
+
+// CopyFrom transfers another slot's counters into s. Used when a node is
+// re-bound from its private fallback slot into a freshly allocated ledger;
+// callers must ensure src is quiescent (binding happens before execution).
+func (s *Slot) CopyFrom(src *Slot) {
+	s.returned.Store(src.returned.Load())
+	s.delivered.Store(src.delivered.Load())
+	s.rescans.Store(src.rescans.Load())
+	s.done.Store(src.done.Load())
+}
+
+// Ledger is the flat per-query block of slots, indexed by NodeID.
+type Ledger struct {
+	slots []Slot
+}
+
+// New allocates a ledger with n zeroed slots.
+func New(n int) *Ledger {
+	return &Ledger{slots: make([]Slot, n)}
+}
+
+// Len returns the number of slots.
+func (l *Ledger) Len() int { return len(l.slots) }
+
+// Slot returns the slot for id. The pointer is stable for the ledger's
+// lifetime, so hot paths may cache it.
+func (l *Ledger) Slot(id NodeID) *Slot { return &l.slots[id] }
+
+// TotalReturned sums every slot's returned count — Curr, the query's
+// GetNext calls so far — in one contiguous sweep, with no tree walk and no
+// allocation.
+func (l *Ledger) TotalReturned() int64 {
+	var total int64
+	for i := range l.slots {
+		total += l.slots[i].returned.Load()
+	}
+	return total
+}
+
+// SnapshotAll appends a Snapshot per slot to dst (reusing its capacity)
+// and returns it — the raw per-node counter view the serving layer streams
+// as ledger deltas.
+func (l *Ledger) SnapshotAll(dst []Snapshot) []Snapshot {
+	dst = dst[:0]
+	for i := range l.slots {
+		dst = append(dst, l.slots[i].Snapshot())
+	}
+	return dst
+}

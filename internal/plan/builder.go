@@ -76,6 +76,23 @@ func (b *Builder) ScanOrdered(table string, order []int32) Node {
 	return Node{b: b, Op: op, est: float64(rel.Cardinality())}
 }
 
+// ParallelScan builds an exchange over `workers` disjoint partition scans of
+// the table — the parallel access path the progress ledger unlocks. Each
+// partition carries its window size as its estimate; the exchange carries
+// the full cardinality.
+func (b *Builder) ParallelScan(table string, workers int) Node {
+	rel := b.cat.MustRelation(table)
+	parts := make([]exec.Operator, workers)
+	for i := range parts {
+		p := exec.NewScanPartition(rel, i, workers)
+		p.SetEstimatedCard(p.FinalBounds(nil).LB)
+		parts[i] = p
+	}
+	op := exec.NewExchange(parts...)
+	op.SetEstimatedCard(rel.Cardinality())
+	return Node{b: b, Op: op, est: float64(rel.Cardinality())}
+}
+
 // ScanFiltered builds a table scan with an embedded predicate (pushed
 // selection). sel is the selectivity estimate used for downstream
 // cardinality estimates; pass 0 for the default guess.

@@ -272,6 +272,10 @@ func (m *Manager) execute(s *Session) {
 	mon := core.NewAsyncMonitor(s.root, m.cfg.SampleInterval, ests...)
 	mon.OnSample = s.onSample
 	s.mon = mon
+	// Bind the plan's shape and ledger for the per-node delta stream; the
+	// monitor's tracker already ensured the same binding, so this is a
+	// cheap idempotent lookup on a still-quiescent plan.
+	s.shape, s.led = core.ShapeOf(s.root)
 	deadline := s.deadline
 	root := s.root
 	instrument := s.instrument

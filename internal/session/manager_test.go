@@ -8,6 +8,7 @@ import (
 
 	"sqlprogress/internal/catalog"
 	"sqlprogress/internal/exec"
+	"sqlprogress/internal/expr"
 	"sqlprogress/internal/plan"
 	"sqlprogress/internal/tpch"
 )
@@ -278,4 +279,79 @@ func TestListOrder(t *testing.T) {
 	}
 	waitTerminal(t, a)
 	waitTerminal(t, b)
+}
+
+// TestNodeProgressDeltaStream verifies the ledger-delta stream: the final
+// event carries every plan node's cumulative counters (all done, with the
+// per-node calls summing to the session total), node names come from the
+// plan shape, and intermediate events only re-send nodes that advanced.
+func TestNodeProgressDeltaStream(t *testing.T) {
+	m := New(testCatalog(t), Config{SampleInterval: 100 * time.Microsecond})
+	defer m.Close()
+	s, err := m.Submit("SELECT COUNT(*) FROM lineitem", SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, s); st != StateFinished {
+		t.Fatalf("state = %s, err = %v", st, s.Err())
+	}
+	in := s.Info()
+	if in.Progress == nil || !in.Progress.Final {
+		t.Fatalf("missing final progress: %+v", in.Progress)
+	}
+	nodes := in.Progress.Nodes
+	if len(nodes) == 0 {
+		t.Fatal("final event has no node counters")
+	}
+	var sum int64
+	for i, n := range nodes {
+		if n.ID != int32(i) {
+			t.Fatalf("node %d has id %d; final event must carry the dense id space", i, n.ID)
+		}
+		if n.Name == "" {
+			t.Fatalf("node %d has no name", i)
+		}
+		if !n.Done {
+			t.Fatalf("node %d (%s) not done at EOF", i, n.Name)
+		}
+		sum += n.Calls
+	}
+	if sum != in.Calls {
+		t.Fatalf("per-node calls sum to %d, session total is %d", sum, in.Calls)
+	}
+}
+
+// TestNodeProgressParallelPlan streams a parallel (exchange) plan through a
+// session and checks the per-node ledger counters of the partitions arrive
+// and account for every row exactly once.
+func TestNodeProgressParallelPlan(t *testing.T) {
+	cat := testCatalog(t)
+	m := New(cat, Config{SampleInterval: 100 * time.Microsecond})
+	defer m.Close()
+	b := plan.NewBuilder(cat)
+	root := b.ParallelScan("lineitem", 4).ScalarAgg(plan.AggSpec{Kind: expr.AggCountStar, As: "n"}).Op
+	s, err := m.SubmitPlan(root, "parallel count(lineitem)", SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, s); st != StateFinished {
+		t.Fatalf("state = %s, err = %v", st, s.Err())
+	}
+	in := s.Info()
+	nodes := in.Progress.Nodes
+	// agg + exchange + 4 partitions = 6 nodes
+	if len(nodes) != 6 {
+		t.Fatalf("final event has %d nodes, want 6", len(nodes))
+	}
+	card := cat.MustRelation("lineitem").Cardinality()
+	var partSum int64
+	for _, n := range nodes[2:] {
+		partSum += n.Calls
+	}
+	if partSum != card {
+		t.Fatalf("partition calls sum to %d, want %d", partSum, card)
+	}
+	if nodes[1].Delivered != card {
+		t.Fatalf("exchange delivered %d, want %d", nodes[1].Delivered, card)
+	}
 }

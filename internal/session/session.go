@@ -17,6 +17,7 @@ import (
 
 	"sqlprogress/internal/core"
 	"sqlprogress/internal/exec"
+	"sqlprogress/internal/ledger"
 	"sqlprogress/internal/schema"
 )
 
@@ -57,12 +58,35 @@ type Progress struct {
 	Hi float64 `json:"hi"`
 	// Estimates holds each configured estimator's output by name.
 	Estimates map[string]float64 `json:"estimates"`
+	// Nodes is the ledger-delta stream: the per-node cumulative runtime
+	// counters of every plan node whose counters changed since this
+	// session's previous published event (every node on the first and final
+	// events). Node ids are the plan's stable dense NodeIDs.
+	Nodes []NodeProgress `json:"nodes,omitempty"`
 	// Elapsed is wall-clock time since the session started running.
 	Elapsed time.Duration `json:"elapsed_ns"`
 	// Final marks the last event a session will ever publish.
 	Final bool `json:"final,omitempty"`
 	// State is the session state at the observation.
 	State State `json:"state"`
+}
+
+// NodeProgress is one plan node's cumulative runtime counters at an
+// observation, read straight from the progress ledger (no operator-tree
+// walk). Counters are cumulative across rescans, matching the paper's Curr.
+type NodeProgress struct {
+	// ID is the node's ledger NodeID (stable, dense, pre-order).
+	ID int32 `json:"id"`
+	// Name is the operator's display name.
+	Name string `json:"name"`
+	// Calls is the node's counted GetNext calls.
+	Calls int64 `json:"calls"`
+	// Delivered is the rows the node handed to its parent.
+	Delivered int64 `json:"delivered"`
+	// Rescans counts the node's re-opens after producing output.
+	Rescans int64 `json:"rescans,omitempty"`
+	// Done marks a node that has reached EOF.
+	Done bool `json:"done,omitempty"`
 }
 
 // Session is one submitted query: its compiled plan, lifecycle state,
@@ -99,6 +123,10 @@ type Session struct {
 	nextSub      int
 	instrument   func(*exec.Ctx)
 	onEvict      func()
+	shape        *core.PlanShape
+	led          *ledger.Ledger
+	nodeScratch  []ledger.Snapshot
+	nodePrev     []ledger.Snapshot
 
 	// Watchdog state (maintained by the Manager's watchdog goroutine).
 	watchCalls   int64
@@ -306,6 +334,23 @@ func (s *Session) progressLocked(smp core.Sample, final bool) Progress {
 	}
 	if !s.started.IsZero() {
 		p.Elapsed = time.Since(s.started)
+	}
+	if s.led != nil {
+		s.nodeScratch = s.led.SnapshotAll(s.nodeScratch[:0])
+		for i, snap := range s.nodeScratch {
+			if !final && i < len(s.nodePrev) && snap == s.nodePrev[i] {
+				continue // unchanged since the previous published event
+			}
+			p.Nodes = append(p.Nodes, NodeProgress{
+				ID:        int32(i),
+				Name:      s.shape.Node(ledger.NodeID(i)).Name,
+				Calls:     snap.Returned,
+				Delivered: snap.Delivered,
+				Rescans:   snap.Rescans,
+				Done:      snap.Done,
+			})
+		}
+		s.nodePrev = append(s.nodePrev[:0], s.nodeScratch...)
 	}
 	return p
 }

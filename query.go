@@ -3,11 +3,13 @@ package sqlprogress
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"sqlprogress/internal/compile"
 	"sqlprogress/internal/core"
 	"sqlprogress/internal/exec"
+	"sqlprogress/internal/ledger"
 	"sqlprogress/internal/plan"
 	"sqlprogress/internal/schema"
 	"sqlprogress/internal/sqlval"
@@ -183,6 +185,24 @@ type ProgressOptions struct {
 	Every int64
 }
 
+// NodeCount is one plan node's cumulative runtime counters at an update,
+// read straight from the query's progress ledger (no operator-tree walk).
+// IDs are the plan's stable dense NodeIDs, in pre-order.
+type NodeCount struct {
+	// ID is the node's ledger NodeID.
+	ID int32
+	// Name is the operator's display name.
+	Name string
+	// Calls is the node's counted GetNext calls (cumulative across rescans).
+	Calls int64
+	// Delivered is the rows the node handed to its parent.
+	Delivered int64
+	// Rescans counts the node's re-opens after producing output.
+	Rescans int64
+	// Done marks a node that has reached EOF.
+	Done bool
+}
+
 // ProgressUpdate is one observation delivered to the callback.
 type ProgressUpdate struct {
 	// Estimate is the headline estimator's progress estimate in [0, 1].
@@ -192,6 +212,10 @@ type ProgressUpdate struct {
 	Lo, Hi float64
 	// Estimates holds every configured estimator's output by kind.
 	Estimates map[EstimatorKind]float64
+	// Nodes holds every plan node's runtime counters at this instant, in
+	// NodeID order. The slice is freshly allocated per update; callers may
+	// retain it.
+	Nodes []NodeCount
 	// Calls is the GetNext count at this instant (Curr).
 	Calls int64
 	// Elapsed is the wall-clock time since the run started.
@@ -239,18 +263,43 @@ func (q *Query) RunWithProgressContext(ctx context.Context, opts ProgressOptions
 	}
 
 	tracker := core.NewTracker(q.root)
+	shape, led := core.ShapeOf(q.root)
 	q.ctx = exec.NewCtx()
 	start := time.Now()
+	// Under parallel (exchange-based) plans the hook fires concurrently from
+	// worker goroutines: the mutex serializes captures and callbacks, and
+	// instants already overtaken by a delivered update are skipped.
+	var mu sync.Mutex
+	var last int64
+	var scratch []exec.StatsSnapshot
 	q.ctx.OnGetNext = func(calls int64) {
 		if calls%every != 0 || cb == nil {
 			return
 		}
+		mu.Lock()
+		defer mu.Unlock()
+		if calls <= last {
+			return
+		}
+		last = calls
 		s := tracker.Capture()
 		lo, hi := s.Interval()
 		u := ProgressUpdate{
-			Lo: lo, Hi: hi, Calls: calls,
+			Lo: lo, Hi: hi, Calls: s.Curr,
 			Estimates: make(map[EstimatorKind]float64, len(ests)),
 			Elapsed:   time.Since(start),
+		}
+		scratch = led.SnapshotAll(scratch[:0])
+		u.Nodes = make([]NodeCount, len(scratch))
+		for i, snap := range scratch {
+			u.Nodes[i] = NodeCount{
+				ID:        int32(i),
+				Name:      shape.Node(ledger.NodeID(i)).Name,
+				Calls:     snap.Returned,
+				Delivered: snap.Delivered,
+				Rescans:   snap.Rescans,
+				Done:      snap.Done,
+			}
 		}
 		for i, e := range ests {
 			v := e.Estimate(s)

@@ -376,3 +376,63 @@ func TestExplainBoundsFacade(t *testing.T) {
 		t.Errorf("sort should be demand-capped to 3:\n%s", out)
 	}
 }
+
+func TestProgressUpdateNodeCounters(t *testing.T) {
+	db := sampleDB(t)
+	q, err := db.Query("SELECT name, COUNT(*) FROM users, events WHERE id = uid GROUP BY name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastNodes []NodeCount
+	res, err := q.RunWithProgress(ProgressOptions{Every: 10}, func(u ProgressUpdate) {
+		if len(u.Nodes) == 0 {
+			t.Fatal("update has no node counters")
+		}
+		for i, n := range u.Nodes {
+			if n.ID != int32(i) {
+				t.Fatalf("node %d has id %d; updates must carry the dense id space", i, n.ID)
+			}
+			if n.Name == "" {
+				t.Fatalf("node %d has no name", i)
+			}
+		}
+		lastNodes = u.Nodes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, n := range lastNodes {
+		sum += n.Calls
+	}
+	if sum == 0 || sum > res.TotalCalls {
+		t.Fatalf("node calls sum %d out of range (total %d)", sum, res.TotalCalls)
+	}
+}
+
+func TestParallelPlanWithProgress(t *testing.T) {
+	db := sampleDB(t)
+	b := db.Builder()
+	n := b.ParallelScan("events", 4)
+	q := db.QueryPlan(n)
+	updates := 0
+	res, err := q.RunWithProgress(ProgressOptions{Every: 16}, func(u ProgressUpdate) {
+		updates++
+		if u.Hi < u.Lo {
+			t.Fatalf("interval inverted: [%f, %f]", u.Lo, u.Hi)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 200 {
+		t.Fatalf("parallel scan returned %d rows, want 200", len(res.Rows))
+	}
+	if updates == 0 {
+		t.Fatal("no progress updates observed")
+	}
+	// exchange + 4 partitions counted once each
+	if res.TotalCalls != 400 {
+		t.Fatalf("total calls = %d, want 400", res.TotalCalls)
+	}
+}
