@@ -4,11 +4,13 @@
 // overhead, raw executor throughput — is tracked as a checked-in artifact
 // from PR to PR rather than reconstructed from CI logs. Session-service
 // benchmarks (admission + streaming throughput through internal/session)
-// are written separately as BENCH_2.json.
+// are written separately as BENCH_2.json, ledger and parallel-scan rows as
+// BENCH_3.json, and the vectorized (batch-at-a-time) engine's row-vs-batch
+// comparison as BENCH_4.json.
 //
 // Usage:
 //
-//	go run ./cmd/benchdump [-o BENCH_1.json] [-o2 BENCH_2.json]
+//	go run ./cmd/benchdump [-o BENCH_1.json] [-o2 BENCH_2.json] [-o3 BENCH_3.json] [-o4 BENCH_4.json]
 package main
 
 import (
@@ -193,12 +195,16 @@ func parallelScanPlan(rel *schema.Relation, workers, pageRows int, pageDelay tim
 // and reports per-run wall time plus speedup vs the 1-worker baseline. Timed
 // by hand (like chaosSweep): the runs are sleep-dominated by design, so
 // testing.Benchmark's auto-scaling would only add minutes of wall time.
-func parallelScanRows(workerCounts []int, runs int) []result {
+func parallelScanRows(workerCounts []int, runs int, batch bool) []result {
 	const (
 		nRows     = 40_000
 		pageRows  = 400
 		pageDelay = time.Millisecond
 	)
+	name, run := "parallel_scan_workers_%d", exec.Run
+	if batch {
+		name, run = "parallel_scan_batch_workers_%d", exec.RunBatch
+	}
 	rel := datagen.IntRelation("bigscan", "v", datagen.Sequence(nRows))
 	var out []result
 	var base float64
@@ -207,7 +213,7 @@ func parallelScanRows(workerCounts []int, runs int) []result {
 		for r := 0; r < runs; r++ {
 			op := parallelScanPlan(rel, w, pageRows, pageDelay)
 			start := time.Now()
-			rows, err := exec.Run(exec.NewCtx(), op)
+			rows, err := run(exec.NewCtx(), op)
 			elapsed += time.Since(start)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -219,7 +225,7 @@ func parallelScanRows(workerCounts []int, runs int) []result {
 			}
 		}
 		res := result{
-			Name:      fmt.Sprintf("parallel_scan_workers_%d", w),
+			Name:      fmt.Sprintf(name, w),
 			NsPerOp:   float64(elapsed.Nanoseconds()) / float64(runs),
 			N:         runs,
 			TotalSecs: elapsed.Seconds(),
@@ -247,6 +253,7 @@ func main() {
 	out := flag.String("o", "BENCH_1.json", "output path")
 	out2 := flag.String("o2", "BENCH_2.json", "session-service output path")
 	out3 := flag.String("o3", "BENCH_3.json", "ledger + parallel-scan output path")
+	out4 := flag.String("o4", "BENCH_4.json", "vectorized-engine output path")
 	chaosN := flag.Int("chaos", 500, "fault schedules in the chaos sweep (0 = skip)")
 	flag.Parse()
 
@@ -347,8 +354,68 @@ func main() {
 			sink += total
 		}
 	})
-	ledResults = append(ledResults, parallelScanRows([]int{1, 2, 4, 8}, 3)...)
+	ledResults = append(ledResults, parallelScanRows([]int{1, 2, 4, 8}, 3, false)...)
 	writeDump(*out3, ledResults)
+
+	// Vectorized-engine benchmarks: the batch-at-a-time executor against
+	// the row engine on the same plans, with the same harness shape as the
+	// BENCH_1 rows (plan rebuilt per iteration under a stopped timer) so
+	// the row-vs-batch ratios and the trajectory against earlier BENCH_1
+	// artifacts are apples-to-apples. The parallel-scan rows rerun the
+	// BENCH_3 scaling experiment through the batch reader, whose native
+	// path moves whole worker batches instead of rows.
+	var vecResults []result
+	vecResults = record("exec_inl_join_row", vecResults, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := synthPlan(rows)
+			b.StartTimer()
+			if _, err := exec.Run(exec.NewCtx(), p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	vecResults = record("exec_inl_join_batch", vecResults, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := synthPlan(rows)
+			b.StartTimer()
+			if _, err := exec.RunBatch(exec.NewCtx(), p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	hdb := sqlprogress.Open()
+	hpair := datagen.NewSkewPair(rows, int64(rows), 2, 1)
+	hdb.Catalog().AddRelation(hpair.R1)
+	hdb.Catalog().AddRelation(hpair.R2)
+	hdb.DeclareUnique("r1", "a")
+	buildHashJoin := func() exec.Operator {
+		pb := plan.NewBuilder(hdb.Catalog())
+		return pb.Scan("r2").HashJoin(pb.Scan("r1"), "b", "a", exec.InnerJoin).Op
+	}
+	vecResults = record("exec_hash_join_row", vecResults, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := buildHashJoin()
+			b.StartTimer()
+			if _, err := exec.Run(exec.NewCtx(), p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	vecResults = record("exec_hash_join_batch", vecResults, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := buildHashJoin()
+			b.StartTimer()
+			if _, err := exec.RunBatch(exec.NewCtx(), p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	vecResults = append(vecResults, parallelScanRows([]int{1, 2, 4, 8}, 3, true)...)
+	writeDump(*out4, vecResults)
 }
 
 // sink defeats dead-code elimination in the sample-path benchmarks.

@@ -1,0 +1,91 @@
+// Command benchgate guards the vectorized executor's allocation budget in
+// CI. It re-runs the batch INL-join benchmark through testing.Benchmark and
+// compares allocs/op against the checked-in BENCH_4.json artifact, failing
+// when the measured count exceeds the recorded one by more than the slack
+// factor. Only allocations are gated: allocs/op is deterministic for this
+// workload, while wall-clock varies too much across CI machines to gate
+// without flakes (ns/op is printed for information only).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	sqlprogress "sqlprogress"
+	"sqlprogress/internal/datagen"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/plan"
+)
+
+// dump mirrors cmd/benchdump's file layout (only the fields the gate needs).
+type dump struct {
+	Results []struct {
+		Name     string  `json:"name"`
+		NsPerOp  float64 `json:"ns_per_op"`
+		AllocsOp int64   `json:"allocs_per_op"`
+	} `json:"results"`
+}
+
+// synthPlan is the Section 5 INL plan (mirrors the root bench suite and
+// cmd/benchdump): a 20k-row skewed pair joined through the r1.a hash index.
+func synthPlan(n int) exec.Operator {
+	pair := datagen.NewSkewPair(n, int64(n), 2, 1)
+	db := sqlprogress.Open()
+	db.Catalog().AddRelation(pair.R1)
+	db.Catalog().AddRelation(pair.R2)
+	db.DeclareUnique("r1", "a")
+	b := plan.NewBuilder(db.Catalog())
+	return b.Scan("r1").INLJoin("r2", "b", "a", exec.InnerJoin).Op
+}
+
+func main() {
+	file := flag.String("f", "BENCH_4.json", "benchmark artifact to gate against")
+	row := flag.String("row", "exec_inl_join_batch", "artifact row holding the baseline")
+	slack := flag.Float64("slack", 1.10, "allowed allocs/op growth factor")
+	flag.Parse()
+
+	buf, err := os.ReadFile(*file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var d dump
+	if err := json.Unmarshal(buf, &d); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", *file, err)
+		os.Exit(1)
+	}
+	base := int64(-1)
+	for _, r := range d.Results {
+		if r.Name == *row {
+			base = r.AllocsOp
+		}
+	}
+	if base < 0 {
+		fmt.Fprintf(os.Stderr, "%s: no row named %q\n", *file, *row)
+		os.Exit(1)
+	}
+
+	const rows = 20_000
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := synthPlan(rows)
+			b.StartTimer()
+			if _, err := exec.RunBatch(exec.NewCtx(), p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	got := r.AllocsPerOp()
+	limit := int64(float64(base) * *slack)
+	fmt.Printf("%s: %d allocs/op (baseline %d, limit %d), %.0f ns/op informational\n",
+		*row, got, base, limit, float64(r.T.Nanoseconds())/float64(r.N))
+	if got > limit {
+		fmt.Fprintf(os.Stderr, "benchgate: allocs/op regression: %d > %d (baseline %d × %.2f)\n",
+			got, limit, base, *slack)
+		os.Exit(1)
+	}
+}

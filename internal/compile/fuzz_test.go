@@ -341,6 +341,38 @@ func fuzzExchangeParallel(t *testing.T, seed int64) {
 	coretest.CheckParallelInvariants(t, label, build(), 1)
 }
 
+// fuzzBatchVsRow runs seed-random compiled queries under both the batch and
+// the row engine and asserts full observational equivalence: identical
+// result rows (in order), identical total GetNext calls, identical per-node
+// ledger snapshots, and — at every batch quiesce point — bitwise-identical
+// dne/pmax/safe estimates when the row engine is sampled at the same Curr.
+// The query set deliberately mixes native-batch shapes (filters, hash
+// joins, aggregates) with row-pull operators (LIMIT, anti-join rescans) so
+// both execution regimes are exercised from the SQL surface.
+func fuzzBatchVsRow(t *testing.T, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	db := newFuzzDB(r)
+	p := randPred(r)
+	queries := []string{
+		fmt.Sprintf("SELECT a, b, c FROM t1 WHERE %s", p.sql()),
+		"SELECT b, COUNT(*), SUM(c), MIN(c) FROM t1 GROUP BY b ORDER BY b",
+		"SELECT a, e FROM t1, t2 WHERE a = d",
+		"SELECT b, SUM(e) FROM t1 JOIN t2 ON a = d GROUP BY b ORDER BY b LIMIT 3",
+		"SELECT a, c FROM t1 WHERE NOT EXISTS (SELECT 1 FROM t2 WHERE t2.d = t1.a)",
+	}
+	for _, sql := range queries {
+		sql := sql
+		build := func() exec.Operator {
+			op, err := CompileSQL(db.cat, sql)
+			if err != nil {
+				t.Fatalf("compile %q: %v", sql, err)
+			}
+			return op
+		}
+		coretest.CheckBatchRowEquivalence(t, sql, build, false)
+	}
+}
+
 // fuzzFamilies dispatches a fuzz input's kind byte to one query family.
 var fuzzFamilies = []func(*testing.T, int64){
 	fuzzFilterProjection,
@@ -350,9 +382,10 @@ var fuzzFamilies = []func(*testing.T, int64){
 	fuzzSemiAntiJoin,
 	fuzzProgressInvariants,
 	fuzzExchangeParallel,
+	fuzzBatchVsRow,
 }
 
-// FuzzDifferential is the native-fuzzing entry point over all seven
+// FuzzDifferential is the native-fuzzing entry point over all eight
 // differential families: the fuzzer explores (seed, family) pairs, every
 // one of which must produce results identical to the naive evaluator (and
 // clean progress invariants for the invariant families). The checked-in
@@ -405,5 +438,11 @@ func TestFuzzProgressInvariantsOnRandomQueries(t *testing.T) {
 func TestFuzzExchangeParallel(t *testing.T) {
 	for seed := int64(600); seed < 615; seed++ {
 		fuzzExchangeParallel(t, seed)
+	}
+}
+
+func TestFuzzBatchVsRow(t *testing.T) {
+	for seed := int64(700); seed < 712; seed++ {
+		fuzzBatchVsRow(t, seed)
 	}
 }

@@ -168,7 +168,9 @@ func (m *AsyncMonitor) loop() {
 func (m *AsyncMonitor) Run() ([]schema.Row, error) {
 	ctx := exec.NewCtx()
 	m.Start(ctx)
-	rows, err := exec.Run(ctx, m.root)
+	// The async sampler reads the ledger from its own goroutine — no
+	// per-call hooks — so the run takes the vectorized fast path.
+	rows, err := exec.RunBatch(ctx, m.root)
 	m.Stop()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,190 @@
+package coretest
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"sqlprogress/internal/core"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/ledger"
+	"sqlprogress/internal/schema"
+)
+
+// This file is the executable statement of the batch engine's central claim:
+// batch-at-a-time execution is observationally equivalent to row-at-a-time
+// execution for everything the paper's progress machinery can see. At every
+// root-batch quiesce point the vectorized run's ledger — and therefore every
+// estimator reading it — matches the row engine's state at the same Curr,
+// and the two runs produce identical results and identical final counters.
+
+// batchMark is one quiesce-point observation: the full per-node ledger state
+// plus the three headline estimators' outputs at that instant.
+type batchMark struct {
+	curr            int64
+	nodes           []ledger.Snapshot
+	dne, pmax, safe float64
+}
+
+func captureMark(tracker *core.Tracker, led *ledger.Ledger, curr int64) batchMark {
+	s := tracker.Capture()
+	return batchMark{
+		curr:  curr,
+		nodes: led.SnapshotAll(nil),
+		dne:   (core.Dne{}).Estimate(s),
+		pmax:  (core.Pmax{}).Estimate(s),
+		safe:  (core.Safe{}).Estimate(s),
+	}
+}
+
+func renderRows(rows []schema.Row, sorted bool) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	if sorted {
+		sort.Strings(out)
+	}
+	return out
+}
+
+// CheckBatchRowEquivalence runs build's plan under both engines and asserts:
+//
+//   - identical result rows (in order for serial plans, as a multiset for
+//     parallel ones — partition interleaving is the one nondeterminism),
+//   - identical total GetNext calls,
+//   - identical per-node final ledger snapshots,
+//   - for serial plans, at every batch quiesce point: identical per-node
+//     ledger snapshots and bitwise-identical dne/pmax/safe estimates when the
+//     row engine is sampled at the same Curr.
+//
+// Parallel plans skip the per-mark comparison: worker goroutines count
+// concurrently, so a mid-run instant is not a synchronized point in either
+// engine. The whole check repeats across batch sizes, including degenerate
+// one-row batches.
+func CheckBatchRowEquivalence(t testing.TB, label string, build func() exec.Operator, parallel bool) {
+	t.Helper()
+	for _, bs := range []int{0, 1, 13} {
+		checkBatchRowEquivalence(t, label, build, parallel, bs)
+	}
+}
+
+func checkBatchRowEquivalence(t testing.TB, label string, build func() exec.Operator, parallel bool, batchSize int) {
+	t.Helper()
+
+	// Vectorized run, collecting a mark at every quiesce point.
+	batchOp := build()
+	batchTracker := core.NewTracker(batchOp)
+	_, batchLed := core.ShapeOf(batchOp)
+	batchCtx := exec.NewCtx()
+	batchCtx.BatchSize = batchSize
+	var marks []batchMark
+	observe := func(curr int64) {
+		if parallel {
+			return
+		}
+		m := captureMark(batchTracker, batchLed, curr)
+		if len(marks) > 0 && marks[len(marks)-1].curr == curr {
+			// The EOF observation repeats the last batch's Curr when the EOF
+			// cascade performed no counted calls: its state (final done
+			// flags) supersedes the last batch's.
+			marks[len(marks)-1] = m
+			return
+		}
+		marks = append(marks, m)
+	}
+	batchRows, err := exec.RunBatchObserved(batchCtx, batchOp, observe)
+	if err != nil {
+		t.Fatalf("%s[bs=%d]: batch run: %v", label, batchSize, err)
+	}
+
+	// Row reference, sampled at the batch run's exact quiesce Currs. The
+	// OnGetNext hook incidentally forces nothing here — this is exec.Run —
+	// it simply observes the reference trajectory.
+	rowOp := build()
+	rowTracker := core.NewTracker(rowOp)
+	_, rowLed := core.ShapeOf(rowOp)
+	rowCtx := exec.NewCtx()
+	// The final mark is always the batch run's EOF observation (Curr ==
+	// total): both engines pass through the same state there, but the row
+	// engine reaches it only after its (uncounted) EOF-probing pulls, so it
+	// is compared against the row run's final state, not a hook capture.
+	hookMarks := marks
+	if n := len(hookMarks); !parallel && n > 0 {
+		hookMarks = hookMarks[:n-1]
+	}
+	var rowMarks []batchMark
+	next := 0
+	if !parallel {
+		rowCtx.OnGetNext = func(calls int64) {
+			if next < len(hookMarks) && hookMarks[next].curr == calls {
+				rowMarks = append(rowMarks, captureMark(rowTracker, rowLed, calls))
+				next++
+			}
+		}
+	}
+	rowRows, err := exec.Run(rowCtx, rowOp)
+	if err != nil {
+		t.Fatalf("%s[bs=%d]: row run: %v", label, batchSize, err)
+	}
+	if !parallel && len(marks) > 0 {
+		rowMarks = append(rowMarks, captureMark(rowTracker, rowLed, rowCtx.Calls()))
+	}
+
+	// Results.
+	got, want := renderRows(batchRows, parallel), renderRows(rowRows, parallel)
+	if len(got) != len(want) {
+		t.Fatalf("%s[bs=%d]: batch produced %d rows, row engine %d", label, batchSize, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s[bs=%d]: row %d differs: batch %q, row %q", label, batchSize, i, got[i], want[i])
+		}
+	}
+
+	// Total work.
+	if bc, rc := batchCtx.Calls(), rowCtx.Calls(); bc != rc {
+		t.Fatalf("%s[bs=%d]: total calls: batch %d, row %d", label, batchSize, bc, rc)
+	}
+
+	// Final per-node state.
+	bFinal, rFinal := batchLed.SnapshotAll(nil), rowLed.SnapshotAll(nil)
+	if len(bFinal) != len(rFinal) {
+		t.Fatalf("%s[bs=%d]: ledger sizes differ: %d vs %d", label, batchSize, len(bFinal), len(rFinal))
+	}
+	for i := range bFinal {
+		if bFinal[i] != rFinal[i] {
+			t.Fatalf("%s[bs=%d]: node %d final snapshot: batch %+v, row %+v",
+				label, batchSize, i, bFinal[i], rFinal[i])
+		}
+	}
+
+	if parallel {
+		return
+	}
+	if next != len(hookMarks) {
+		t.Fatalf("%s[bs=%d]: row run hit only %d of %d quiesce Currs (trajectory diverged)",
+			label, batchSize, next, len(hookMarks))
+	}
+	if marks[len(marks)-1].curr != rowCtx.Calls() {
+		t.Fatalf("%s[bs=%d]: batch EOF mark at Curr=%d, row run finished at %d",
+			label, batchSize, marks[len(marks)-1].curr, rowCtx.Calls())
+	}
+	for k := range marks {
+		bm, rm := marks[k], rowMarks[k]
+		for i := range bm.nodes {
+			if bm.nodes[i] != rm.nodes[i] {
+				t.Fatalf("%s[bs=%d]: mark %d (Curr=%d) node %d: batch %+v, row %+v",
+					label, batchSize, k, bm.curr, i, bm.nodes[i], rm.nodes[i])
+			}
+		}
+		if bm.dne != rm.dne || bm.pmax != rm.pmax || bm.safe != rm.safe {
+			t.Fatalf("%s[bs=%d]: mark %d (Curr=%d) estimates: batch dne=%v pmax=%v safe=%v, row dne=%v pmax=%v safe=%v",
+				label, batchSize, k, bm.curr, bm.dne, bm.pmax, bm.safe, rm.dne, rm.pmax, rm.safe)
+		}
+	}
+}

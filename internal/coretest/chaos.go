@@ -62,6 +62,20 @@ func chaosProfile(horizon int64) fault.Profile {
 // string; rerunning RunChaos with the same seed reproduces the failure
 // exactly.
 func RunChaos(seed int64) error {
+	return runChaos(seed, false)
+}
+
+// RunChaosBatch is RunChaos driving the batch engine. Chaos runs install
+// both a per-call injector and the inline Monitor's hook, which forces the
+// batch engine onto its exact (call-for-call) path — so every exact-call
+// assertion below applies unchanged: faults and cancellations must land at
+// precisely the scheduled GetNext count even when that count falls in the
+// middle of a batch.
+func RunChaosBatch(seed int64) error {
+	return runChaos(seed, true)
+}
+
+func runChaos(seed int64, batch bool) error {
 	rng := rand.New(rand.NewSource(seed))
 	corpus := Corpus()
 	entry := corpus[rng.Intn(len(corpus))]
@@ -69,9 +83,13 @@ func RunChaos(seed int64) error {
 	if err != nil {
 		return err
 	}
+	engine := "row"
+	if batch {
+		engine = "batch"
+	}
 	sched := fault.Generate(seed, chaosProfile(horizon))
-	if err := RunChaosSchedule(entry, sched); err != nil {
-		return fmt.Errorf("chaos seed %d [%s] schedule %q: %w", seed, entry.Label, sched.String(), err)
+	if err := runChaosSchedule(entry, sched, batch); err != nil {
+		return fmt.Errorf("chaos seed %d [%s/%s] schedule %q: %w", seed, entry.Label, engine, sched.String(), err)
 	}
 	return nil
 }
@@ -83,6 +101,16 @@ func RunChaos(seed int64) error {
 // actually fired and checks both sample series against the paper's
 // guarantees.
 func RunChaosSchedule(entry CorpusEntry, sched fault.Schedule) error {
+	return runChaosSchedule(entry, sched, false)
+}
+
+// RunChaosScheduleBatch is RunChaosSchedule under the batch engine (see
+// RunChaosBatch for why the exact-call verdicts carry over).
+func RunChaosScheduleBatch(entry CorpusEntry, sched fault.Schedule) error {
+	return runChaosSchedule(entry, sched, true)
+}
+
+func runChaosSchedule(entry CorpusEntry, sched fault.Schedule, batch bool) error {
 	root := entry.Build()
 	ctx := exec.NewCtx()
 	inj := fault.NewInjector(sched)
@@ -92,7 +120,12 @@ func RunChaosSchedule(entry CorpusEntry, sched fault.Schedule) error {
 	ctx.OnGetNext = mon.Hook()
 	async := core.NewAsyncMonitorCalls(root, 64, chaosEstimators()...)
 	async.Start(ctx)
-	_, runErr := exec.Run(ctx, root)
+	var runErr error
+	if batch {
+		_, runErr = exec.RunBatch(ctx, root)
+	} else {
+		_, runErr = exec.Run(ctx, root)
+	}
 	async.Stop()
 	total := ctx.Calls()
 

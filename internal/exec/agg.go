@@ -36,6 +36,7 @@ type HashAgg struct {
 	groups map[uint64][]*aggGroup
 	out    []*aggGroup
 	pos    int
+	arena  rowArena // chunked backing storage for emitted group rows
 }
 
 type aggGroup struct {
@@ -72,15 +73,31 @@ func (a *HashAgg) Open(ctx *Ctx) error {
 	if err := a.child.Open(ctx); err != nil {
 		return err
 	}
-	for {
-		row, ok, err := a.child.Next(ctx)
-		if err != nil {
-			return err
+	if ctx.fastPath() {
+		// Blocking drain, chunk-at-a-time (see Sort.Open).
+		var in Batch
+		for {
+			if err := nextBatch(ctx, a.child, &in); err != nil {
+				return err
+			}
+			if in.Len() == 0 {
+				break
+			}
+			for _, row := range in.Rows {
+				a.fold(row)
+			}
 		}
-		if !ok {
-			break
+	} else {
+		for {
+			row, ok, err := a.child.Next(ctx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			a.fold(row)
 		}
-		a.fold(row)
 	}
 	// Deterministic emission order: sort groups by key.
 	a.out = make([]*aggGroup, 0, len(a.groups))
@@ -134,6 +151,34 @@ func (a *HashAgg) Next(ctx *Ctx) (schema.Row, bool, error) {
 	return a.emit(ctx, row)
 }
 
+// NextBatch implements BatchOperator: streams the sorted groups
+// chunk-at-a-time, group rows carved from the arena.
+func (a *HashAgg) NextBatch(ctx *Ctx, b *Batch) error {
+	if !ctx.fastPath() {
+		return FillFromNext(ctx, a, b, ctx.batchSize())
+	}
+	b.Reset()
+	if a.pos >= len(a.out) {
+		a.markDone()
+		return nil
+	}
+	n := len(a.out) - a.pos
+	if want := ctx.batchSize(); n > want {
+		n = want
+	}
+	for i := 0; i < n; i++ {
+		g := a.out[a.pos+i]
+		row := a.arena.row(len(g.key) + len(g.states))
+		copy(row, g.key)
+		for j, st := range g.states {
+			row[len(g.key)+j] = st.Result()
+		}
+		b.Append(row)
+	}
+	a.pos += n
+	return a.creditRows(ctx, n)
+}
+
 // Close implements Operator.
 func (a *HashAgg) Close() error {
 	a.groups, a.out = nil, nil
@@ -177,6 +222,9 @@ type StreamAgg struct {
 	pending  schema.Row
 	done     bool
 	emitted1 bool // scalar: have we emitted the single row
+
+	in      Batch // reused child-batch scratch (vectorized path)
+	drained bool  // final group flushed; mark done on the next pull
 }
 
 // NewStreamAgg builds a stream aggregation; groupBy may be empty for scalar
@@ -199,6 +247,7 @@ func (s *StreamAgg) Open(ctx *Ctx) error {
 	s.reopen()
 	s.cur, s.pending = nil, nil
 	s.done, s.emitted1 = false, false
+	s.drained = false
 	return s.child.Open(ctx)
 }
 
@@ -270,6 +319,80 @@ func (s *StreamAgg) Next(ctx *Ctx) (schema.Row, bool, error) {
 func (g *aggGroup) addRow(row schema.Row) {
 	for _, st := range g.states {
 		st.Add(row)
+	}
+}
+
+// NextBatch implements BatchOperator: folds each child chunk whole, emitting
+// every group the chunk completes. The trailing partial group stays in cur —
+// exactly the row engine's state after consuming the same child rows — and is
+// flushed when child EOF is discovered, with the done flag deferred one pull
+// (the row engine, too, marks done only on the call after its last group).
+func (s *StreamAgg) NextBatch(ctx *Ctx, b *Batch) error {
+	if !ctx.fastPath() {
+		return FillFromNext(ctx, s, b, ctx.batchSize())
+	}
+	b.Reset()
+	if s.drained || s.done {
+		s.markDone()
+		return nil
+	}
+	want := ctx.batchSize()
+	for {
+		if err := nextBatch(ctx, s.child, &s.in); err != nil {
+			return err
+		}
+		n := s.in.Len()
+		if n == 0 {
+			// Child EOF: flush the final group, or the scalar aggregate's
+			// mandatory single row over empty input.
+			s.done = true
+			emitted := 0
+			if s.cur != nil {
+				b.Append(s.groupRow(s.cur))
+				s.cur = nil
+				emitted = 1
+			} else if len(s.GroupBy) == 0 && !s.emitted1 {
+				s.emitted1 = true
+				b.Append(s.groupRow(s.newGroup(nil)))
+				emitted = 1
+			}
+			if err := s.creditRows(ctx, emitted); err != nil {
+				return err
+			}
+			if b.Len() == 0 {
+				s.markDone()
+			} else {
+				s.drained = true
+			}
+			return nil
+		}
+		emitted := 0
+		for _, row := range s.in.Rows {
+			if s.cur == nil {
+				s.cur = s.newGroup(row)
+				s.cur.addRow(row)
+				s.emitted1 = true
+				continue
+			}
+			if len(s.GroupBy) > 0 {
+				key := make([]sqlval.Value, len(s.GroupBy))
+				for i, g := range s.GroupBy {
+					key[i] = g.Eval(row)
+				}
+				if compareKeyVals(key, s.cur.key) != 0 {
+					b.Append(s.groupRow(s.cur))
+					emitted++
+					s.cur = s.newGroup(row)
+				}
+			}
+			s.cur.addRow(row)
+		}
+		if err := s.creditRows(ctx, emitted); err != nil {
+			return err
+		}
+		if b.Len() >= want || (n < want && b.Len() > 0) {
+			return nil
+		}
 	}
 }
 

@@ -1,0 +1,291 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sqlprogress/internal/expr"
+	"sqlprogress/internal/index"
+	"sqlprogress/internal/ledger"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// batchPlans is the pair-builder corpus: each entry constructs a fresh
+// operator tree so the row and batch engines never share state. serial
+// entries have deterministic row order; parallel ones are compared as sets.
+func batchPlans() []struct {
+	name     string
+	build    func() Operator
+	parallel bool
+} {
+	r := relOf("r", []string{"a", "x"}, [][]int64{
+		{1, 10}, {2, 20}, {2, 21}, {3, 30}, {4, 40}, {5, 50}, {5, 51}, {7, 70},
+	})
+	s := relOf("s", []string{"b", "y"}, [][]int64{
+		{2, 200}, {2, 201}, {3, 300}, {4, 400}, {9, 900},
+	})
+	big := relOf("big", []string{"k", "v"}, nil)
+	for i := int64(0); i < 500; i++ {
+		big.Append(schema.Row{sqlval.Int(i % 37), sqlval.Int(i)})
+	}
+	return []struct {
+		name     string
+		build    func() Operator
+		parallel bool
+	}{
+		{name: "scan", build: func() Operator { return NewScan(big) }},
+		{name: "scan_pred", build: func() Operator {
+			sc := NewScan(big)
+			sc.Pred = expr.Compare(expr.LT, col(sc, "big", "k"), intLit(9))
+			return sc
+		}},
+		{name: "filter_project", build: func() Operator {
+			sc := NewScan(big)
+			f := NewFilter(sc, expr.Compare(expr.GE, col(sc, "big", "v"), intLit(100)))
+			return NewProject(f,
+				[]expr.Expr{expr.NewCol(f.Schema(), "big", "v")},
+				[]string{"v"}, []sqlval.Kind{sqlval.KindInt})
+		}},
+		{name: "hash_join", build: func() Operator {
+			scanS := NewScan(s)
+			scanR := NewScan(r)
+			return NewHashJoin(scanS, scanR,
+				[]expr.Expr{col(scanS, "s", "b")}, []expr.Expr{col(scanR, "r", "a")},
+				InnerJoin)
+		}},
+		{name: "hash_join_leftouter", build: func() Operator {
+			scanS := NewScan(s)
+			scanR := NewScan(r)
+			return NewHashJoin(scanS, scanR,
+				[]expr.Expr{col(scanS, "s", "b")}, []expr.Expr{col(scanR, "r", "a")},
+				LeftOuterJoin)
+		}},
+		{name: "inl_join", build: func() Operator {
+			ix := index.BuildHash("hx", s, 0)
+			scanR := NewScan(r)
+			return NewINLJoin(scanR, ix, col(scanR, "r", "a"), InnerJoin)
+		}},
+		{name: "sort_top", build: func() Operator {
+			sc := NewScan(big)
+			srt := NewSort(sc, []SortKey{{Expr: col(sc, "big", "v"), Desc: true}})
+			return NewTop(srt, 25)
+		}},
+		{name: "distinct", build: func() Operator {
+			sc := NewScan(big)
+			p := NewProject(sc,
+				[]expr.Expr{expr.NewCol(sc.Schema(), "big", "k")},
+				[]string{"k"}, []sqlval.Kind{sqlval.KindInt})
+			return NewDistinct(p)
+		}},
+		{name: "hash_agg", build: func() Operator {
+			sc := NewScan(big)
+			return NewHashAgg(sc,
+				[]expr.Expr{col(sc, "big", "k")},
+				[]string{"k"}, []sqlval.Kind{sqlval.KindInt},
+				[]expr.Agg{{Kind: expr.AggCountStar, Name: "n"}})
+		}},
+		{name: "scalar_agg", build: func() Operator {
+			sc := NewScan(big)
+			return NewStreamAgg(sc, nil, nil, nil,
+				[]expr.Agg{{Kind: expr.AggSum, Arg: col(sc, "big", "v"), Name: "s"}})
+		}},
+		{name: "merge_join", build: func() Operator {
+			scanR := NewScan(r)
+			scanS := NewScan(s)
+			sortR := NewSort(scanR, []SortKey{{Expr: col(scanR, "r", "a")}})
+			sortS := NewSort(scanS, []SortKey{{Expr: col(scanS, "s", "b")}})
+			return NewMergeJoin(sortR, sortS,
+				[]expr.Expr{expr.NewCol(sortR.Schema(), "r", "a")},
+				[]expr.Expr{expr.NewCol(sortS.Schema(), "s", "b")})
+		}},
+		{name: "nl_join", build: func() Operator {
+			scanR := NewScan(r)
+			scanS := NewScan(s)
+			return NewNLJoin(scanR, scanS,
+				expr.Compare(expr.EQ, expr.NewCol(scanR.Schema().Concat(scanS.Schema()), "r", "a"),
+					expr.NewCol(scanR.Schema().Concat(scanS.Schema()), "s", "b")))
+		}},
+		{name: "parallel_scan", parallel: true, build: func() Operator {
+			return NewParallelScan(big, 4)
+		}},
+	}
+}
+
+func finalSnapshots(op Operator) []ledger.Snapshot {
+	var out []ledger.Snapshot
+	Walk(op, func(o Operator) { out = append(out, o.Runtime().Snapshot()) })
+	return out
+}
+
+// TestRunBatchMatchesRun proves the headline equivalence at the exec level:
+// identical result sets, identical total GetNext calls, identical per-node
+// final counters — across every plan shape and several batch sizes.
+func TestRunBatchMatchesRun(t *testing.T) {
+	for _, tc := range batchPlans() {
+		for _, bs := range []int{0, 1, 3, 64} {
+			t.Run(fmt.Sprintf("%s/bs=%d", tc.name, bs), func(t *testing.T) {
+				rowOp := tc.build()
+				rowCtx := NewCtx()
+				wantRows, err := Run(rowCtx, rowOp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				batchOp := tc.build()
+				batchCtx := NewCtx()
+				batchCtx.BatchSize = bs
+				gotRows, err := RunBatch(batchCtx, batchOp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tc.parallel {
+					sameRows(t, gotRows, wantRows, "batch vs row rows")
+				} else {
+					if len(gotRows) != len(wantRows) {
+						t.Fatalf("rows: got %d, want %d", len(gotRows), len(wantRows))
+					}
+					for i := range gotRows {
+						if !rowsEqual(gotRows[i], wantRows[i]) {
+							t.Fatalf("row %d: got %v, want %v", i, gotRows[i], wantRows[i])
+						}
+					}
+				}
+				if gc, wc := batchCtx.Calls(), rowCtx.Calls(); gc != wc {
+					t.Errorf("Calls: batch %d, row %d", gc, wc)
+				}
+				gs, ws := finalSnapshots(batchOp), finalSnapshots(rowOp)
+				if len(gs) != len(ws) {
+					t.Fatalf("snapshot count: %d vs %d", len(gs), len(ws))
+				}
+				for i := range gs {
+					if gs[i] != ws[i] {
+						t.Errorf("node %d final snapshot: batch %+v, row %+v", i, gs[i], ws[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRowSourceYieldsEveryRow drives the batch engine through the row-cursor
+// adapter and checks nothing is duplicated, dropped, or double-counted.
+func TestRowSourceYieldsEveryRow(t *testing.T) {
+	tc := batchPlans()[3] // hash_join
+	rowOp := tc.build()
+	want, err := Run(NewCtx(), rowOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := tc.build()
+	ctx := NewCtx()
+	ctx.vectorized = true
+	EnsureLedger(op)
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	src := NewRowSource(ctx, op)
+	var got []schema.Row
+	for {
+		row, ok, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, row)
+	}
+	if err := op.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, got, want, "rowsource rows")
+	if gc, wc := ctx.Calls(), TotalCalls(rowOp); gc != wc {
+		t.Errorf("Calls = %d, want %d", gc, wc)
+	}
+}
+
+// TestBatchFaultLandsAtExactCall proves the exact path: with an injector
+// installed, a batch run degrades to the precise row-engine call sequence, so
+// a fault scheduled for call N aborts with exactly N calls counted —
+// mid-batch, not at a chunk boundary.
+func TestBatchFaultLandsAtExactCall(t *testing.T) {
+	boom := errors.New("boom")
+	for _, at := range []int64{1, 7, 100, 333, 1000} {
+		rowOp := batchPlans()[2].build() // filter_project over 500 rows
+		rowCtx := NewCtx()
+		rowCtx.Inject = func(calls int64) error {
+			if calls == at {
+				return boom
+			}
+			return nil
+		}
+		_, rowErr := Run(rowCtx, rowOp)
+
+		batchOp := batchPlans()[2].build()
+		batchCtx := NewCtx()
+		batchCtx.Inject = func(calls int64) error {
+			if calls == at {
+				return boom
+			}
+			return nil
+		}
+		_, batchErr := RunBatch(batchCtx, batchOp)
+
+		if !errors.Is(batchErr, boom) || !errors.Is(rowErr, boom) {
+			t.Fatalf("at=%d: errors row=%v batch=%v", at, rowErr, batchErr)
+		}
+		if batchCtx.Calls() != at || rowCtx.Calls() != at {
+			t.Errorf("at=%d: calls row=%d batch=%d, want exactly %d",
+				at, rowCtx.Calls(), batchCtx.Calls(), at)
+		}
+		gs, ws := finalSnapshots(batchOp), finalSnapshots(rowOp)
+		for i := range gs {
+			if gs[i] != ws[i] {
+				t.Errorf("at=%d node %d: batch %+v, row %+v", at, i, gs[i], ws[i])
+			}
+		}
+	}
+}
+
+// TestBatchCancelStopsMidBatch proves cancellation through OnGetNext lands at
+// the same call count on both engines.
+func TestBatchCancelStopsMidBatch(t *testing.T) {
+	const at = 42
+	run := func(run func(*Ctx, Operator) ([]schema.Row, error)) (int64, error) {
+		op := batchPlans()[0].build() // plain 500-row scan
+		ctx := NewCtx()
+		ctx.OnGetNext = func(calls int64) {
+			if calls == at {
+				ctx.Cancel()
+			}
+		}
+		_, err := run(ctx, op)
+		return ctx.Calls(), err
+	}
+	rowCalls, rowErr := run(Run)
+	batchCalls, batchErr := run(RunBatch)
+	if rowErr != ErrCanceled || batchErr != ErrCanceled {
+		t.Fatalf("errors: row=%v batch=%v", rowErr, batchErr)
+	}
+	if rowCalls != batchCalls {
+		t.Errorf("calls at cancel: row=%d batch=%d", rowCalls, batchCalls)
+	}
+}
+
+// TestNativeBatch pins which plan shapes report full vectorization.
+func TestNativeBatch(t *testing.T) {
+	plans := batchPlans()
+	want := map[string]bool{
+		"scan": true, "scan_pred": true, "filter_project": true,
+		"hash_join": true, "hash_join_leftouter": true, "inl_join": true,
+		"sort_top": false, "distinct": true, "hash_agg": true,
+		"scalar_agg": true, "merge_join": false, "nl_join": false,
+		"parallel_scan": true,
+	}
+	for _, tc := range plans {
+		if got := NativeBatch(tc.build()); got != want[tc.name] {
+			t.Errorf("NativeBatch(%s) = %v, want %v", tc.name, got, want[tc.name])
+		}
+	}
+}

@@ -59,11 +59,22 @@ func (c *Ctx) Bind(stdctx context.Context) (release func() error) {
 // RunContext returns stdctx.Err() instead of ErrCanceled. An explicit
 // Ctx.Cancel still surfaces as ErrCanceled.
 func RunContext(stdctx context.Context, ctx *Ctx, op Operator) ([]schema.Row, error) {
+	return runContext(stdctx, ctx, op, Run)
+}
+
+// RunBatchContext is RunContext over the vectorized engine: it drains the
+// tree batch-at-a-time (RunBatch) while honouring stdctx cancellation and
+// deadlines the same way RunContext does.
+func RunBatchContext(stdctx context.Context, ctx *Ctx, op Operator) ([]schema.Row, error) {
+	return runContext(stdctx, ctx, op, RunBatch)
+}
+
+func runContext(stdctx context.Context, ctx *Ctx, op Operator, run func(*Ctx, Operator) ([]schema.Row, error)) ([]schema.Row, error) {
 	if ctx == nil {
 		ctx = NewCtx()
 	}
 	release := ctx.Bind(stdctx)
-	rows, err := Run(ctx, op)
+	rows, err := run(ctx, op)
 	if bindErr := release(); bindErr != nil && err == ErrCanceled {
 		return nil, bindErr
 	}

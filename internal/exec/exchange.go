@@ -7,10 +7,12 @@ import (
 	"sqlprogress/internal/schema"
 )
 
-// exchangeBatch is the number of rows a worker accumulates before handing
-// them to the reader; batching amortizes channel synchronization without
-// letting per-partition progress lag far behind the counters.
-const exchangeBatch = 128
+// Workers hand the reader whole Batches over a channel, recycling spent
+// batches through a free list: steady-state transport does zero allocation
+// and zero row copying (the reader swaps slice backings instead of copying
+// windows). Batch size follows Ctx.BatchSize, amortizing channel
+// synchronization without letting per-partition progress lag far behind the
+// counters.
 
 // Exchange runs N same-schema children on N worker goroutines and merges
 // their output into one stream — the classic exchange (gather) operator
@@ -27,12 +29,13 @@ type Exchange struct {
 	base
 	parts []Operator
 
-	ch       chan []schema.Row
+	ch       chan *Batch
+	free     chan *Batch
 	quit     chan struct{}
 	wg       *sync.WaitGroup
 	errMu    sync.Mutex
 	firstErr error
-	buf      []schema.Row
+	buf      *Batch
 	pos      int
 }
 
@@ -64,7 +67,8 @@ func NewParallelScan(rel *schema.Relation, workers int) *Exchange {
 // counted call of a subtree happens on that subtree's worker goroutine.
 func (e *Exchange) Open(ctx *Ctx) error {
 	e.reopen()
-	e.ch = make(chan []schema.Row, len(e.parts))
+	e.ch = make(chan *Batch, len(e.parts))
+	e.free = make(chan *Batch, 2*len(e.parts))
 	e.quit = make(chan struct{})
 	e.firstErr = nil
 	e.buf, e.pos = nil, 0
@@ -94,51 +98,67 @@ func (e *Exchange) fail(err error) {
 	e.errMu.Unlock()
 }
 
+// getBatch takes a recycled batch off the free list, or allocates one.
+func (e *Exchange) getBatch() *Batch {
+	select {
+	case b := <-e.free:
+		b.Reset()
+		return b
+	default:
+		return &Batch{}
+	}
+}
+
+// putBatch returns a spent batch to the free list (dropping it if full).
+// Only the batch's Rows slice backing is reused — the rows it carried remain
+// valid wherever the reader handed them.
+func (e *Exchange) putBatch(b *Batch) {
+	select {
+	case e.free <- b:
+	default:
+	}
+}
+
 func (e *Exchange) worker(ctx *Ctx, part Operator, wg *sync.WaitGroup) {
 	defer wg.Done()
 	if err := part.Open(ctx); err != nil {
 		e.fail(err)
 		return
 	}
-	batch := make([]schema.Row, 0, exchangeBatch)
-	send := func() bool {
-		if len(batch) == 0 {
-			return true
-		}
-		out := batch
-		batch = make([]schema.Row, 0, exchangeBatch)
-		select {
-		case e.ch <- out:
-			return true
-		case <-e.quit:
-			return false
-		}
-	}
 	for {
-		row, ok, err := part.Next(ctx)
-		if err != nil {
+		wb := e.getBatch()
+		// nextBatch keeps each regime's accounting: a vectorized run takes
+		// the partition's native bulk-credit path, a hooked or row run
+		// drives exact row-at-a-time pulls via FillFromNext.
+		if err := nextBatch(ctx, part, wb); err != nil {
+			e.putBatch(wb)
 			e.fail(err)
 			return
 		}
-		if !ok {
-			break
+		if wb.Len() == 0 {
+			e.putBatch(wb)
+			return
 		}
-		batch = append(batch, row)
-		if len(batch) == exchangeBatch && !send() {
+		select {
+		case e.ch <- wb:
+		case <-e.quit:
 			return
 		}
 	}
-	send()
 }
 
 // Next implements Operator: it merges worker batches into one counted
 // stream. Only the reader goroutine touches the exchange's own ledger slot.
 func (e *Exchange) Next(ctx *Ctx) (schema.Row, bool, error) {
 	for {
-		if e.pos < len(e.buf) {
-			row := e.buf[e.pos]
+		if e.buf != nil && e.pos < e.buf.Len() {
+			row := e.buf.Rows[e.pos]
 			e.pos++
 			return e.emit(ctx, row)
+		}
+		if e.buf != nil {
+			e.putBatch(e.buf)
+			e.buf = nil
 		}
 		batch, ok := <-e.ch
 		if !ok {
@@ -152,6 +172,32 @@ func (e *Exchange) Next(ctx *Ctx) (schema.Row, bool, error) {
 		}
 		e.buf, e.pos = batch, 0
 	}
+}
+
+// NextBatch implements BatchOperator: the reader takes one worker window per
+// pull and appends its row headers into the caller's batch — row values are
+// never copied, and the worker's buffer cycles back through the free list.
+// The caller's buffer must not be donated to the pool (RunBatch may alias it
+// to the result slice's spare capacity), so this is an append, not a swap.
+func (e *Exchange) NextBatch(ctx *Ctx, b *Batch) error {
+	if !ctx.fastPath() {
+		return FillFromNext(ctx, e, b, ctx.batchSize())
+	}
+	b.Reset()
+	wb, ok := <-e.ch
+	if !ok {
+		e.errMu.Lock()
+		err := e.firstErr
+		e.errMu.Unlock()
+		if err != nil {
+			return err
+		}
+		e.markDone()
+		return nil
+	}
+	b.Rows = append(b.Rows, wb.Rows...)
+	e.putBatch(wb)
+	return e.creditRows(ctx, b.Len())
 }
 
 // Close implements Operator: it stops the workers, waits for them to exit,

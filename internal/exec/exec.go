@@ -54,6 +54,17 @@ type Ctx struct {
 	// errors, and exact-call cancellations.
 	Inject func(calls int64) error
 
+	// BatchSize overrides DefaultBatchSize for batch-at-a-time runs (zero
+	// means the default). Set before the run starts; it only affects chunk
+	// granularity, never accounting semantics.
+	BatchSize int
+
+	// vectorized marks a run started by RunBatch: operators take their bulk
+	// accounting fast path when additionally no per-call hook is installed.
+	// Set once before execution starts and read-only during the run (worker
+	// goroutines of an Exchange read it concurrently).
+	vectorized bool
+
 	canceled atomic.Bool
 }
 

@@ -14,6 +14,9 @@ type Filter struct {
 	base
 	child Operator
 	Pred  expr.Expr
+
+	in      Batch // reused child-batch scratch (vectorized path)
+	drained bool  // child EOF seen while output was in hand; finish next pull
 }
 
 // NewFilter wraps child with a selection predicate.
@@ -26,6 +29,7 @@ func NewFilter(child Operator, pred expr.Expr) *Filter {
 // Open implements Operator.
 func (f *Filter) Open(ctx *Ctx) error {
 	f.reopen()
+	f.drained = false
 	return f.child.Open(ctx)
 }
 
@@ -44,6 +48,53 @@ func (f *Filter) Next(ctx *Ctx) (schema.Row, bool, error) {
 		}
 		if expr.Truthy(f.Pred.Eval(row)) {
 			return f.emit(ctx, row)
+		}
+	}
+}
+
+// NextBatch implements BatchOperator: each child chunk is filtered whole, so
+// at every return the subtree is quiescent. When child EOF is discovered with
+// output already in hand, the done flag is deferred to the next pull — the
+// row engine probes its child's EOF only on the call after its last emitted
+// row, and samplers at the quiesce point must see the same flags.
+func (f *Filter) NextBatch(ctx *Ctx, b *Batch) error {
+	if !ctx.fastPath() {
+		return FillFromNext(ctx, f, b, ctx.batchSize())
+	}
+	b.Reset()
+	if f.drained {
+		f.markDone()
+		return nil
+	}
+	want := ctx.batchSize()
+	for {
+		if err := nextBatch(ctx, f.child, &f.in); err != nil {
+			return err
+		}
+		n := f.in.Len()
+		if n == 0 {
+			if b.Len() == 0 {
+				f.markDone()
+				return nil
+			}
+			f.drained = true
+			return nil
+		}
+		kept := 0
+		for _, row := range f.in.Rows {
+			if expr.Truthy(f.Pred.Eval(row)) {
+				b.Append(row)
+				kept++
+			}
+		}
+		if err := f.creditRows(ctx, kept); err != nil {
+			return err
+		}
+		// A short child chunk often precedes EOF: return early rather than
+		// probing it now, keeping done-flag timing aligned with the row
+		// engine (see the drained comment above).
+		if b.Len() >= want || (n < want && b.Len() > 0) {
+			return nil
 		}
 	}
 }
@@ -73,6 +124,10 @@ type Project struct {
 	base
 	child Operator
 	Exprs []expr.Expr
+
+	in      Batch    // reused child-batch scratch (vectorized path)
+	drained bool     // child EOF seen while output was in hand
+	arena   rowArena // chunked backing storage for output rows
 }
 
 // NewProject builds a projection; names and types give the output schema.
@@ -92,6 +147,7 @@ func NewProject(child Operator, exprs []expr.Expr, names []string, types []sqlva
 // Open implements Operator.
 func (p *Project) Open(ctx *Ctx) error {
 	p.reopen()
+	p.drained = false
 	return p.child.Open(ctx)
 }
 
@@ -110,6 +166,47 @@ func (p *Project) Next(ctx *Ctx) (schema.Row, bool, error) {
 		out[i] = e.Eval(row)
 	}
 	return p.emit(ctx, out)
+}
+
+// NextBatch implements BatchOperator. Output rows are carved from a chunked
+// arena: one backing allocation per ~256 rows instead of one per row.
+func (p *Project) NextBatch(ctx *Ctx, b *Batch) error {
+	if !ctx.fastPath() {
+		return FillFromNext(ctx, p, b, ctx.batchSize())
+	}
+	b.Reset()
+	if p.drained {
+		p.markDone()
+		return nil
+	}
+	want := ctx.batchSize()
+	for {
+		if err := nextBatch(ctx, p.child, &p.in); err != nil {
+			return err
+		}
+		n := p.in.Len()
+		if n == 0 {
+			if b.Len() == 0 {
+				p.markDone()
+				return nil
+			}
+			p.drained = true
+			return nil
+		}
+		for _, row := range p.in.Rows {
+			out := p.arena.row(len(p.Exprs))
+			for i, e := range p.Exprs {
+				out[i] = e.Eval(row)
+			}
+			b.Append(out)
+		}
+		if err := p.creditRows(ctx, n); err != nil {
+			return err
+		}
+		if b.Len() >= want || (n < want && b.Len() > 0) {
+			return nil
+		}
+	}
 }
 
 // Close implements Operator.
@@ -167,6 +264,13 @@ func (t *Top) Next(ctx *Ctx) (schema.Row, bool, error) {
 	}
 	t.n++
 	return t.emit(ctx, row)
+}
+
+// NextBatch implements BatchOperator. A LIMIT must consume its input lazily —
+// chunked lookahead would count child work the row engine never performs — so
+// Top keeps row-wise pulls even on the fast path, batching only its output.
+func (t *Top) NextBatch(ctx *Ctx, b *Batch) error {
+	return FillFromNext(ctx, t, b, ctx.batchSize())
 }
 
 // Close implements Operator.

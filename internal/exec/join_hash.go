@@ -42,11 +42,17 @@ type HashJoin struct {
 	Linear bool
 
 	table      map[uint64][]schema.Row
+	buildRows  []schema.Row // build side, drained during Open
+	matchBuf   []schema.Row // reused lookup result buffer
 	matches    []schema.Row
 	matchIdx   int
 	curProbe   schema.Row
 	pad        schema.Row // NULL padding for left outer
 	emittedCur bool       // left outer: did curProbe match anything
+
+	in      Batch    // reused probe-batch scratch (vectorized path)
+	drained bool     // probe EOF seen while output was in hand
+	arena   rowArena // chunked backing storage for concatenated outputs
 }
 
 // NewHashJoin builds a hash join; buildKeys/probeKeys are evaluated against
@@ -96,25 +102,67 @@ func keysEqual(aKeys []expr.Expr, a schema.Row, bKeys []expr.Expr, b schema.Row)
 // Open implements Operator: drains the build side into the hash table.
 func (j *HashJoin) Open(ctx *Ctx) error {
 	j.reopen()
-	j.table = make(map[uint64][]schema.Row)
 	j.matches, j.matchIdx, j.curProbe = nil, 0, nil
+	j.drained = false
 	if err := j.build.Open(ctx); err != nil {
 		return err
 	}
-	for {
-		row, ok, err := j.build.Next(ctx)
-		if err != nil {
-			return err
+	j.buildRows = j.buildRows[:0]
+	if ctx.fastPath() {
+		// Blocking drain, chunk-at-a-time (see Sort.Open).
+		var in Batch
+		for {
+			if err := nextBatch(ctx, j.build, &in); err != nil {
+				return err
+			}
+			if in.Len() == 0 {
+				break
+			}
+			j.buildRows = append(j.buildRows, in.Rows...)
 		}
-		if !ok {
-			break
-		}
-		if h, ok := hashKeys(j.buildKeys, row); ok {
-			j.table[h] = append(j.table[h], row)
+	} else {
+		for {
+			row, ok, err := j.build.Next(ctx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			j.buildRows = append(j.buildRows, row)
 		}
 	}
+	j.buildTable()
 	j.pad = make(schema.Row, j.build.Schema().Len()) // zero Values are NULL
 	return j.probe.Open(ctx)
+}
+
+// buildTable constructs the hash table from the drained build side in two
+// passes: count bucket sizes, then carve every bucket out of one shared
+// backing slice at exact capacity. Incremental per-row appends previously
+// dominated the join's allocation profile (each growing bucket reallocates
+// log-many times); the two-pass layout does one allocation for all buckets.
+func (j *HashJoin) buildTable() {
+	hs := make([]uint64, 0, len(j.buildRows))
+	rows := make([]schema.Row, 0, len(j.buildRows))
+	counts := make(map[uint64]int, len(j.buildRows))
+	for _, row := range j.buildRows {
+		if h, ok := hashKeys(j.buildKeys, row); ok {
+			hs = append(hs, h)
+			rows = append(rows, row)
+			counts[h]++
+		}
+	}
+	backing := make([]schema.Row, len(rows))
+	j.table = make(map[uint64][]schema.Row, len(counts))
+	off := 0
+	for h, c := range counts {
+		j.table[h] = backing[off:off : off+c]
+		off += c
+	}
+	for i, row := range rows {
+		j.table[hs[i]] = append(j.table[hs[i]], row) // within capacity: no realloc
+	}
 }
 
 // Next implements Operator.
@@ -159,27 +207,101 @@ func (j *HashJoin) Next(ctx *Ctx) (schema.Row, bool, error) {
 	}
 }
 
+// lookup returns the build rows matching probe's key. The common case —
+// every bucket row key-equal to the probe — returns the bucket itself with
+// no copy; a mixed bucket falls back to the reused matchBuf. Either result
+// is only valid until the next lookup, which is exactly how both engines
+// consume it (matches fully drained before the next probe row).
 func (j *HashJoin) lookup(probe schema.Row) []schema.Row {
 	h, ok := hashKeys(j.probeKeys, probe)
 	if !ok {
 		return nil
 	}
 	bucket := j.table[h]
-	if len(bucket) == 0 {
-		return nil
-	}
-	out := make([]schema.Row, 0, len(bucket))
-	for _, b := range bucket {
-		if keysEqual(j.probeKeys, probe, j.buildKeys, b) {
-			out = append(out, b)
+	for i, b := range bucket {
+		if !keysEqual(j.probeKeys, probe, j.buildKeys, b) {
+			j.matchBuf = append(j.matchBuf[:0], bucket[:i]...)
+			for _, rest := range bucket[i+1:] {
+				if keysEqual(j.probeKeys, probe, j.buildKeys, rest) {
+					j.matchBuf = append(j.matchBuf, rest)
+				}
+			}
+			return j.matchBuf
 		}
 	}
-	return out
+	return bucket
+}
+
+// NextBatch implements BatchOperator: processes whole probe chunks against
+// the prebuilt table, concatenated outputs carved from the arena. Output
+// batches are variable-length (a high-fanout chunk may exceed the nominal
+// size) so the subtree is quiescent at every return.
+func (j *HashJoin) NextBatch(ctx *Ctx, b *Batch) error {
+	if !ctx.fastPath() {
+		return FillFromNext(ctx, j, b, ctx.batchSize())
+	}
+	b.Reset()
+	if j.drained {
+		j.markDone()
+		return nil
+	}
+	want := ctx.batchSize()
+	for {
+		if err := nextBatch(ctx, j.probe, &j.in); err != nil {
+			return err
+		}
+		n := j.in.Len()
+		if n == 0 {
+			if b.Len() == 0 {
+				j.markDone()
+				return nil
+			}
+			j.drained = true
+			return nil
+		}
+		emitted := 0
+		for _, probe := range j.in.Rows {
+			found := j.lookup(probe)
+			switch j.Mode {
+			case SemiJoin:
+				if len(found) > 0 {
+					b.Append(probe)
+					emitted++
+				}
+			case AntiJoin:
+				if len(found) == 0 {
+					b.Append(probe)
+					emitted++
+				}
+			case LeftOuterJoin:
+				if len(found) == 0 {
+					b.Append(j.arena.concat(probe, j.pad))
+					emitted++
+				} else {
+					for _, m := range found {
+						b.Append(j.arena.concat(probe, m))
+						emitted++
+					}
+				}
+			default:
+				for _, m := range found {
+					b.Append(j.arena.concat(probe, m))
+					emitted++
+				}
+			}
+		}
+		if err := j.creditRows(ctx, emitted); err != nil {
+			return err
+		}
+		if b.Len() >= want || (n < want && b.Len() > 0) {
+			return nil
+		}
+	}
 }
 
 // Close implements Operator.
 func (j *HashJoin) Close() error {
-	j.table = nil
+	j.table, j.buildRows, j.matchBuf = nil, nil, nil
 	err1 := j.build.Close()
 	err2 := j.probe.Close()
 	if err1 != nil {

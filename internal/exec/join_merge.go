@@ -179,6 +179,15 @@ func (j *MergeJoin) Next(ctx *Ctx) (schema.Row, bool, error) {
 	}
 }
 
+// NextBatch implements BatchOperator. The two inputs advance at
+// data-dependent rates, so chunked lookahead would hold counted-but-unmerged
+// rows across quiesce points; MergeJoin keeps row-wise pulls even on the
+// fast path, batching only its output. Sorts beneath it still batch-drain
+// their own children during Open.
+func (j *MergeJoin) NextBatch(ctx *Ctx, b *Batch) error {
+	return FillFromNext(ctx, j, b, ctx.batchSize())
+}
+
 // Close implements Operator.
 func (j *MergeJoin) Close() error {
 	err1 := j.left.Close()

@@ -6,6 +6,7 @@ import (
 	"sqlprogress/internal/expr"
 	"sqlprogress/internal/index"
 	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
 )
 
 // INLJoin is an index nested loops join: for every outer row it seeks an
@@ -27,6 +28,14 @@ type INLJoin struct {
 	matchIdx int
 	curOuter schema.Row
 	pad      schema.Row
+	// keyCol is OuterKey's column index when it is a bare column reference
+	// (-1 otherwise); the vectorized probe loop then reads the value directly
+	// instead of going through the Expr interface.
+	keyCol int
+
+	in      Batch    // reused outer-batch scratch (vectorized path)
+	drained bool     // outer EOF seen while output was in hand
+	arena   rowArena // chunked backing storage for concatenated outputs
 }
 
 // NewINLJoin builds an index nested loops join probing idx with the value of
@@ -48,7 +57,12 @@ func NewINLJoin(outer Operator, idx *index.Hash, outerKey expr.Expr, mode JoinMo
 func (j *INLJoin) Open(ctx *Ctx) error {
 	j.reopen()
 	j.matches, j.matchIdx, j.curOuter = nil, 0, nil
+	j.drained = false
 	j.pad = make(schema.Row, j.Idx.Rel.Schema().Len())
+	j.keyCol = -1
+	if c, ok := j.OuterKey.(expr.Col); ok {
+		j.keyCol = c.Index
+	}
 	return j.outer.Open(ctx)
 }
 
@@ -88,6 +102,106 @@ func (j *INLJoin) Next(ctx *Ctx) (schema.Row, bool, error) {
 			j.matches, j.matchIdx = found, 0
 		}
 	}
+}
+
+// NextBatch implements BatchOperator: the inner index lookup is an uncounted
+// access path, so seeking it for a whole outer chunk at once moves no counted
+// work and the subtree stays quiescent at every return.
+func (j *INLJoin) NextBatch(ctx *Ctx, b *Batch) error {
+	if !ctx.fastPath() {
+		return FillFromNext(ctx, j, b, ctx.batchSize())
+	}
+	b.Reset()
+	if j.drained {
+		j.markDone()
+		return nil
+	}
+	want := ctx.batchSize()
+	for {
+		if err := nextBatch(ctx, j.outer, &j.in); err != nil {
+			return err
+		}
+		n := j.in.Len()
+		if n == 0 {
+			if b.Len() == 0 {
+				j.markDone()
+				return nil
+			}
+			j.drained = true
+			return nil
+		}
+		emitted := j.probeBatch(b)
+		if err := j.creditRows(ctx, emitted); err != nil {
+			return err
+		}
+		if b.Len() >= want || (n < want && b.Len() > 0) {
+			return nil
+		}
+	}
+}
+
+// probeBatch probes the index with every outer row buffered in j.in,
+// appending join output to b, and returns the number of rows emitted. When
+// the join is an inner equijoin on a bare column and the index built its
+// dense table, the probe loop inlines each lookup to a bounds check and two
+// slice indexings; every other shape takes the general Lookup path.
+func (j *INLJoin) probeBatch(b *Batch) int {
+	rows := j.Idx.Rel.Rows
+	if j.Mode == InnerJoin && j.keyCol >= 0 {
+		if off, pos, lo, ok := j.Idx.Dense(); ok {
+			emitted := 0
+			for _, outer := range j.in.Rows {
+				v := outer[j.keyCol]
+				var found []int32
+				if v.Kind() == sqlval.KindInt {
+					// Negative slots wrap to huge uint64s, so one compare
+					// rejects both out-of-range directions.
+					if slot := v.AsInt() - lo; uint64(slot) < uint64(len(off)-1) {
+						found = pos[off[slot]:off[slot+1]]
+					}
+				} else {
+					found = j.Idx.Lookup(v)
+				}
+				for _, idx := range found {
+					b.Append(j.arena.concat(outer, rows[idx]))
+				}
+				emitted += len(found)
+			}
+			return emitted
+		}
+	}
+	emitted := 0
+	for _, outer := range j.in.Rows {
+		found := j.Idx.Lookup(j.OuterKey.Eval(outer))
+		switch j.Mode {
+		case SemiJoin:
+			if len(found) > 0 {
+				b.Append(outer)
+				emitted++
+			}
+		case AntiJoin:
+			if len(found) == 0 {
+				b.Append(outer)
+				emitted++
+			}
+		case LeftOuterJoin:
+			if len(found) == 0 {
+				b.Append(j.arena.concat(outer, j.pad))
+				emitted++
+			} else {
+				for _, idx := range found {
+					b.Append(j.arena.concat(outer, rows[idx]))
+					emitted++
+				}
+			}
+		default:
+			for _, idx := range found {
+				b.Append(j.arena.concat(outer, rows[idx]))
+				emitted++
+			}
+		}
+	}
+	return emitted
 }
 
 // Close implements Operator.
@@ -196,6 +310,13 @@ func (j *NLJoin) Next(ctx *Ctx) (schema.Row, bool, error) {
 			return j.emit(ctx, joined)
 		}
 	}
+}
+
+// NextBatch implements BatchOperator. The inner is a counted subtree
+// re-opened per outer row: rescan timing is inherently row-grained, so NLJoin
+// keeps row-wise pulls even on the fast path, batching only its output.
+func (j *NLJoin) NextBatch(ctx *Ctx, b *Batch) error {
+	return FillFromNext(ctx, j, b, ctx.batchSize())
 }
 
 // Close implements Operator.

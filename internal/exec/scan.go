@@ -118,6 +118,59 @@ func (s *Scan) Next(ctx *Ctx) (schema.Row, bool, error) {
 	return s.eof()
 }
 
+// NextBatch implements BatchOperator: one pass over up to a chunk of scan
+// positions, crediting the ledger in bulk — rows read as counted calls,
+// predicate survivors as delivered.
+func (s *Scan) NextBatch(ctx *Ctx, b *Batch) error {
+	if !ctx.fastPath() {
+		return FillFromNext(ctx, s, b, ctx.batchSize())
+	}
+	b.Reset()
+	if s.pos >= s.hi {
+		s.markDone()
+		return nil
+	}
+	want := ctx.batchSize()
+	scanned := 0
+	if s.SimPageDelay == 0 && s.Order == nil && s.Pred == nil {
+		// Plain in-order scan: the whole chunk survives, so copy the row
+		// headers in one bulk append instead of a per-row loop.
+		n := s.hi - s.pos
+		if n > want {
+			n = want
+		}
+		b.Rows = append(b.Rows, s.Rel.Rows[s.pos:s.pos+n]...)
+		s.pos += n
+		scanned = n
+	} else {
+		for s.pos < s.hi && b.Len() < want {
+			i := s.pos
+			s.pos++
+			if s.SimPageDelay > 0 && s.SimPageRows > 0 && (i-s.lo)%s.SimPageRows == 0 {
+				time.Sleep(s.SimPageDelay)
+			}
+			if s.Order != nil {
+				i = int(s.Order[i])
+			}
+			row := s.Rel.Rows[i]
+			scanned++
+			if s.Pred != nil && !expr.Truthy(s.Pred.Eval(row)) {
+				continue
+			}
+			b.Append(row)
+		}
+	}
+	if err := s.creditScan(ctx, scanned, b.Len()); err != nil {
+		return err
+	}
+	if b.Len() == 0 {
+		// Every remaining row failed the embedded predicate: the reads are
+		// counted and the window is exhausted.
+		s.markDone()
+	}
+	return nil
+}
+
 // Close implements Operator.
 func (s *Scan) Close() error { return nil }
 
@@ -214,6 +267,36 @@ func (r *RangeScan) Next(ctx *Ctx) (schema.Row, bool, error) {
 	return r.eof()
 }
 
+// NextBatch implements BatchOperator (same bulk accounting as Scan).
+func (r *RangeScan) NextBatch(ctx *Ctx, b *Batch) error {
+	if !ctx.fastPath() {
+		return FillFromNext(ctx, r, b, ctx.batchSize())
+	}
+	b.Reset()
+	if r.pos >= r.rng.End {
+		r.markDone()
+		return nil
+	}
+	want := ctx.batchSize()
+	scanned := 0
+	for r.pos < r.rng.End && b.Len() < want {
+		row := r.Idx.Rel.Rows[r.Idx.At(r.pos)]
+		r.pos++
+		scanned++
+		if r.Pred != nil && !expr.Truthy(r.Pred.Eval(row)) {
+			continue
+		}
+		b.Append(row)
+	}
+	if err := r.creditScan(ctx, scanned, b.Len()); err != nil {
+		return err
+	}
+	if b.Len() == 0 {
+		r.markDone()
+	}
+	return nil
+}
+
 // Close implements Operator.
 func (r *RangeScan) Close() error { return nil }
 
@@ -286,6 +369,25 @@ func (v *Values) Next(ctx *Ctx) (schema.Row, bool, error) {
 	row := v.RowsData[v.pos]
 	v.pos++
 	return v.emit(ctx, row)
+}
+
+// NextBatch implements BatchOperator.
+func (v *Values) NextBatch(ctx *Ctx, b *Batch) error {
+	if !ctx.fastPath() {
+		return FillFromNext(ctx, v, b, ctx.batchSize())
+	}
+	b.Reset()
+	if v.pos >= len(v.RowsData) {
+		v.markDone()
+		return nil
+	}
+	n := len(v.RowsData) - v.pos
+	if want := ctx.batchSize(); n > want {
+		n = want
+	}
+	b.Rows = append(b.Rows, v.RowsData[v.pos:v.pos+n]...)
+	v.pos += n
+	return v.creditRows(ctx, n)
 }
 
 // Close implements Operator.

@@ -43,15 +43,31 @@ func (s *Sort) Open(ctx *Ctx) error {
 	if err := s.child.Open(ctx); err != nil {
 		return err
 	}
-	for {
-		row, ok, err := s.child.Next(ctx)
-		if err != nil {
-			return err
+	if ctx.fastPath() {
+		// Blocking drain: both engines fully consume the child inside Open
+		// (EOF probe included), so chunked pulls here can't desynchronize
+		// any quiesce-point snapshot.
+		var in Batch
+		for {
+			if err := nextBatch(ctx, s.child, &in); err != nil {
+				return err
+			}
+			if in.Len() == 0 {
+				break
+			}
+			s.rows = append(s.rows, in.Rows...)
 		}
-		if !ok {
-			break
+	} else {
+		for {
+			row, ok, err := s.child.Next(ctx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			s.rows = append(s.rows, row)
 		}
-		s.rows = append(s.rows, row)
 	}
 	sort.SliceStable(s.rows, func(i, j int) bool {
 		for _, k := range s.Keys {
@@ -76,6 +92,26 @@ func (s *Sort) Next(ctx *Ctx) (schema.Row, bool, error) {
 	row := s.rows[s.pos]
 	s.pos++
 	return s.emit(ctx, row)
+}
+
+// NextBatch implements BatchOperator: slices the sorted run chunk-at-a-time
+// with one bulk ledger credit per chunk.
+func (s *Sort) NextBatch(ctx *Ctx, b *Batch) error {
+	if !ctx.fastPath() {
+		return FillFromNext(ctx, s, b, ctx.batchSize())
+	}
+	b.Reset()
+	if s.pos >= len(s.rows) {
+		s.markDone()
+		return nil
+	}
+	n := len(s.rows) - s.pos
+	if want := ctx.batchSize(); n > want {
+		n = want
+	}
+	b.Rows = append(b.Rows, s.rows[s.pos:s.pos+n]...)
+	s.pos += n
+	return s.creditRows(ctx, n)
 }
 
 // Close implements Operator.

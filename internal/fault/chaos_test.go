@@ -31,6 +31,51 @@ func TestChaosInvariants(t *testing.T) {
 	}
 }
 
+// TestChaosInvariantsBatch replays the same seeded sweep under the batch
+// engine. Chaos installs both the fault injector and the inline Monitor's
+// per-call hook, which forces batch execution onto its exact path — so the
+// harness's exact-call verdicts (fault surfaces at precisely the scheduled
+// GetNext count, cancellation counts no call past At) are asserted
+// unchanged. `coretest.RunChaosBatch(seed)` reproduces any failure.
+func TestChaosInvariantsBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep skipped in -short mode")
+	}
+	for seed := int64(1); seed <= int64(*chaosSchedules); seed++ {
+		if err := coretest.RunChaosBatch(seed); err != nil {
+			t.Fatalf("%v", err)
+		}
+	}
+}
+
+// TestBatchChaosExactMidBatch pins the batch engine's fault placement with
+// hand-built schedules: error and cancel faults at call indices that fall
+// strictly inside a batch (neither the first nor a multiple of the batch
+// size), on every serial corpus entry. The harness asserts the run stops at
+// exactly the scheduled call — a batch engine that only checked faults at
+// batch boundaries would overshoot by up to a batchful and fail here.
+func TestBatchChaosExactMidBatch(t *testing.T) {
+	for _, entry := range coretest.Corpus() {
+		if entry.Parallel {
+			continue // exact-call placement is a serial-plan guarantee
+		}
+		entry := entry
+		t.Run(entry.Label, func(t *testing.T) {
+			for _, ev := range []fault.Event{
+				{At: 7, Kind: fault.ErrorFault},
+				{At: 123, Kind: fault.ErrorFault},
+				{At: 7, Kind: fault.CancelFault},
+				{At: 123, Kind: fault.CancelFault},
+			} {
+				sched := fault.Schedule{Events: []fault.Event{ev}}
+				if err := coretest.RunChaosScheduleBatch(entry, sched); err != nil {
+					t.Fatalf("schedule %q: %v", sched.String(), err)
+				}
+			}
+		})
+	}
+}
+
 // TestChaosScheduleReplay pins the replay contract: a failing seed's
 // schedule can be re-derived and re-run bit-for-bit, and its String form
 // round-trips through Parse.

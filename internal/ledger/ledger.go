@@ -66,8 +66,20 @@ type Snapshot struct {
 // CountCall records one counted GetNext call.
 func (s *Slot) CountCall() { s.returned.Add(1) }
 
+// CountCalls records n counted GetNext calls in one atomic add — the batch
+// executor's bulk credit. Samplers observe the counter jump by n at once,
+// which is indistinguishable from having missed the n-1 intermediate
+// instants of a row-at-a-time run; every bound derivation stays sound
+// because counters remain monotone and children are credited before (or in
+// the same quiesce window as) their parents.
+func (s *Slot) CountCalls(n int64) { s.returned.Add(n) }
+
 // CountDelivered records one row delivered to the parent.
 func (s *Slot) CountDelivered() { s.delivered.Add(1) }
+
+// CountDeliveredN records n rows delivered to the parent in one atomic add
+// (the batch executor's bulk credit, paired with CountCalls).
+func (s *Slot) CountDeliveredN(n int64) { s.delivered.Add(n) }
 
 // MarkDone sets the EOF flag. Counter increments from the finished run
 // happen-before this store (same goroutine, atomic release).

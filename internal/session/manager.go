@@ -295,7 +295,11 @@ func (m *Manager) execute(s *Session) {
 	}
 	release := execCtx.Bind(stdctx)
 	mon.Start(execCtx)
-	rows, err := exec.Run(execCtx, root)
+	// Batch-at-a-time execution: the async monitor samples the ledger from
+	// its own goroutine, so hook-free sessions take the vectorized fast
+	// path; an instrument that installs Inject/OnGetNext automatically
+	// forces the exact row-sequence path.
+	rows, err := exec.RunBatch(execCtx, root)
 	bindErr := release()
 	mon.Stop() // joins the sampler; Samples are stable from here on
 

@@ -19,7 +19,7 @@ func (v Value) AppendBinary(buf []byte) []byte {
 		buf = append(buf, byte(v.i))
 	case KindFloat:
 		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.f))
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.AsFloat()))
 		buf = append(buf, b[:]...)
 	case KindString:
 		buf = binary.AppendUvarint(buf, uint64(len(v.s)))

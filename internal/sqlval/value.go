@@ -51,10 +51,15 @@ func (k Kind) String() string {
 }
 
 // Value is a single SQL value. The zero Value is NULL.
+//
+// The numeric payload is a union: i holds the integer, bool, and date
+// payloads directly, and a float's IEEE-754 bits. Rows are copied in bulk at
+// every pipeline boundary, so Value stays as small as the string header
+// allows (32 bytes); the bits round-trip through math.Float64bits costs
+// nothing on modern hardware.
 type Value struct {
 	kind Kind
-	i    int64 // int, bool (0/1), date (days)
-	f    float64
+	i    int64 // int, bool (0/1), date (days), float64 bits
 	s    string
 }
 
@@ -65,7 +70,7 @@ func Null() Value { return Value{} }
 func Int(v int64) Value { return Value{kind: KindInt, i: v} }
 
 // Float returns a double-precision value.
-func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+func Float(v float64) Value { return Value{kind: KindFloat, i: int64(math.Float64bits(v))} }
 
 // String returns a string value.
 func String(v string) Value { return Value{kind: KindString, s: v} }
@@ -116,7 +121,7 @@ func (v Value) AsInt() int64 {
 func (v Value) AsFloat() float64 {
 	switch v.kind {
 	case KindFloat:
-		return v.f
+		return math.Float64frombits(uint64(v.i))
 	case KindInt, KindDate:
 		return float64(v.i)
 	}
@@ -160,7 +165,7 @@ func (v Value) String() string {
 	case KindInt:
 		return strconv.FormatInt(v.i, 10)
 	case KindFloat:
-		return strconv.FormatFloat(v.f, 'g', -1, 64)
+		return strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)
 	case KindString:
 		return "'" + v.s + "'"
 	case KindBool:
@@ -246,50 +251,62 @@ func cmpFloat(a, b float64) int {
 
 // Equal reports SQL equality treating NULL = NULL as true; use for grouping
 // and hashing (not WHERE semantics, where NULL = NULL is unknown — the
-// expression evaluator handles that distinction).
-func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+// expression evaluator handles that distinction). Same-kind values take a
+// direct field comparison; only mixed numeric kinds fall back to the full
+// total-order comparison — Equal sits on the hash-lookup hot path.
+func Equal(a, b Value) bool {
+	if a.kind == b.kind {
+		switch a.kind {
+		case KindNull:
+			return true
+		case KindInt, KindBool, KindDate:
+			return a.i == b.i
+		case KindFloat:
+			// Via AsFloat, not payload bits: +0 and -0 differ in bits but
+			// compare equal; NaNs compare equal to each other under the
+			// total order.
+			af, bf := a.AsFloat(), b.AsFloat()
+			return af == bf || (math.IsNaN(af) && math.IsNaN(bf))
+		case KindString:
+			return a.s == b.s
+		}
+	}
+	return Compare(a, b) == 0
+}
 
 var hashSeed = maphash.MakeSeed()
 
-// Hash returns a hash of the value consistent with Equal: integers, floats
-// holding integral values, and dates holding the same day hash alike when
-// they compare equal.
+// hashKey is the canonical comparable form a value hashes through: a kind
+// tag plus the payload bits. Integers, floats holding integral values, and
+// bools/dates sharing a payload are tagged so that Equal values produce
+// equal keys.
+type hashKey struct {
+	tag  uint8
+	bits uint64
+}
+
+// Hash returns a hash of the value consistent with Equal: integers and
+// floats holding the same numeric value, and dates holding the same day,
+// hash alike when they compare equal. Hashing goes through
+// maphash.Comparable (the runtime's AES-based hasher) rather than a
+// streaming maphash.Hash: one fused call instead of per-byte writes.
 func Hash(v Value) uint64 {
-	var h maphash.Hash
-	h.SetSeed(hashSeed)
 	switch v.kind {
-	case KindNull:
-		h.WriteByte(0)
-	case KindInt:
-		writeNumeric(&h, float64(v.i))
-	case KindFloat:
-		writeNumeric(&h, v.f)
 	case KindString:
-		h.WriteByte(3)
-		h.WriteString(v.s)
+		return maphash.String(hashSeed, v.s)
+	case KindInt:
+		// Ints hash through their float64 bits, matching Compare's
+		// cross-kind numeric equality (Int(5) == Float(5.0)).
+		return maphash.Comparable(hashSeed, hashKey{tag: 1, bits: math.Float64bits(float64(v.i))})
+	case KindFloat:
+		return maphash.Comparable(hashSeed, hashKey{tag: 1, bits: math.Float64bits(v.AsFloat() + 0)}) // +0 normalizes -0
 	case KindBool:
-		h.WriteByte(4)
-		h.WriteByte(byte(v.i))
+		return maphash.Comparable(hashSeed, hashKey{tag: 4, bits: uint64(v.i)})
 	case KindDate:
-		h.WriteByte(5)
-		writeUint64(&h, uint64(v.i))
+		return maphash.Comparable(hashSeed, hashKey{tag: 5, bits: uint64(v.i)})
+	default:
+		return maphash.Comparable(hashSeed, hashKey{tag: 0})
 	}
-	return h.Sum64()
-}
-
-// writeNumeric hashes ints and equal floats identically, matching Compare's
-// cross-kind numeric equality.
-func writeNumeric(h *maphash.Hash, f float64) {
-	h.WriteByte(1)
-	writeUint64(h, math.Float64bits(f+0)) // +0 normalizes -0 to +0
-}
-
-func writeUint64(h *maphash.Hash, u uint64) {
-	var b [8]byte
-	for i := range b {
-		b[i] = byte(u >> (8 * i))
-	}
-	h.Write(b[:])
 }
 
 // Add returns a+b with SQL NULL propagation. Mixed int/float promotes to

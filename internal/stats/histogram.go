@@ -11,7 +11,7 @@ package stats
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"sqlprogress/internal/sqlval"
@@ -35,13 +35,16 @@ type Histogram struct {
 }
 
 // BuildHistogram constructs an equi-depth histogram with at most maxBuckets
-// buckets over the given column values.
+// buckets over the given column values. It takes ownership of the slice:
+// values are compacted and sorted in place rather than copied, so callers
+// must pass a slice they no longer need (Relation.Column returns a fresh
+// copy).
 func BuildHistogram(values []sqlval.Value, maxBuckets int) *Histogram {
 	if maxBuckets < 1 {
 		maxBuckets = 1
 	}
 	h := &Histogram{Total: int64(len(values))}
-	nonNull := make([]sqlval.Value, 0, len(values))
+	nonNull := values[:0]
 	for _, v := range values {
 		if v.IsNull() {
 			h.NullCount++
@@ -52,7 +55,7 @@ func BuildHistogram(values []sqlval.Value, maxBuckets int) *Histogram {
 	if len(nonNull) == 0 {
 		return h
 	}
-	sort.Slice(nonNull, func(i, j int) bool { return sqlval.Compare(nonNull[i], nonNull[j]) < 0 })
+	slices.SortFunc(nonNull, sqlval.Compare)
 	n := len(nonNull)
 	depth := (n + maxBuckets - 1) / maxBuckets
 	for start := 0; start < n; {

@@ -136,6 +136,13 @@ func (db *DB) Exec(sql string) (*Result, error) {
 // Plan returns the compiled operator tree (for explain-style inspection).
 func (q *Query) Plan() exec.Operator { return q.root }
 
+// Vectorized reports whether every operator in the compiled plan has a
+// native batch-at-a-time path. Plans containing LIMIT, merge joins, or naive
+// nested loops still execute correctly under the batch engine — those
+// operators batch their output while pulling rows — but their subtree pulls
+// stay row-grained.
+func (q *Query) Vectorized() bool { return exec.NativeBatch(q.root) }
+
 // Explain renders the physical plan with runtime counters.
 func (q *Query) Explain() string { return exec.Explain(q.root) }
 
@@ -158,7 +165,10 @@ func (q *Query) RunContext(ctx context.Context) (*Result, error) {
 	}
 	q.used = true
 	q.ctx = exec.NewCtx()
-	rows, err := exec.RunContext(ctx, q.ctx, q.root)
+	// Batch-at-a-time execution: with no per-call hooks installed the run
+	// takes the vectorized fast path; results and final ledger state are
+	// identical to the row engine's.
+	rows, err := exec.RunBatchContext(ctx, q.ctx, q.root)
 	if err != nil {
 		return nil, err
 	}
@@ -313,7 +323,10 @@ func (q *Query) RunWithProgressContext(ctx context.Context, opts ProgressOptions
 		}
 		cb(u)
 	}
-	rows, err := exec.RunContext(ctx, q.ctx, q.root)
+	// The OnGetNext hook forces the batch engine onto its exact path: the
+	// run is call-for-call identical to row-at-a-time execution, so sampling
+	// instants land at precisely the same Curr values.
+	rows, err := exec.RunBatchContext(ctx, q.ctx, q.root)
 	if err != nil {
 		return nil, err
 	}
