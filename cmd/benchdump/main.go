@@ -5,12 +5,14 @@
 // from PR to PR rather than reconstructed from CI logs. Session-service
 // benchmarks (admission + streaming throughput through internal/session)
 // are written separately as BENCH_2.json, ledger and parallel-scan rows as
-// BENCH_3.json, and the vectorized (batch-at-a-time) engine's row-vs-batch
-// comparison as BENCH_4.json.
+// BENCH_3.json, the vectorized (batch-at-a-time) engine's row-vs-batch
+// comparison as BENCH_4.json, and the paged-storage suite — cold vs warm
+// buffer-pool timings plus the estimator errors each regime induces — as
+// BENCH_5.json.
 //
 // Usage:
 //
-//	go run ./cmd/benchdump [-o BENCH_1.json] [-o2 BENCH_2.json] [-o3 BENCH_3.json] [-o4 BENCH_4.json]
+//	go run ./cmd/benchdump [-o BENCH_1.json] [-o2 BENCH_2.json] [-o3 BENCH_3.json] [-o4 BENCH_4.json] [-o5 BENCH_5.json]
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -29,9 +32,10 @@ import (
 	"sqlprogress/internal/coretest"
 	"sqlprogress/internal/datagen"
 	"sqlprogress/internal/exec"
+	"sqlprogress/internal/experiments"
 	"sqlprogress/internal/ledger"
+	"sqlprogress/internal/pager"
 	"sqlprogress/internal/plan"
-	"sqlprogress/internal/schema"
 	"sqlprogress/internal/session"
 	"sqlprogress/internal/tpch"
 )
@@ -47,6 +51,12 @@ type result struct {
 	// Speedup is the wall-clock ratio vs the 1-worker row of the same
 	// experiment (parallel-scan rows only).
 	Speedup float64 `json:"speedup_vs_1_worker,omitempty"`
+	// HitRatio is the buffer-pool hit ratio over the measured run
+	// (paged-storage rows only).
+	HitRatio float64 `json:"hit_ratio,omitempty"`
+	// MaxRatioErr is the pmax estimator's max ratio error under this cache
+	// regime (paged estimation rows only).
+	MaxRatioErr float64 `json:"max_ratio_err,omitempty"`
 }
 
 // dump is the file layout.
@@ -174,17 +184,72 @@ func chaosSweep(n int) result {
 	return res
 }
 
-// parallelScanPlan builds an Exchange over `workers` scan partitions of rel,
-// each simulating paged I/O: a pageDelay stall every pageRows rows. On any
-// machine (even GOMAXPROCS=1) the stalls of different workers overlap, so
-// the wall-clock ratio vs the 1-worker row measures how well the exchange +
-// disjoint-ledger-slot design actually parallelises a scan.
-func parallelScanPlan(rel *schema.Relation, workers, pageRows int, pageDelay time.Duration) exec.Operator {
+// bigScanRows is the cardinality of the shared heap-file relation behind
+// the parallel-scan and paged-cache rows.
+const bigScanRows = 40_000
+
+var bigHeapMem struct {
+	once sync.Once
+	hf   *pager.HeapFile
+}
+
+// bigHeap writes the bigscan relation to a heap file once and keeps it
+// open for every paged row. The temp directory is removed immediately
+// after the open — the held descriptor keeps the pages readable with no
+// cleanup obligation.
+func bigHeap() *pager.HeapFile {
+	bigHeapMem.once.Do(func() {
+		rel := datagen.IntRelation("bigscan", "v", datagen.Sequence(bigScanRows))
+		dir, err := os.MkdirTemp("", "benchdump-heap-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(dir, "bigscan.heap")
+		if err := pager.WriteRelation(path, rel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		hf, err := pager.OpenHeapFile(path)
+		os.RemoveAll(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		bigHeapMem.hf = hf
+	})
+	return bigHeapMem.hf
+}
+
+// stallBackend stands in for disk latency: every physical page read
+// sleeps before delegating. The pool performs physical reads outside its
+// mutex, so stalls of different workers overlap — which is exactly what
+// the scaling rows measure. Close is a no-op because the wrapped heap
+// file is shared across runs.
+type stallBackend struct {
+	inner pager.Backend
+	delay time.Duration
+}
+
+func (s stallBackend) ReadPage(page uint32, buf []byte) error {
+	time.Sleep(s.delay)
+	return s.inner.ReadPage(page, buf)
+}
+func (s stallBackend) NumPages() uint32 { return s.inner.NumPages() }
+func (s stallBackend) Close() error     { return nil }
+
+// parallelScanPlan builds an Exchange over `workers` page-aligned scan
+// partitions of the shared heap file, read through a fresh cold pool
+// whose backend stalls pageDelay per physical page read. On any machine
+// (even GOMAXPROCS=1) the stalls of different workers overlap, so the
+// wall-clock ratio vs the 1-worker row measures how well the exchange +
+// disjoint-ledger-slot design actually parallelises an I/O-bound scan.
+func parallelScanPlan(hf *pager.HeapFile, workers int, pageDelay time.Duration) exec.Operator {
+	pr := pager.NewPagedRelationBackend(hf, pager.NewPool(2*workers+2),
+		stallBackend{hf.Backend(), pageDelay})
 	parts := make([]exec.Operator, workers)
 	for i := range parts {
-		s := exec.NewScanPartition(rel, i, workers)
-		s.SimPageRows = pageRows
-		s.SimPageDelay = pageDelay
+		s := exec.NewStoreScanPartition(pr, i, workers)
 		s.SetEstimatedCard(s.FinalBounds(nil).LB)
 		parts[i] = s
 	}
@@ -196,22 +261,18 @@ func parallelScanPlan(rel *schema.Relation, workers, pageRows int, pageDelay tim
 // by hand (like chaosSweep): the runs are sleep-dominated by design, so
 // testing.Benchmark's auto-scaling would only add minutes of wall time.
 func parallelScanRows(workerCounts []int, runs int, batch bool) []result {
-	const (
-		nRows     = 40_000
-		pageRows  = 400
-		pageDelay = time.Millisecond
-	)
+	const pageDelay = time.Millisecond
 	name, run := "parallel_scan_workers_%d", exec.Run
 	if batch {
 		name, run = "parallel_scan_batch_workers_%d", exec.RunBatch
 	}
-	rel := datagen.IntRelation("bigscan", "v", datagen.Sequence(nRows))
+	hf := bigHeap()
 	var out []result
 	var base float64
 	for _, w := range workerCounts {
 		var elapsed time.Duration
 		for r := 0; r < runs; r++ {
-			op := parallelScanPlan(rel, w, pageRows, pageDelay)
+			op := parallelScanPlan(hf, w, pageDelay)
 			start := time.Now()
 			rows, err := run(exec.NewCtx(), op)
 			elapsed += time.Since(start)
@@ -219,8 +280,8 @@ func parallelScanRows(workerCounts []int, runs int, batch bool) []result {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			if len(rows) != nRows {
-				fmt.Fprintf(os.Stderr, "parallel scan at %d workers: got %d rows, want %d\n", w, len(rows), nRows)
+			if len(rows) != bigScanRows {
+				fmt.Fprintf(os.Stderr, "parallel scan at %d workers: got %d rows, want %d\n", w, len(rows), bigScanRows)
 				os.Exit(1)
 			}
 		}
@@ -242,6 +303,77 @@ func parallelScanRows(workerCounts []int, runs int, batch bool) []result {
 	return out
 }
 
+// pagedCacheRows times the same store scan against a cold and a warm
+// buffer pool (real file reads, no injected stall) and folds in the pager
+// experiment's estimator errors, so one artifact captures both the raw
+// cost of cache misses and what page-weighted accounting does to progress
+// estimates in each regime.
+func pagedCacheRows(runs int) []result {
+	hf := bigHeap()
+	var out []result
+	for _, regime := range []string{"cold", "warm"} {
+		frames := 8
+		if regime == "warm" {
+			frames = int(hf.DataPages()) + 8
+		}
+		var elapsed time.Duration
+		var hits, misses int64
+		for r := 0; r < runs; r++ {
+			pool := pager.NewPool(frames)
+			pr := pager.NewPagedRelation(hf, pool)
+			if regime == "warm" {
+				// Pre-fault every page so the measured run never reads.
+				if _, err := exec.Run(exec.NewCtx(), exec.NewStoreScan(pr)); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			before := pool.Stats()
+			start := time.Now()
+			rows, err := exec.Run(exec.NewCtx(), exec.NewStoreScan(pr))
+			elapsed += time.Since(start)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if len(rows) != bigScanRows {
+				fmt.Fprintf(os.Stderr, "paged %s scan: got %d rows, want %d\n", regime, len(rows), bigScanRows)
+				os.Exit(1)
+			}
+			after := pool.Stats()
+			hits += after.Hits - before.Hits
+			misses += after.Misses - before.Misses
+		}
+		res := result{
+			Name:      "paged_scan_" + regime,
+			NsPerOp:   float64(elapsed.Nanoseconds()) / float64(runs),
+			N:         runs,
+			TotalSecs: elapsed.Seconds(),
+			HitRatio:  float64(hits) / float64(hits+misses),
+		}
+		fmt.Printf("%-28s %12.1f ns/op %8s %6.3f hit ratio\n", res.Name, res.NsPerOp, "", res.HitRatio)
+		out = append(out, res)
+	}
+	// Estimator rows: the pager experiment at the standard scale, one row
+	// per query x cache regime, with pmax's max ratio error as the gated
+	// number (dne's is strictly worse in the cold regime).
+	exp := experiments.Pager(experiments.Defaults())
+	for _, q := range []string{"scan", "hash-join-agg"} {
+		for _, regime := range []string{"cold", "warm"} {
+			res := result{
+				Name:        fmt.Sprintf("pager_est_%s_%s", q, regime),
+				N:           1,
+				HitRatio:    exp.Metrics[q+"_"+regime+"_hit_ratio"],
+				MaxRatioErr: exp.Metrics[q+"_"+regime+"_pmax"],
+			}
+			fmt.Printf("%-28s %12s %8s %6.3f hit ratio  %.3f pmax ratio\n",
+				res.Name, "", "", res.HitRatio, res.MaxRatioErr)
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
 func maxF(a, b float64) float64 {
 	if a > b {
 		return a
@@ -254,6 +386,7 @@ func main() {
 	out2 := flag.String("o2", "BENCH_2.json", "session-service output path")
 	out3 := flag.String("o3", "BENCH_3.json", "ledger + parallel-scan output path")
 	out4 := flag.String("o4", "BENCH_4.json", "vectorized-engine output path")
+	out5 := flag.String("o5", "BENCH_5.json", "paged-storage output path")
 	chaosN := flag.Int("chaos", 500, "fault schedules in the chaos sweep (0 = skip)")
 	flag.Parse()
 
@@ -416,6 +549,12 @@ func main() {
 	})
 	vecResults = append(vecResults, parallelScanRows([]int{1, 2, 4, 8}, 3, true)...)
 	writeDump(*out4, vecResults)
+
+	// Paged-storage benchmarks: the disk-backed subsystem's artifact —
+	// cold vs warm pool timings with hit ratios, plus the estimator
+	// errors each cache regime induces (the I/O-bound scenario the pager
+	// PR makes measurable).
+	writeDump(*out5, pagedCacheRows(3))
 }
 
 // sink defeats dead-code elimination in the sample-path benchmarks.

@@ -1,8 +1,11 @@
 // Command benchgate guards the vectorized executor's allocation budget in
 // CI. It re-runs the batch INL-join benchmark through testing.Benchmark and
-// compares allocs/op against the checked-in BENCH_4.json artifact, failing
+// compares allocs/op against a checked-in BENCH_N.json artifact, failing
 // when the measured count exceeds the recorded one by more than the slack
-// factor. Only allocations are gated: allocs/op is deterministic for this
+// factor. With no -f, the newest artifact containing the gated row is used
+// (numbered artifacts are suite-specific — BENCH_5 holds paged-storage
+// rows, not the INL-join row — so the gate scans newest-first for its
+// row). Only allocations are gated: allocs/op is deterministic for this
 // workload, while wall-clock varies too much across CI machines to gate
 // without flakes (ns/op is printed for information only).
 package main
@@ -12,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"testing"
 
 	sqlprogress "sqlprogress"
@@ -41,31 +46,70 @@ func synthPlan(n int) exec.Operator {
 	return b.Scan("r1").INLJoin("r2", "b", "a", exec.InnerJoin).Op
 }
 
+// rowIn reads a dump file and returns the named row's allocs/op, or -1 if
+// the file lacks that row.
+func rowIn(file, row string) (int64, error) {
+	buf, err := os.ReadFile(file)
+	if err != nil {
+		return -1, err
+	}
+	var d dump
+	if err := json.Unmarshal(buf, &d); err != nil {
+		return -1, fmt.Errorf("%s: %v", file, err)
+	}
+	for _, r := range d.Results {
+		if r.Name == row {
+			return r.AllocsOp, nil
+		}
+	}
+	return -1, nil
+}
+
+// newestBaseline scans the checked-in BENCH_*.json artifacts newest-first
+// (highest number first) and returns the first one holding the gated row.
+func newestBaseline(row string) (string, int64, error) {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return "", -1, err
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(files)))
+	for _, f := range files {
+		base, err := rowIn(f, row)
+		if err != nil {
+			return "", -1, err
+		}
+		if base >= 0 {
+			return f, base, nil
+		}
+	}
+	return "", -1, fmt.Errorf("no BENCH_*.json artifact has a row named %q", row)
+}
+
 func main() {
-	file := flag.String("f", "BENCH_4.json", "benchmark artifact to gate against")
+	file := flag.String("f", "", "benchmark artifact to gate against (default: newest BENCH_*.json holding the row)")
 	row := flag.String("row", "exec_inl_join_batch", "artifact row holding the baseline")
 	slack := flag.Float64("slack", 1.10, "allowed allocs/op growth factor")
 	flag.Parse()
 
-	buf, err := os.ReadFile(*file)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	var d dump
-	if err := json.Unmarshal(buf, &d); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", *file, err)
-		os.Exit(1)
-	}
-	base := int64(-1)
-	for _, r := range d.Results {
-		if r.Name == *row {
-			base = r.AllocsOp
+	var base int64
+	var err error
+	if *file == "" {
+		*file, base, err = newestBaseline(*row)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
 		}
-	}
-	if base < 0 {
-		fmt.Fprintf(os.Stderr, "%s: no row named %q\n", *file, *row)
-		os.Exit(1)
+		fmt.Printf("gating against %s\n", *file)
+	} else {
+		base, err = rowIn(*file, *row)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		if base < 0 {
+			fmt.Fprintf(os.Stderr, "%s: no row named %q\n", *file, *row)
+			os.Exit(1)
+		}
 	}
 
 	const rows = 20_000

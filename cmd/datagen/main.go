@@ -7,28 +7,37 @@
 //	datagen -db tpch -sf 0.01 -z 2
 //	datagen -db skyserver -rows 40000
 //	datagen -db synth -n 30000 -z 2     # the Section 5 R1/R2 pair
+//	datagen -db tpch -heap-out ./heap   # also materialize pager heap files
+//
+// With -heap-out, every generated table is additionally written as a pager
+// heap file (<dir>/<table>.heap) ready for Catalog.AttachHeapFile — the
+// loader for the disk-backed storage backend.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"sqlprogress/internal/catalog"
 	"sqlprogress/internal/datagen"
+	"sqlprogress/internal/pager"
+	"sqlprogress/internal/schema"
 	"sqlprogress/internal/skyserver"
 	"sqlprogress/internal/tpch"
 )
 
 func main() {
 	var (
-		dbKind = flag.String("db", "tpch", "database: tpch | skyserver | synth")
-		sf     = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		z      = flag.Float64("z", 2, "zipf skew")
-		seed   = flag.Int64("seed", 42, "generation seed")
-		rows   = flag.Int64("rows", 40000, "SkyServer photoobj rows")
-		n      = flag.Int("n", 30000, "synthetic pair size |R1| = |R2|")
+		dbKind  = flag.String("db", "tpch", "database: tpch | skyserver | synth")
+		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		z       = flag.Float64("z", 2, "zipf skew")
+		seed    = flag.Int64("seed", 42, "generation seed")
+		rows    = flag.Int64("rows", 40000, "SkyServer photoobj rows")
+		n       = flag.Int("n", 30000, "synthetic pair size |R1| = |R2|")
+		heapOut = flag.String("heap-out", "", "directory to write pager heap files into (one <table>.heap per table)")
 	)
 	flag.Parse()
 
@@ -38,10 +47,12 @@ func main() {
 		describe(cat)
 		skewReport(cat, "orders", "o_custkey")
 		skewReport(cat, "lineitem", "l_partkey")
+		writeHeapFiles(*heapOut, catRelations(cat)...)
 	case "skyserver":
 		cat := skyserver.Generate(skyserver.Config{PhotoObj: *rows, Seed: *seed})
 		describe(cat)
 		skewReport(cat, "photoobj", "type")
+		writeHeapFiles(*heapOut, catRelations(cat)...)
 	case "synth":
 		pair := datagen.NewSkewPair(*n, int64(*n), *z, *seed)
 		fmt.Printf("r1: %d rows (unique keys 0..%d)\n", pair.R1.Cardinality(), *n-1)
@@ -51,9 +62,48 @@ func main() {
 			fmt.Printf("  key %d -> %d (%.1f%% of all work)\n",
 				k, pair.Fanout[k], 100*float64(pair.Fanout[k])/float64(pair.R2.Cardinality()))
 		}
+		writeHeapFiles(*heapOut, pair.R1, pair.R2)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown db %q\n", *dbKind)
 		os.Exit(2)
+	}
+}
+
+// catRelations returns every in-memory relation of the catalog.
+func catRelations(cat *catalog.Catalog) []*schema.Relation {
+	var rels []*schema.Relation
+	for _, t := range cat.TableNames() {
+		if rel, err := cat.Relation(t); err == nil {
+			rels = append(rels, rel)
+		}
+	}
+	return rels
+}
+
+// writeHeapFiles materializes relations as pager heap files under dir
+// (no-op when dir is empty).
+func writeHeapFiles(dir string, rels ...*schema.Relation) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("heap files:")
+	for _, rel := range rels {
+		path := filepath.Join(dir, rel.Name+".heap")
+		if err := pager.WriteRelation(path, rel); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		hf, err := pager.OpenHeapFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: verify: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-24s %8d rows  %6d data pages\n", path, hf.Rows(), hf.DataPages())
+		hf.Close()
 	}
 }
 

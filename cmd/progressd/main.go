@@ -47,6 +47,9 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "default per-query deadline (0 = none)")
 		keepRows   = flag.Int("keep-rows", 50, "result rows retained per session")
 		stallAfter = flag.Duration("stall-after", 0, "flag sessions whose call counter stops advancing for this long (0 = watchdog off)")
+		spill      = flag.Bool("spill", false, "serve the dataset from disk-backed paged storage through a shared buffer pool")
+		poolFrames = flag.Int("pool-frames", 0, "buffer pool frames when spilled (0 = pager default)")
+		readCost   = flag.Int64("read-cost", 0, "extra GetNext units charged per physical page read (0 = pure row accounting)")
 	)
 	flag.Parse()
 
@@ -65,6 +68,28 @@ func main() {
 	}
 	log.Printf("generated %s dataset in %v (tables: %v)", *dataset, time.Since(start).Round(time.Millisecond), db.Tables())
 
+	if *spill {
+		dir, err := os.MkdirTemp("", "progressd-heap-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.SpillToDisk(dir, *poolFrames); err != nil {
+			log.Fatal(err)
+		}
+		// The open heap-file descriptors keep the data readable; removing
+		// the directory now means nothing is left behind even on SIGKILL.
+		os.RemoveAll(dir)
+		if *readCost > 0 {
+			for _, t := range db.Tables() {
+				if err := db.SetReadCost(t, *readCost); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		log.Printf("spilled to paged storage: pool %d frames, read cost %d (progress events now carry pool counters)",
+			db.BufferPool().Capacity(), *readCost)
+	}
+
 	mgr := session.New(db.Catalog(), session.Config{
 		MaxConcurrent:   *maxConc,
 		MaxQueue:        *maxQueue,
@@ -72,6 +97,7 @@ func main() {
 		DefaultDeadline: *deadline,
 		KeepRows:        *keepRows,
 		StallAfter:      *stallAfter,
+		Pool:            db.BufferPool(),
 	})
 	httpSrv := &http.Server{Handler: server.New(mgr)}
 

@@ -34,6 +34,9 @@ func main() {
 		estimator = flag.String("estimator", "safe", "headline estimator: dne | pmax | safe | trivial | hybrid-mu | hybrid-var")
 		explain   = flag.Bool("explain", false, "print the physical plan and exit")
 		maxRows   = flag.Int("max-rows", 10, "result rows to print")
+		paged     = flag.Bool("paged", false, "spill the database to disk-backed paged storage before running")
+		frames    = flag.Int("pool-frames", 0, "buffer pool frames when -paged (0 = pager default)")
+		readCost  = flag.Int64("read-cost", 0, "extra GetNext units per physical page read when -paged")
 	)
 	flag.Parse()
 
@@ -48,6 +51,26 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown db %q\n", *dbKind)
 		os.Exit(2)
+	}
+
+	if *paged {
+		dir, err := os.MkdirTemp("", "sqlrun-heap-")
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.SpillToDisk(dir, *frames); err != nil {
+			fatal(err)
+		}
+		// Open descriptors keep the heap files readable for the process
+		// lifetime; removing the directory now leaves nothing behind.
+		os.RemoveAll(dir)
+		if *readCost > 0 {
+			for _, t := range db.Tables() {
+				if err := db.SetReadCost(t, *readCost); err != nil {
+					fatal(err)
+				}
+			}
+		}
 	}
 
 	if *repl {
@@ -111,6 +134,9 @@ func main() {
 	fmt.Printf("\rprogress 100.0%%%40s\n\n", "")
 
 	fmt.Printf("%d row(s); total GetNext calls = %d; mu = %.3f\n", len(res.Rows), res.TotalCalls, res.Mu)
+	if st, ok := db.PoolStats(); ok {
+		fmt.Printf("buffer pool: %s\n", st)
+	}
 	fmt.Println(strings.Join(res.Columns, " | "))
 	for i, r := range res.Rows {
 		if i >= *maxRows {

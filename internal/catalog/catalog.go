@@ -24,9 +24,11 @@ type ForeignKey struct {
 	ParentTable, ParentColumn string
 }
 
-// Catalog is an in-memory database instance.
+// Catalog is a database instance: in-memory relations plus disk-backed
+// stores (see store.go for the storage binding).
 type Catalog struct {
 	relations map[string]*schema.Relation
+	stores    map[string]schema.Store // disk-backed tables (no in-memory relation)
 	hashIdx   map[string]map[string]*index.Hash    // table -> column -> index
 	orderIdx  map[string]map[string]*index.Ordered // table -> column -> index
 	tblStats  map[string]*stats.TableStats
@@ -43,6 +45,7 @@ func New(gen stats.Generator) *Catalog {
 	}
 	return &Catalog{
 		relations: make(map[string]*schema.Relation),
+		stores:    make(map[string]schema.Store),
 		hashIdx:   make(map[string]map[string]*index.Hash),
 		orderIdx:  make(map[string]map[string]*index.Ordered),
 		tblStats:  make(map[string]*stats.TableStats),
@@ -59,6 +62,7 @@ func key(s string) string { return strings.ToLower(s) }
 func (c *Catalog) AddRelation(rel *schema.Relation) {
 	k := key(rel.Name)
 	c.relations[k] = rel
+	delete(c.stores, k)
 	delete(c.hashIdx, k)
 	delete(c.orderIdx, k)
 	c.tblStats[k] = c.generator.Generate(rel)
@@ -82,11 +86,15 @@ func (c *Catalog) MustRelation(name string) *schema.Relation {
 	return rel
 }
 
-// TableNames lists registered tables in sorted order.
+// TableNames lists registered tables (in-memory and disk-backed) in sorted
+// order.
 func (c *Catalog) TableNames() []string {
-	names := make([]string, 0, len(c.relations))
+	names := make([]string, 0, len(c.relations)+len(c.stores))
 	for _, rel := range c.relations {
 		names = append(names, rel.Name)
+	}
+	for _, st := range c.stores {
+		names = append(names, st.StoreName())
 	}
 	sort.Strings(names)
 	return names
@@ -163,11 +171,11 @@ func (c *Catalog) Stats(table string) *stats.TableStats {
 // base-table cardinalities are "accurately available from the database
 // catalogs"); -1 when the table is unknown.
 func (c *Catalog) Cardinality(table string) int64 {
-	rel, ok := c.relations[key(table)]
-	if !ok {
+	st, err := c.Store(table)
+	if err != nil {
 		return -1
 	}
-	return rel.Cardinality()
+	return st.Cardinality()
 }
 
 // DeclareUnique marks table.column as unique (a key).
@@ -207,10 +215,13 @@ func (c *Catalog) ForeignKeys() []ForeignKey { return c.fks }
 // existed.
 func (c *Catalog) DropTable(name string) bool {
 	k := key(name)
-	if _, ok := c.relations[k]; !ok {
+	_, isRel := c.relations[k]
+	_, isStore := c.stores[k]
+	if !isRel && !isStore {
 		return false
 	}
 	delete(c.relations, k)
+	delete(c.stores, k)
 	delete(c.hashIdx, k)
 	delete(c.orderIdx, k)
 	delete(c.tblStats, k)

@@ -1,0 +1,66 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlprogress/internal/pager"
+	"sqlprogress/internal/schema"
+)
+
+// This file is the table → storage binding: a catalog table is either an
+// in-memory relation (AddRelation) or a disk-backed store (AddStore /
+// AttachHeapFile). Scans go through the schema.Store seam either way; the
+// in-memory-only facilities — secondary indexes, histograms, permuted
+// scans — remain restricted to relations, exactly the split a real engine
+// makes between heap storage and derived structures.
+
+// AddStore registers a non-memory store (e.g. a pager.PagedRelation) as a
+// table. It replaces any previous table of the same name.
+func (c *Catalog) AddStore(st schema.Store) {
+	k := key(st.StoreName())
+	c.DropTable(st.StoreName())
+	c.stores[k] = st
+}
+
+// Store resolves a table to its scannable storage: the in-memory relation
+// when one is registered, a disk-backed store otherwise.
+func (c *Catalog) Store(name string) (schema.Store, error) {
+	if rel, ok := c.relations[key(name)]; ok {
+		return rel, nil
+	}
+	if st, ok := c.stores[key(name)]; ok {
+		return st, nil
+	}
+	return nil, fmt.Errorf("catalog: unknown table %q (have %s)", name, strings.Join(c.TableNames(), ", "))
+}
+
+// MustStore is Store that panics; for programmatic plan construction.
+func (c *Catalog) MustStore(name string) schema.Store {
+	st, err := c.Store(name)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// PagedRelation returns the named table's paged store, or nil when the
+// table is not disk-backed (used by tooling that tunes read costs).
+func (c *Catalog) PagedRelation(name string) *pager.PagedRelation {
+	pr, _ := c.stores[key(name)].(*pager.PagedRelation)
+	return pr
+}
+
+// AttachHeapFile opens the heap file at path, binds it to pool, and
+// registers it under the relation name stored in the file. The returned
+// PagedRelation is also registered as the table's store, so plans built
+// against this catalog scan it through the buffer pool.
+func (c *Catalog) AttachHeapFile(path string, pool *pager.Pool) (*pager.PagedRelation, error) {
+	hf, err := pager.OpenHeapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pr := pager.NewPagedRelation(hf, pool)
+	c.AddStore(pr)
+	return pr, nil
+}

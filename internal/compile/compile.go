@@ -329,7 +329,9 @@ func (c *compiler) flattenFrom(sel *sqlparse.Select) ([]fromEntry, error) {
 	c.aliases = map[string]string{}
 	var out []fromEntry
 	add := func(table, alias, kind string, on sqlparse.Node) error {
-		if _, err := c.cat.Relation(table); err != nil {
+		// Resolve through the storage seam: a scanned table may be an
+		// in-memory relation or a disk-backed store (pager heap file).
+		if _, err := c.cat.Store(table); err != nil {
 			return err
 		}
 		if alias != "" {
@@ -425,11 +427,11 @@ func (c *compiler) resolveTable(col *sqlparse.ColNode) string {
 	}
 	found := ""
 	for _, t := range c.cat.TableNames() {
-		rel, err := c.cat.Relation(t)
+		st, err := c.cat.Store(t)
 		if err != nil {
 			continue
 		}
-		if i, err := rel.Sch.ColIndex("", col.Name); err == nil && i >= 0 {
+		if i, err := st.Schema().ColIndex("", col.Name); err == nil && i >= 0 {
 			if found != "" {
 				return "" // ambiguous
 			}

@@ -3,6 +3,7 @@ package compile
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"sqlprogress/internal/coretest"
 	"sqlprogress/internal/exec"
 	"sqlprogress/internal/expr"
+	"sqlprogress/internal/pager"
 	"sqlprogress/internal/schema"
 	"sqlprogress/internal/sqlval"
 )
@@ -373,6 +375,48 @@ func fuzzBatchVsRow(t *testing.T, seed int64) {
 	}
 }
 
+// fuzzPagedVsMem compiles seed-random queries against two catalogs holding
+// identical data — one keeping t1 in memory, the other serving it from a
+// heap file through a cold buffer pool — and asserts full observational
+// equivalence via the paged differential: identical result rows, identical
+// total GetNext calls, identical final ledger snapshots, and
+// bitwise-identical dne/pmax/safe estimator trails at every counted call,
+// under both the row and the batch engine. t2 stays in-memory on both
+// sides: EXISTS subqueries build a hash index over the inner table, an
+// in-memory-only facility.
+func fuzzPagedVsMem(t *testing.T, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	db := newFuzzDB(r)
+	p := randPred(r)
+	pagedCat := catalog.New(nil)
+	path := filepath.Join(t.TempDir(), "t1.heap")
+	if err := pager.WriteRelation(path, db.cat.MustRelation("t1")); err != nil {
+		t.Fatalf("write heap: %v", err)
+	}
+	if _, err := pagedCat.AttachHeapFile(path, pager.NewPool(4)); err != nil {
+		t.Fatalf("attach heap: %v", err)
+	}
+	pagedCat.AddRelation(db.cat.MustRelation("t2"))
+	queries := []string{
+		fmt.Sprintf("SELECT a, b, c FROM t1 WHERE %s", p.sql()),
+		"SELECT b, COUNT(*), SUM(c), MAX(c) FROM t1 GROUP BY b ORDER BY b",
+		"SELECT a, e FROM t1, t2 WHERE a = d",
+		"SELECT b, SUM(e) FROM t1 JOIN t2 ON a = d GROUP BY b ORDER BY b LIMIT 3",
+		"SELECT a, c FROM t1 WHERE EXISTS (SELECT 1 FROM t2 WHERE t2.d = t1.a)",
+	}
+	for _, sql := range queries {
+		sql := sql
+		build := func(cat *catalog.Catalog) exec.Operator {
+			op, err := CompileSQL(cat, sql)
+			if err != nil {
+				t.Fatalf("compile %q: %v", sql, err)
+			}
+			return op
+		}
+		coretest.CheckPagedEquivalence(t, sql, db.cat, pagedCat, build, false)
+	}
+}
+
 // fuzzFamilies dispatches a fuzz input's kind byte to one query family.
 var fuzzFamilies = []func(*testing.T, int64){
 	fuzzFilterProjection,
@@ -383,9 +427,10 @@ var fuzzFamilies = []func(*testing.T, int64){
 	fuzzProgressInvariants,
 	fuzzExchangeParallel,
 	fuzzBatchVsRow,
+	fuzzPagedVsMem,
 }
 
-// FuzzDifferential is the native-fuzzing entry point over all eight
+// FuzzDifferential is the native-fuzzing entry point over all nine
 // differential families: the fuzzer explores (seed, family) pairs, every
 // one of which must produce results identical to the naive evaluator (and
 // clean progress invariants for the invariant families). The checked-in
@@ -444,5 +489,11 @@ func TestFuzzExchangeParallel(t *testing.T) {
 func TestFuzzBatchVsRow(t *testing.T) {
 	for seed := int64(700); seed < 712; seed++ {
 		fuzzBatchVsRow(t, seed)
+	}
+}
+
+func TestFuzzPagedVsMem(t *testing.T) {
+	for seed := int64(800); seed < 812; seed++ {
+		fuzzPagedVsMem(t, seed)
 	}
 }

@@ -184,7 +184,10 @@ func refineWithRuntime(b exec.CardBounds, observed int64, pinned bool) exec.Card
 // (Section 5.2). Leaves inside rescanned nested-loops inners are excluded.
 // For leaves whose exact cardinality is not static (range scans without
 // runtime completion), the lower bound is used, keeping mu's guarantee
-// direction intact (mu computed this way can only over-estimate).
+// direction intact (mu computed this way can only over-estimate). Weighted
+// leaves (paged scans charging physical-read units) have their ledger
+// count deflated by the worst-case unit charge for the same reason: the
+// denominator must never exceed the rows actually scanned.
 func ScannedLeafCardinality(root exec.Operator) int64 {
 	var total int64
 	var walk func(op exec.Operator, underRescan bool)
@@ -195,7 +198,13 @@ func ScannedLeafCardinality(root exec.Operator) int64 {
 			lb := b.LB
 			rt := op.Runtime().Snapshot()
 			if rt.Done && rt.Rescans == 0 {
-				lb = rt.Returned
+				ret := rt.Returned
+				if wl, ok := op.(exec.WeightedLeaf); ok {
+					ret -= wl.MaxReadUnits()
+				}
+				if ret > lb {
+					lb = ret
+				}
 			}
 			total += lb
 			return

@@ -7,9 +7,11 @@ import (
 	"sync"
 	"time"
 
+	"sqlprogress/internal/catalog"
 	"sqlprogress/internal/core"
 	"sqlprogress/internal/exec"
 	"sqlprogress/internal/fault"
+	"sqlprogress/internal/pager"
 )
 
 // chaosEstimators builds the estimator set every chaos run samples. Fresh
@@ -88,7 +90,7 @@ func runChaos(seed int64, batch bool) error {
 		engine = "batch"
 	}
 	sched := fault.Generate(seed, chaosProfile(horizon))
-	if err := runChaosSchedule(entry, sched, batch); err != nil {
+	if err := runChaosSchedule(entry, sched, batch, nil); err != nil {
 		return fmt.Errorf("chaos seed %d [%s/%s] schedule %q: %w", seed, entry.Label, engine, sched.String(), err)
 	}
 	return nil
@@ -101,16 +103,16 @@ func runChaos(seed int64, batch bool) error {
 // actually fired and checks both sample series against the paper's
 // guarantees.
 func RunChaosSchedule(entry CorpusEntry, sched fault.Schedule) error {
-	return runChaosSchedule(entry, sched, false)
+	return runChaosSchedule(entry, sched, false, nil)
 }
 
 // RunChaosScheduleBatch is RunChaosSchedule under the batch engine (see
 // RunChaosBatch for why the exact-call verdicts carry over).
 func RunChaosScheduleBatch(entry CorpusEntry, sched fault.Schedule) error {
-	return runChaosSchedule(entry, sched, true)
+	return runChaosSchedule(entry, sched, true, nil)
 }
 
-func runChaosSchedule(entry CorpusEntry, sched fault.Schedule, batch bool) error {
+func runChaosSchedule(entry CorpusEntry, sched fault.Schedule, batch bool, pages []*fault.PageBackend) error {
 	root := entry.Build()
 	ctx := exec.NewCtx()
 	inj := fault.NewInjector(sched)
@@ -141,7 +143,25 @@ func runChaosSchedule(entry CorpusEntry, sched fault.Schedule, batch bool) error
 			cancelEv = &inj.Fired()[i]
 		}
 	}
+	pageErr := false
+	for _, pb := range pages {
+		if pb.FiredError() {
+			pageErr = true
+		}
+	}
 	switch {
+	case pageErr:
+		// A physical page-read error is terminal, but it races the
+		// call-indexed faults (and, under parallel plans, sibling workers)
+		// for which terminal error surfaces first — any of the three is an
+		// acceptable outcome, a clean completion or an unrelated error is
+		// not.
+		if runErr == nil {
+			return fmt.Errorf("page-read error fault fired but run completed cleanly")
+		}
+		if !errors.Is(runErr, fault.ErrPageFault) && !errors.Is(runErr, fault.ErrInjected) && !errors.Is(runErr, exec.ErrCanceled) {
+			return fmt.Errorf("page-read fault fired but run returned unrelated error %v", runErr)
+		}
 	case entry.Parallel:
 		// Parallel plans relax the exact-call accounting: a worker that
 		// triggers a terminal fault cannot stop its siblings' in-flight
@@ -213,6 +233,115 @@ func runChaosSchedule(entry CorpusEntry, sched fault.Schedule, batch bool) error
 		if err := s.Check(); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// chaosPagedReadCost makes paged chaos runs charge weighted physical-read
+// units, so cancellation and sampling instants land between a page's read
+// and its rows — the "cancel mid-page" failure mode.
+const chaosPagedReadCost = 2
+
+// RunChaosPaged executes one seeded chaos schedule against the paged
+// differential corpus: entry, call-indexed fault schedule, and physical
+// page-read faults (exact-page errors and latency spikes on the
+// pager.Backend seam) all derive deterministically from seed. Each run
+// scans the shared heap files through a fresh cold buffer pool behind a
+// fresh fault wrapper, so replays see identical physical read sequences.
+func RunChaosPaged(seed int64) error {
+	return runChaosPaged(seed, false)
+}
+
+// RunChaosPagedBatch is RunChaosPaged driving the batch engine.
+func RunChaosPagedBatch(seed int64) error {
+	return runChaosPaged(seed, true)
+}
+
+// chaosPagedCatalog builds a per-run catalog over the fixture's heap files:
+// fresh pool, optional fault-wrapped backends, weighted read cost. Backends
+// may be nil (no page faults armed).
+func chaosPagedCatalog(f *pagedFixture, b1, b2 pager.Backend) (*catalog.Catalog, error) {
+	cat, err := corpusSideCatalog()
+	if err != nil {
+		return nil, err
+	}
+	pool := pager.NewPool(pagedTwinFrames)
+	for _, t := range []struct {
+		hf *pager.HeapFile
+		b  pager.Backend
+	}{{f.hf1, b1}, {f.hf2, b2}} {
+		var pr *pager.PagedRelation
+		if t.b != nil {
+			pr = pager.NewPagedRelationBackend(t.hf, pool, t.b)
+		} else {
+			pr = pager.NewPagedRelation(t.hf, pool)
+		}
+		pr.SetReadCost(chaosPagedReadCost)
+		cat.AddStore(pr)
+	}
+	return cat, nil
+}
+
+// pagedFaultsFor derives this run's physical fault points for one heap
+// file: with probability ~0.2 an exact-page read error, ~0.2 a latency
+// spike, on a seed-chosen data page.
+func pagedFaultsFor(rng *rand.Rand, hf *pager.HeapFile) []fault.PageFault {
+	if hf.DataPages() == 0 {
+		return nil
+	}
+	page := hf.DataStart() + uint32(rng.Intn(int(hf.DataPages())))
+	switch roll := rng.Float64(); {
+	case roll < 0.2:
+		return []fault.PageFault{{Page: page, Fail: true}}
+	case roll < 0.4:
+		return []fault.PageFault{{Page: page, Stall: 200 * time.Microsecond}}
+	}
+	return nil
+}
+
+func runChaosPaged(seed int64, batch bool) error {
+	rng := rand.New(rand.NewSource(seed))
+	corpus := PagedCorpus()
+	pe := corpus[rng.Intn(len(corpus))]
+	f, err := fixture()
+	if err != nil {
+		return err
+	}
+
+	// The horizon comes from a fault-free run over a fresh cold pool: with
+	// page-aligned partitions every data page is read exactly once however
+	// the workers interleave, so the weighted total is deterministic and
+	// memoizable per label.
+	label := "paged-chaos/" + pe.Label
+	cleanEntry := CorpusEntry{Label: label, Parallel: pe.Parallel, Build: func() exec.Operator {
+		cat, err := chaosPagedCatalog(f, nil, nil)
+		if err != nil {
+			panic(err)
+		}
+		return pe.Build(cat)
+	}}
+	horizon, err := cleanTotal(cleanEntry)
+	if err != nil {
+		return err
+	}
+
+	pb1 := fault.WrapBackend(f.hf1.Backend(), pagedFaultsFor(rng, f.hf1)...)
+	pb2 := fault.WrapBackend(f.hf2.Backend(), pagedFaultsFor(rng, f.hf2)...)
+	cat, err := chaosPagedCatalog(f, pb1, pb2)
+	if err != nil {
+		return err
+	}
+	entry := CorpusEntry{Label: label, Parallel: pe.Parallel, Build: func() exec.Operator {
+		return pe.Build(cat)
+	}}
+
+	engine := "row"
+	if batch {
+		engine = "batch"
+	}
+	sched := fault.Generate(seed, chaosProfile(horizon))
+	if err := runChaosSchedule(entry, sched, batch, []*fault.PageBackend{pb1, pb2}); err != nil {
+		return fmt.Errorf("paged chaos seed %d [%s/%s] schedule %q: %w", seed, entry.Label, engine, sched.String(), err)
 	}
 	return nil
 }

@@ -1,0 +1,350 @@
+package coretest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sqlprogress/internal/catalog"
+	"sqlprogress/internal/core"
+	"sqlprogress/internal/datagen"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/expr"
+	"sqlprogress/internal/ledger"
+	"sqlprogress/internal/pager"
+	"sqlprogress/internal/plan"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// This file is the executable statement of the storage seam's claim: at the
+// default read cost a disk-backed paged scan is observationally equivalent
+// to an in-memory scan for everything the paper's progress machinery can
+// see. The same plan built over the same data — once against in-memory
+// relations, once against pager heap files behind a deliberately tiny
+// buffer pool — must produce identical results, identical total GetNext
+// calls, identical per-node ledger state, and bitwise-identical
+// dne/pmax/safe trails, under both the row and the batch engine. Buffer
+// pool hits, misses and evictions may differ run to run; none of it may
+// leak into the ledger.
+
+// padRelation builds a relation of (key INT, s VARCHAR) rows with a fixed
+// 120-byte pad column, so a few hundred rows span several 8 KiB pages and
+// a small pool is forced to evict mid-scan.
+func padRelation(name, col string, keys []int64) *schema.Relation {
+	rel := schema.NewRelation(name, schema.New(
+		schema.Column{Name: col, Type: sqlval.KindInt},
+		schema.Column{Name: "s", Type: sqlval.KindString},
+	))
+	for i, k := range keys {
+		pad := fmt.Sprintf("%-120s", fmt.Sprintf("%s-%06d", name, i))
+		rel.Append(schema.Row{sqlval.Int(k), sqlval.String(pad)})
+	}
+	return rel
+}
+
+// pagedTwinFrames keeps the shared pool much smaller than p2's page count,
+// so every serial cold scan misses and rescans evict.
+const pagedTwinFrames = 4
+
+var pagedTwins = struct {
+	once       sync.Once
+	mem, paged *catalog.Catalog
+	err        error
+}{}
+
+// twinCatalogs returns two catalogs over identical data: in mem, tables p1
+// (80 unique-keyed rows) and p2 (480 zipf-skewed rows) are in-memory
+// relations; in paged they are heap files behind one shared 4-frame buffer
+// pool. Both also carry the corpus relations r1/r2 in memory for index and
+// build sides, with identical key declarations. The heap files live in a
+// private temp dir that is deleted immediately after attach — the open
+// descriptors keep the data readable for the process lifetime, so no file
+// ever outlives the test run.
+func twinCatalogs(t testing.TB) (mem, paged *catalog.Catalog) {
+	t.Helper()
+	pagedTwins.once.Do(func() { pagedTwins.mem, pagedTwins.paged, pagedTwins.err = buildTwinCatalogs() })
+	if pagedTwins.err != nil {
+		t.Fatalf("coretest: building paged twin catalogs: %v", pagedTwins.err)
+	}
+	return pagedTwins.mem, pagedTwins.paged
+}
+
+// twinRelations builds the paged corpus data: a unique-keyed p1 and a
+// zipf-skewed p2 whose padded rows span several pages each.
+func twinRelations() (p1, p2 *schema.Relation) {
+	return padRelation("p1", "a", datagen.Sequence(80)),
+		padRelation("p2", "b", datagen.ZipfValues(80, 480, 1.5, 3))
+}
+
+// pagedFixture holds the corpus's on-disk twin data, written once per
+// process: the in-memory reference relations and their open heap files.
+// The temp dir holding the files is deleted immediately after open — the
+// descriptors keep the data readable for the process lifetime, so no file
+// ever outlives the test run. The open heap files are shared by the
+// differential catalogs and by every chaos run (each of which brings its
+// own pool and, for fault runs, its own backend wrapper).
+type pagedFixture struct {
+	p1, p2   *schema.Relation
+	hf1, hf2 *pager.HeapFile
+}
+
+var pagedFix = struct {
+	once sync.Once
+	f    *pagedFixture
+	err  error
+}{}
+
+func fixture() (*pagedFixture, error) {
+	pagedFix.once.Do(func() { pagedFix.f, pagedFix.err = buildFixture() })
+	return pagedFix.f, pagedFix.err
+}
+
+func buildFixture() (*pagedFixture, error) {
+	f := &pagedFixture{}
+	f.p1, f.p2 = twinRelations()
+	dir, err := os.MkdirTemp("", "sqlprogress-paged-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	open := func(rel *schema.Relation) (*pager.HeapFile, error) {
+		path := filepath.Join(dir, rel.Name+".heap")
+		if err := pager.WriteRelation(path, rel); err != nil {
+			return nil, err
+		}
+		return pager.OpenHeapFile(path)
+	}
+	if f.hf1, err = open(f.p1); err != nil {
+		return nil, err
+	}
+	if f.hf2, err = open(f.p2); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// corpusSideCatalog returns a catalog carrying the shared corpus relations
+// r1/r2 (index and build sides) with the twin key declarations.
+func corpusSideCatalog() (*catalog.Catalog, error) {
+	base := corpusCatalog()
+	cat := catalog.New(nil)
+	for _, name := range []string{"r1", "r2"} {
+		rel, err := base.Relation(name)
+		if err != nil {
+			return nil, err
+		}
+		cat.AddRelation(rel)
+	}
+	cat.DeclareUnique("r1", "a")
+	cat.DeclareUnique("p1", "a")
+	return cat, nil
+}
+
+func buildTwinCatalogs() (mem, paged *catalog.Catalog, err error) {
+	f, err := fixture()
+	if err != nil {
+		return nil, nil, err
+	}
+	if mem, err = corpusSideCatalog(); err != nil {
+		return nil, nil, err
+	}
+	if paged, err = corpusSideCatalog(); err != nil {
+		return nil, nil, err
+	}
+	mem.AddRelation(f.p1)
+	mem.AddRelation(f.p2)
+	pool := pager.NewPool(pagedTwinFrames)
+	paged.AddStore(pager.NewPagedRelation(f.hf1, pool))
+	paged.AddStore(pager.NewPagedRelation(f.hf2, pool))
+	return mem, paged, nil
+}
+
+// PagedEntry is one plan family of the paged differential corpus. Build
+// receives the catalog to construct against: the same closure produces the
+// in-memory reference and the disk-backed subject.
+type PagedEntry struct {
+	Label    string
+	Build    func(cat *catalog.Catalog) exec.Operator
+	Parallel bool
+}
+
+// PagedCorpus returns plans whose p1/p2 scans exercise the paged access
+// paths that differ mechanically from in-memory scans: full and filtered
+// serial scans (cursor row path), scans under sort/top (NextChunk batch
+// path), joins driven by a paged outer, both-sides-paged merge join, and
+// page-aligned parallel partition scans.
+func PagedCorpus() []PagedEntry {
+	lt := func(col string, v int64) plan.PredFn {
+		return func(sch *schema.Schema) expr.Expr {
+			return expr.Compare(expr.LT, expr.NewCol(sch, "", col), expr.Literal(sqlval.Int(v)))
+		}
+	}
+	count := plan.AggSpec{Kind: expr.AggCountStar, As: "n"}
+	return []PagedEntry{
+		{Label: "paged-scan", Build: func(cat *catalog.Catalog) exec.Operator {
+			return plan.NewBuilder(cat).Scan("p2").Op
+		}},
+		{Label: "paged-filter-sort-top", Build: func(cat *catalog.Catalog) exec.Operator {
+			return plan.NewBuilder(cat).ScanFiltered("p2", 0.5, lt("b", 40)).Sort("b").Top(25).Op
+		}},
+		{Label: "paged-inl-join", Build: func(cat *catalog.Catalog) exec.Operator {
+			return plan.NewBuilder(cat).Scan("p1").INLJoin("r2", "b", "a", exec.InnerJoin).Op
+		}},
+		{Label: "paged-hash-join-agg", Build: func(cat *catalog.Catalog) exec.Operator {
+			b := plan.NewBuilder(cat)
+			return b.Scan("p2").HashJoin(b.Scan("r1"), "b", "a", exec.InnerJoin).
+				HashAgg(0, []string{"b"}, count).Op
+		}},
+		{Label: "paged-merge-join", Build: func(cat *catalog.Catalog) exec.Operator {
+			b := plan.NewBuilder(cat)
+			return b.Scan("p1").Sort("a").MergeJoin(b.Scan("p2").Sort("b"), "a", "b").Op
+		}},
+		{Label: "paged-parallel-scan-agg", Parallel: true, Build: func(cat *catalog.Catalog) exec.Operator {
+			return plan.NewBuilder(cat).ParallelScan("p2", 4).ScalarAgg(count).Op
+		}},
+		{Label: "paged-parallel-join", Parallel: true, Build: func(cat *catalog.Catalog) exec.Operator {
+			b := plan.NewBuilder(cat)
+			return b.ParallelScan("p2", 3).HashJoin(b.Scan("r1"), "b", "a", exec.InnerJoin).Op
+		}},
+	}
+}
+
+// CheckPagedEquivalence builds the same plan against memCat (in-memory
+// reference) and pagedCat (disk-backed subject) and asserts observational
+// equivalence under the row engine and the batch engine (batch sizes 1 and
+// 13):
+//
+//   - identical result rows (in order for serial plans, as a multiset for
+//     parallel ones),
+//   - identical total GetNext calls,
+//   - for serial plans, identical per-node final ledger snapshots and — at
+//     every counted call (row engine) or batch quiesce point (batch
+//     engine) — identical per-node ledger state and bitwise-identical
+//     dne/pmax/safe estimates.
+//
+// Parallel plans compare results and totals only: page-aligned partition
+// windows legitimately differ from the in-memory n*i/parts split, so
+// per-partition ledger slots are not comparable — but the work they sum to
+// is.
+func CheckPagedEquivalence(t testing.TB, label string, memCat, pagedCat *catalog.Catalog, build func(*catalog.Catalog) exec.Operator, parallel bool) {
+	t.Helper()
+	checkPagedRow(t, label, memCat, pagedCat, build, parallel)
+	for _, bs := range []int{1, 13} {
+		checkPagedBatch(t, label, memCat, pagedCat, build, parallel, bs)
+	}
+}
+
+// pagedRun is one instrumented execution: its mark trail plus final state.
+type pagedRun struct {
+	rows  []schema.Row
+	calls int64
+	marks []batchMark
+	final []ledger.Snapshot
+}
+
+func runRowMarked(t testing.TB, label, side string, op exec.Operator, serial bool) pagedRun {
+	t.Helper()
+	tracker := core.NewTracker(op)
+	_, led := core.ShapeOf(op)
+	ctx := exec.NewCtx()
+	var marks []batchMark
+	if serial {
+		ctx.OnGetNext = func(calls int64) {
+			marks = append(marks, captureMark(tracker, led, calls))
+		}
+	}
+	rows, err := exec.Run(ctx, op)
+	if err != nil {
+		t.Fatalf("%s: %s row run: %v", label, side, err)
+	}
+	return pagedRun{rows: rows, calls: ctx.Calls(), marks: marks, final: led.SnapshotAll(nil)}
+}
+
+func runBatchMarked(t testing.TB, label, side string, op exec.Operator, serial bool, batchSize int) pagedRun {
+	t.Helper()
+	tracker := core.NewTracker(op)
+	_, led := core.ShapeOf(op)
+	ctx := exec.NewCtx()
+	ctx.BatchSize = batchSize
+	var marks []batchMark
+	observe := func(curr int64) {
+		if !serial {
+			return
+		}
+		m := captureMark(tracker, led, curr)
+		if len(marks) > 0 && marks[len(marks)-1].curr == curr {
+			marks[len(marks)-1] = m
+			return
+		}
+		marks = append(marks, m)
+	}
+	rows, err := exec.RunBatchObserved(ctx, op, observe)
+	if err != nil {
+		t.Fatalf("%s: %s batch run: %v", label, side, err)
+	}
+	return pagedRun{rows: rows, calls: ctx.Calls(), marks: marks, final: led.SnapshotAll(nil)}
+}
+
+func comparePagedRuns(t testing.TB, label string, ref, sub pagedRun, parallel bool) {
+	t.Helper()
+	got, want := renderRows(sub.rows, parallel), renderRows(ref.rows, parallel)
+	if len(got) != len(want) {
+		t.Fatalf("%s: paged produced %d rows, in-memory %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d differs: paged %q, in-memory %q", label, i, got[i], want[i])
+		}
+	}
+	if sub.calls != ref.calls {
+		t.Fatalf("%s: total calls: paged %d, in-memory %d", label, sub.calls, ref.calls)
+	}
+	if parallel {
+		return
+	}
+	if len(sub.final) != len(ref.final) {
+		t.Fatalf("%s: ledger sizes differ: paged %d, in-memory %d", label, len(sub.final), len(ref.final))
+	}
+	for i := range sub.final {
+		if sub.final[i] != ref.final[i] {
+			t.Fatalf("%s: node %d final snapshot: paged %+v, in-memory %+v", label, i, sub.final[i], ref.final[i])
+		}
+	}
+	if len(sub.marks) != len(ref.marks) {
+		t.Fatalf("%s: trail lengths differ: paged %d marks, in-memory %d", label, len(sub.marks), len(ref.marks))
+	}
+	for k := range sub.marks {
+		sm, rm := sub.marks[k], ref.marks[k]
+		if sm.curr != rm.curr {
+			t.Fatalf("%s: mark %d at Curr=%d on paged, %d on in-memory", label, k, sm.curr, rm.curr)
+		}
+		for i := range sm.nodes {
+			if sm.nodes[i] != rm.nodes[i] {
+				t.Fatalf("%s: mark %d (Curr=%d) node %d: paged %+v, in-memory %+v",
+					label, k, sm.curr, i, sm.nodes[i], rm.nodes[i])
+			}
+		}
+		if sm.dne != rm.dne || sm.pmax != rm.pmax || sm.safe != rm.safe {
+			t.Fatalf("%s: mark %d (Curr=%d) estimates: paged dne=%v pmax=%v safe=%v, in-memory dne=%v pmax=%v safe=%v",
+				label, k, sm.curr, sm.dne, sm.pmax, sm.safe, rm.dne, rm.pmax, rm.safe)
+		}
+	}
+}
+
+func checkPagedRow(t testing.TB, label string, memCat, pagedCat *catalog.Catalog, build func(*catalog.Catalog) exec.Operator, parallel bool) {
+	t.Helper()
+	ref := runRowMarked(t, label+"[row]", "in-memory", build(memCat), !parallel)
+	sub := runRowMarked(t, label+"[row]", "paged", build(pagedCat), !parallel)
+	comparePagedRuns(t, label+"[row]", ref, sub, parallel)
+}
+
+func checkPagedBatch(t testing.TB, label string, memCat, pagedCat *catalog.Catalog, build func(*catalog.Catalog) exec.Operator, parallel bool, batchSize int) {
+	t.Helper()
+	lbl := fmt.Sprintf("%s[batch bs=%d]", label, batchSize)
+	ref := runBatchMarked(t, lbl, "in-memory", build(memCat), !parallel, batchSize)
+	sub := runBatchMarked(t, lbl, "paged", build(pagedCat), !parallel, batchSize)
+	comparePagedRuns(t, lbl, ref, sub, parallel)
+}

@@ -1,0 +1,94 @@
+package coretest
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sqlprogress/internal/catalog"
+	"sqlprogress/internal/pager"
+	"sqlprogress/internal/schema"
+)
+
+// TestPagedEquivalence is the paged differential over the corpus: every
+// entry must be observationally identical between in-memory and disk-backed
+// storage under both engines.
+func TestPagedEquivalence(t *testing.T) {
+	mem, paged := twinCatalogs(t)
+	for _, e := range PagedCorpus() {
+		e := e
+		t.Run(e.Label, func(t *testing.T) {
+			CheckPagedEquivalence(t, e.Label, mem, paged, e.Build, e.Parallel)
+		})
+	}
+}
+
+// TestPagedProgressInvariants runs the paper's guarantees directly over the
+// disk-backed plans: the estimators never see the storage layer, only the
+// ledger, so every invariant must hold unchanged.
+func TestPagedProgressInvariants(t *testing.T) {
+	_, paged := twinCatalogs(t)
+	for _, e := range PagedCorpus() {
+		e := e
+		t.Run(e.Label, func(t *testing.T) {
+			if e.Parallel {
+				CheckParallelInvariants(t, e.Label, e.Build(paged), 1)
+			} else {
+				CheckProgressInvariants(t, e.Label, e.Build(paged), 1)
+			}
+		})
+	}
+}
+
+// newWeightedTwin materializes p1/p2 as heap files with a nonzero per-page
+// read cost — a row on a physically-read page credits 1+readCost GetNext
+// units — behind a pool of the given size. Small pools make a cold scan
+// pay the weight on every page.
+func newWeightedTwin(t *testing.T, frames int, readCost int64) *catalog.Catalog {
+	t.Helper()
+	base := corpusCatalog()
+	cat := catalog.New(nil)
+	for _, name := range []string{"r1", "r2"} {
+		rel, err := base.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.AddRelation(rel)
+	}
+	dir := t.TempDir()
+	pool := pager.NewPool(frames)
+	p1, p2 := twinRelations()
+	for _, rel := range []*schema.Relation{p1, p2} {
+		path := filepath.Join(dir, rel.Name+".heap")
+		if err := pager.WriteRelation(path, rel); err != nil {
+			t.Fatal(err)
+		}
+		pr, err := cat.AttachHeapFile(path, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr.SetReadCost(readCost)
+		t.Cleanup(func() { pr.HeapFile().Close() })
+	}
+	cat.DeclareUnique("r1", "a")
+	cat.DeclareUnique("p1", "a")
+	return cat
+}
+
+// TestPagedWeightedInvariants checks that weighted crediting (physical
+// reads cost extra GetNext units) still satisfies every estimator
+// guarantee: FinalBounds widens UB by the worst-case page cost, so the
+// hard-bounds and ratio-error invariants must hold at every instant of a
+// cold, eviction-heavy run.
+func TestPagedWeightedInvariants(t *testing.T) {
+	cat := newWeightedTwin(t, 4, 3)
+	for _, e := range PagedCorpus() {
+		e := e
+		t.Run(e.Label, func(t *testing.T) {
+			if e.Parallel {
+				CheckParallelInvariants(t, e.Label, e.Build(cat), 1)
+			} else {
+				CheckProgressInvariants(t, e.Label, e.Build(cat), 1)
+			}
+		})
+	}
+}

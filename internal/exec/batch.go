@@ -139,6 +139,38 @@ func (b *base) creditScan(ctx *Ctx, calls, delivered int) error {
 	return ctx.tickN(int64(calls))
 }
 
+// creditScanWeighted is creditScan plus weighted physical-read units from
+// the storage layer (pager reads under a nonzero read cost): the units are
+// extra counted GetNext calls attributed to the scan node with no row
+// delivered, so Curr reflects I/O work while parent cardinalities stay
+// row-based.
+func (b *base) creditScanWeighted(ctx *Ctx, calls, delivered int, units int64) error {
+	if units == 0 {
+		return b.creditScan(ctx, calls, delivered)
+	}
+	if ctx.canceled.Load() {
+		return ErrCanceled
+	}
+	s := b.slot.Load()
+	s.CountCalls(int64(calls) + units)
+	if delivered > 0 {
+		s.CountDeliveredN(int64(delivered))
+	}
+	return ctx.tickN(int64(calls) + units)
+}
+
+// chargeUnits credits weighted physical-read units on the row path: n
+// counted GetNext units of pure I/O work, no row delivered. With hooks
+// installed the units degrade to individual ticks, so fault schedules can
+// land inside a page read's accounting.
+func (b *base) chargeUnits(ctx *Ctx, n int64) error {
+	if ctx.canceled.Load() {
+		return ErrCanceled
+	}
+	b.slot.Load().CountCalls(n)
+	return ctx.tickN(n)
+}
+
 // FillFromNext assembles a batch by pulling op's row-at-a-time Next up to
 // want rows — the row→batch bridge. It is used for operators without a
 // native vectorized path and whenever per-call hooks force exact

@@ -55,9 +55,17 @@ func NewExchange(parts ...Operator) *Exchange {
 // its own partition's ledger slots; the reader's merge is the only point of
 // contact between them.
 func NewParallelScan(rel *schema.Relation, workers int) *Exchange {
+	return NewParallelStoreScan(rel, workers)
+}
+
+// NewParallelStoreScan is NewParallelScan over any store. Partition windows
+// are store-aligned — page-aligned for paged stores, so workers never
+// contend for a page and each worker's physical reads (and any weighted
+// read units) are credited to its own partition's ledger slot.
+func NewParallelStoreScan(st schema.Store, workers int) *Exchange {
 	parts := make([]Operator, workers)
 	for i := range parts {
-		parts[i] = NewScanPartition(rel, i, workers)
+		parts[i] = NewStoreScanPartition(st, i, workers)
 	}
 	return NewExchange(parts...)
 }

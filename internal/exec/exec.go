@@ -397,6 +397,16 @@ type DeliveredBounder interface {
 	DeliveredBounds() CardBounds
 }
 
+// WeightedLeaf is implemented by leaf operators whose counted GetNext
+// calls may include non-row work units — paged scans under a nonzero read
+// cost charge extra units per physical page read. MaxReadUnits bounds
+// those extra units, letting analyses that need row-based counts (mu's
+// scanned-leaf cardinality) conservatively recover them from the ledger's
+// unit-inflated totals.
+type WeightedLeaf interface {
+	MaxReadUnits() int64
+}
+
 // EarlyStopper is implemented by operators that may stop pulling from a
 // child before that child reaches EOF for data-dependent reasons — a merge
 // join stops pulling the surviving side the moment the other side

@@ -10,17 +10,31 @@ import (
 	"sqlprogress/internal/sqlval"
 )
 
-// Scan is a full table scan over a base relation. It is the canonical leaf:
+// Scan is a full table scan over a base store. It is the canonical leaf:
 // its final cardinality is known exactly from the catalog, so its bounds are
 // tight from the start — the anchor of the paper's LB (Section 5.2).
+//
+// The scan reads through the schema.Store seam, so the same operator covers
+// the in-memory schema.Relation and disk-backed stores (pager.PagedRelation).
+// In-memory relations keep a direct row-slice path (it also carries the
+// permutation and the deprecated sleep shim); every other store is driven
+// through its cursor, with any weighted physical-read units the storage
+// charges flowing into this node's ledger slot as extra counted GetNext
+// units (see DESIGN.md §16).
 type Scan struct {
 	base
+	// Rel is the in-memory relation when the scan reads one; nil for scans
+	// over other stores.
 	Rel *schema.Relation
+	// Src is the store the scan reads (equal to Rel for in-memory scans).
+	Src schema.Store
+	cur schema.Cursor
 	pos int
 	// Order optionally permutes the scan: row i of the scan is
 	// Rel.Rows[Order[i]]. The paper's Section 4/5 experiments control the
 	// arrival order of driver tuples (skew-first, skew-last, random) through
-	// exactly such a permutation of the stored relation.
+	// exactly such a permutation of the stored relation. In-memory scans
+	// only.
 	Order []int32
 	// Pred is an optional predicate pushed into the scan, the way
 	// commercial engines embed single-table predicates in the access
@@ -32,24 +46,35 @@ type Scan struct {
 	Pred      expr.Expr
 	delivered *CardBounds
 	// part/parts describe the partition window this scan covers (parts == 0
-	// means the whole relation). A partitioned scan visits scan positions
-	// [n*part/parts, n*(part+1)/parts) of the (possibly permuted) relation —
-	// the building block an Exchange runs one worker over.
+	// means the whole relation). A partitioned scan visits the store-aligned
+	// window AlignWindow(part, parts) of the (possibly permuted) store — the
+	// building block an Exchange runs one worker over.
 	part, parts int
 	lo, hi      int
-	// SimPageRows/SimPageDelay simulate paged I/O: the scan sleeps for
-	// SimPageDelay before each run of SimPageRows rows. The engine's tables
-	// are memory-resident, so this stall is what makes partitioned parallel
-	// scans observably faster — workers overlap their page waits the way a
-	// real scan overlaps disk reads — including on a single-core host.
+	// SimPageRows/SimPageDelay simulate paged I/O by sleeping for
+	// SimPageDelay before each run of SimPageRows rows.
+	//
+	// Deprecated: this is a test-only shim from before internal/pager
+	// existed; real paged I/O now comes from scanning a pager.PagedRelation.
+	// It is honored only on the in-memory path and will be removed.
 	SimPageRows  int
 	SimPageDelay time.Duration
 }
 
-// NewScan builds a table scan.
+// NewScan builds a table scan over an in-memory relation.
 func NewScan(rel *schema.Relation) *Scan {
-	s := &Scan{Rel: rel}
+	s := &Scan{Rel: rel, Src: rel}
 	s.init(rel.Schema())
+	return s
+}
+
+// NewStoreScan builds a table scan over any store (in-memory or paged).
+func NewStoreScan(st schema.Store) *Scan {
+	if rel, ok := st.(*schema.Relation); ok {
+		return NewScan(rel)
+	}
+	s := &Scan{Src: st}
+	s.init(st.Schema())
 	return s
 }
 
@@ -59,7 +84,7 @@ func NewScanWithOrder(rel *schema.Relation, order []int32) *Scan {
 	if order != nil && len(order) != len(rel.Rows) {
 		panic(fmt.Sprintf("scan %s: order length %d != %d rows", rel.Name, len(order), len(rel.Rows)))
 	}
-	s := &Scan{Rel: rel, Order: order}
+	s := &Scan{Rel: rel, Src: rel, Order: order}
 	s.init(rel.Schema())
 	return s
 }
@@ -69,21 +94,27 @@ func NewScanWithOrder(rel *schema.Relation, order []int32) *Scan {
 // scans are disjoint and cover the relation exactly, so an Exchange over
 // them produces the same multiset of rows as one full Scan.
 func NewScanPartition(rel *schema.Relation, part, parts int) *Scan {
+	return NewStoreScanPartition(rel, part, parts)
+}
+
+// NewStoreScanPartition builds a partition scan over any store. Windows are
+// aligned by the store — row boundaries in memory, page boundaries on disk —
+// and parts sibling windows are disjoint and cover the store exactly.
+func NewStoreScanPartition(st schema.Store, part, parts int) *Scan {
 	if parts < 1 || part < 0 || part >= parts {
-		panic(fmt.Sprintf("scan %s: invalid partition %d of %d", rel.Name, part, parts))
+		panic(fmt.Sprintf("scan %s: invalid partition %d of %d", st.StoreName(), part, parts))
 	}
-	s := &Scan{Rel: rel, part: part, parts: parts}
-	s.init(rel.Schema())
+	s := &Scan{Src: st, part: part, parts: parts}
+	if rel, ok := st.(*schema.Relation); ok {
+		s.Rel = rel
+	}
+	s.init(st.Schema())
 	return s
 }
 
 // window returns the scan-position window [lo, hi) this scan covers.
 func (s *Scan) window() (int, int) {
-	n := len(s.Rel.Rows)
-	if s.parts <= 1 {
-		return 0, n
-	}
-	return n * s.part / s.parts, n * (s.part + 1) / s.parts
+	return s.Src.AlignWindow(s.part, s.parts)
 }
 
 // Open implements Operator.
@@ -91,11 +122,25 @@ func (s *Scan) Open(*Ctx) error {
 	s.reopen()
 	s.lo, s.hi = s.window()
 	s.pos = s.lo
+	if s.cur != nil {
+		s.cur.Close()
+		s.cur = nil
+	}
+	if s.Rel == nil {
+		cur, err := s.Src.OpenCursor(s.lo, s.hi)
+		if err != nil {
+			return err
+		}
+		s.cur = cur
+	}
 	return nil
 }
 
 // Next implements Operator.
 func (s *Scan) Next(ctx *Ctx) (schema.Row, bool, error) {
+	if s.cur != nil {
+		return s.nextCursor(ctx)
+	}
 	for s.pos < s.hi {
 		i := s.pos
 		s.pos++
@@ -118,9 +163,40 @@ func (s *Scan) Next(ctx *Ctx) (schema.Row, bool, error) {
 	return s.eof()
 }
 
+// nextCursor is the store-cursor row path. Weighted read units are charged
+// the moment the storage reports them — before the row that faulted the
+// page is emitted — so a monitor sampling mid-page already sees the I/O
+// work in Curr, and a fault injector can land on the unit ticks themselves
+// (cancel mid-page).
+func (s *Scan) nextCursor(ctx *Ctx) (schema.Row, bool, error) {
+	for s.pos < s.hi {
+		row, units, ok, err := s.cur.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		s.pos++
+		if units > 0 {
+			if err := s.chargeUnits(ctx, units); err != nil {
+				return nil, false, err
+			}
+		}
+		if s.Pred != nil && !expr.Truthy(s.Pred.Eval(row)) {
+			if err := s.countScanned(ctx); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		return s.emit(ctx, row)
+	}
+	return s.eof()
+}
+
 // NextBatch implements BatchOperator: one pass over up to a chunk of scan
-// positions, crediting the ledger in bulk — rows read as counted calls,
-// predicate survivors as delivered.
+// positions, crediting the ledger in bulk — rows read (plus any weighted
+// physical-read units) as counted calls, predicate survivors as delivered.
 func (s *Scan) NextBatch(ctx *Ctx, b *Batch) error {
 	if !ctx.fastPath() {
 		return FillFromNext(ctx, s, b, ctx.batchSize())
@@ -132,7 +208,34 @@ func (s *Scan) NextBatch(ctx *Ctx, b *Batch) error {
 	}
 	want := ctx.batchSize()
 	scanned := 0
-	if s.SimPageDelay == 0 && s.Order == nil && s.Pred == nil {
+	var units int64
+	switch {
+	case s.cur != nil:
+		// Store-cursor path: pull page-sized chunks. The cursor hands out
+		// row-header slices over its decoded pages, so the bulk append
+		// copies headers, never values.
+		for s.pos < s.hi && b.Len() < want {
+			rows, u, err := s.cur.NextChunk(want - b.Len())
+			if err != nil {
+				return err
+			}
+			if len(rows) == 0 {
+				break
+			}
+			s.pos += len(rows)
+			scanned += len(rows)
+			units += u
+			if s.Pred == nil {
+				b.Rows = append(b.Rows, rows...)
+				continue
+			}
+			for _, row := range rows {
+				if expr.Truthy(s.Pred.Eval(row)) {
+					b.Append(row)
+				}
+			}
+		}
+	case s.SimPageDelay == 0 && s.Order == nil && s.Pred == nil:
 		// Plain in-order scan: the whole chunk survives, so copy the row
 		// headers in one bulk append instead of a per-row loop.
 		n := s.hi - s.pos
@@ -142,7 +245,7 @@ func (s *Scan) NextBatch(ctx *Ctx, b *Batch) error {
 		b.Rows = append(b.Rows, s.Rel.Rows[s.pos:s.pos+n]...)
 		s.pos += n
 		scanned = n
-	} else {
+	default:
 		for s.pos < s.hi && b.Len() < want {
 			i := s.pos
 			s.pos++
@@ -160,7 +263,7 @@ func (s *Scan) NextBatch(ctx *Ctx, b *Batch) error {
 			b.Append(row)
 		}
 	}
-	if err := s.creditScan(ctx, scanned, b.Len()); err != nil {
+	if err := s.creditScanWeighted(ctx, scanned, b.Len(), units); err != nil {
 		return err
 	}
 	if b.Len() == 0 {
@@ -172,7 +275,14 @@ func (s *Scan) NextBatch(ctx *Ctx, b *Batch) error {
 }
 
 // Close implements Operator.
-func (s *Scan) Close() error { return nil }
+func (s *Scan) Close() error {
+	if s.cur != nil {
+		err := s.cur.Close()
+		s.cur = nil
+		return err
+	}
+	return nil
+}
 
 // Children implements Operator.
 func (s *Scan) Children() []Operator { return nil }
@@ -180,33 +290,58 @@ func (s *Scan) Children() []Operator { return nil }
 // Name implements Operator.
 func (s *Scan) Name() string {
 	if s.parts > 1 {
-		return fmt.Sprintf("Scan(%s[%d/%d])", s.Rel.Name, s.part, s.parts)
+		return fmt.Sprintf("Scan(%s[%d/%d])", s.Src.StoreName(), s.part, s.parts)
 	}
-	return fmt.Sprintf("Scan(%s)", s.Rel.Name)
+	return fmt.Sprintf("Scan(%s)", s.Src.StoreName())
 }
 
 // FinalBounds implements Operator: a (partition) scan performs exactly one
-// GetNext per stored row of its window.
+// GetNext per stored row of its window, plus — for stores that charge
+// weighted physical-read units — up to MaxReadUnits extra counted units
+// when every page of the window has to be read cold. The LB stays the row
+// count: a fully warm buffer pool serves the window with zero physical
+// reads. This widened interval is precisely the paper's I/O-bound caveat
+// made explicit: under cold cache the true total sits near the UB, and
+// estimators anchored on LB (dne before refinement, safe's geometric mean)
+// carry the corresponding error.
 func (s *Scan) FinalBounds([]CardBounds) CardBounds {
 	lo, hi := s.window()
 	n := int64(hi - lo)
-	return CardBounds{LB: n, UB: n}
+	b := CardBounds{LB: n, UB: n}
+	if rc, ok := s.Src.(schema.ReadCoster); ok {
+		b.UB = SatAdd(b.UB, rc.MaxReadUnits(lo, hi))
+	}
+	return b
+}
+
+// MaxReadUnits implements WeightedLeaf: the most weighted physical-read
+// units this scan's window can charge on top of its per-row calls (0 for
+// in-memory and zero-cost stores) — every page read cold, once.
+func (s *Scan) MaxReadUnits() int64 {
+	if rc, ok := s.Src.(schema.ReadCoster); ok {
+		lo, hi := s.window()
+		return rc.MaxReadUnits(lo, hi)
+	}
+	return 0
 }
 
 // SetDeliveredBounds records statistics-derived bounds on the rows an
 // embedded predicate lets through (e.g. from histograms).
 func (s *Scan) SetDeliveredBounds(b CardBounds) { s.delivered = &b }
 
-// DeliveredBounds implements DeliveredBounder.
+// DeliveredBounds implements DeliveredBounder: bounds on rows handed to the
+// parent — always row-based, never including weighted read units (I/O work
+// inflates this node's call count, not its parent's input).
 func (s *Scan) DeliveredBounds() CardBounds {
+	lo, hi := s.window()
+	n := int64(hi - lo)
 	if s.Pred == nil {
-		return s.FinalBounds(nil)
+		return CardBounds{LB: n, UB: n}
 	}
 	if s.delivered != nil {
 		return *s.delivered
 	}
-	lo, hi := s.window()
-	return CardBounds{LB: 0, UB: int64(hi - lo)}
+	return CardBounds{LB: 0, UB: n}
 }
 
 // StreamChildren implements Operator.

@@ -142,6 +142,7 @@ func All() []Experiment {
 		{"fig7", "safe vs dne in a favourable case", Fig7},
 		{"tab2", "mu values for TPC-H", Tab2},
 		{"tab3", "mu values for SkyServer", Tab3},
+		{"pager", "I/O-bound estimation: cold vs warm buffer pool", Pager},
 		{"thm1", "Theorem 1 lower-bound construction", Thm1},
 		{"thm3", "Theorem 3: dne under random arrival orders", Thm3},
 		{"thm4", "Theorem 4: predictive orders", Thm4},

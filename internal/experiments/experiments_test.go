@@ -44,7 +44,7 @@ func TestAllRegistered(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"fig3", "fig4", "fig5", "tab1", "fig6", "fig7", "tab2", "tab3", "thm1", "thm4"} {
+	for _, want := range []string{"fig3", "fig4", "fig5", "tab1", "fig6", "fig7", "tab2", "tab3", "pager", "thm1", "thm4"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}
@@ -227,6 +227,40 @@ func TestThm1Indistinguishability(t *testing.T) {
 	for name, w := range worsts {
 		if w < 2 {
 			t.Errorf("%s: worst ratio error %.3f — construction should force > 2", name, w)
+		}
+	}
+}
+
+// TestPagerColdWorseThanWarm pins the I/O-bound scenario's headline: on
+// the same query over the same rows, dne's and pmax's max ratio errors
+// against a cold buffer pool measurably exceed their warm-pool errors —
+// page-weighted GetNext units break the call-uniformity the estimators
+// lean on — while pmax stays within its Theorem 5 bound (ratio ≤ mu) in
+// both regimes.
+func TestPagerColdWorseThanWarm(t *testing.T) {
+	r := runFast(t, "pager")
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 queries x 2 cache regimes)", len(r.Rows))
+	}
+	for _, q := range []string{"scan", "hash-join-agg"} {
+		for _, est := range []string{"dne", "pmax"} {
+			cold := r.Metrics[q+"_cold_"+est]
+			warm := r.Metrics[q+"_warm_"+est]
+			if cold <= warm+0.01 {
+				t.Errorf("%s: %s cold ratio %.3f should measurably exceed warm %.3f", q, est, cold, warm)
+			}
+		}
+		if hr := r.Metrics[q+"_cold_hit_ratio"]; hr > 0.5 {
+			t.Errorf("%s: cold hit ratio %.3f — pool should be too small to cache the scan", q, hr)
+		}
+		if reads := r.Metrics[q+"_warm_reads"]; reads != 0 {
+			t.Errorf("%s: warm run performed %v physical reads, want 0", q, reads)
+		}
+		for _, regime := range []string{"cold", "warm"} {
+			pmax, mu := r.Metrics[q+"_"+regime+"_pmax"], r.Metrics[q+"_"+regime+"_mu"]
+			if pmax > mu+1e-9 {
+				t.Errorf("%s %s: pmax ratio %.3f exceeds mu %.3f (Theorem 5)", q, regime, pmax, mu)
+			}
 		}
 	}
 }

@@ -48,6 +48,36 @@ func TestChaosInvariantsBatch(t *testing.T) {
 	}
 }
 
+// TestChaosInvariantsPaged replays the paged differential corpus under the
+// seeded sweep, with physical faults layered on top of the call-indexed
+// schedule: exact-page read errors and latency spikes injected on the
+// pager.Backend seam, plus cancellations that land on the weighted unit
+// ticks between a page's read and its rows (cancel mid-page). Every run
+// scans the shared heap files through a fresh cold buffer pool.
+// `coretest.RunChaosPaged(seed)` reproduces any failure.
+func TestChaosInvariantsPaged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep skipped in -short mode")
+	}
+	for seed := int64(1); seed <= int64(*chaosSchedules); seed++ {
+		if err := coretest.RunChaosPaged(seed); err != nil {
+			t.Fatalf("%v", err)
+		}
+	}
+}
+
+// TestChaosInvariantsPagedBatch is the paged sweep under the batch engine.
+func TestChaosInvariantsPagedBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep skipped in -short mode")
+	}
+	for seed := int64(1); seed <= int64(*chaosSchedules); seed++ {
+		if err := coretest.RunChaosPagedBatch(seed); err != nil {
+			t.Fatalf("%v", err)
+		}
+	}
+}
+
 // TestBatchChaosExactMidBatch pins the batch engine's fault placement with
 // hand-built schedules: error and cancel faults at call indices that fall
 // strictly inside a batch (neither the first nor a multiple of the batch

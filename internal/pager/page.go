@@ -1,0 +1,124 @@
+// Package pager is the disk-backed storage layer: heap files of slotted
+// 8 KiB pages holding sqlval-encoded rows, read through a shared buffer
+// pool with pinning and CLOCK eviction. A PagedRelation satisfies the
+// schema.Store interface the executor's Scan consumes, which makes
+// I/O-bound progress estimation a measured scenario instead of the sleep
+// simulation the engine used before: physical page reads are real work,
+// observable per page through the pool's counters and — when a read cost
+// is configured — charged to the progress ledger as extra weighted GetNext
+// units (see DESIGN.md §16).
+//
+// All I/O goes through the narrow Backend seam, so the fault layer
+// (internal/fault) can inject read latency, errors, and cancellations at
+// exact page indexes while keeping chaos schedules deterministic.
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// PageSize is the fixed size of every page of a heap file.
+const PageSize = 8192
+
+// Data pages are classic slotted pages:
+//
+//	bytes 0..1   uint16  number of row slots
+//	bytes 2..3   uint16  end of the packed row-data region
+//	bytes 4..    row data, packed front to back
+//	...slots...  grow from the page end backward: slot i occupies the four
+//	             bytes [PageSize-4(i+1), PageSize-4i) as {off, len uint16}
+//
+// A row's data is the concatenation of its values' sqlval binary encodings
+// (kind tag + payload, self-delimiting); the column count comes from the
+// file's schema. Rows never span pages — the page is the unit of I/O and
+// of partition alignment.
+const (
+	pageHdrSize  = 4
+	pageSlotSize = 4
+)
+
+// pageWriter packs rows into one slotted page.
+type pageWriter struct {
+	buf   []byte // PageSize bytes
+	nrows int
+	data  int // end of the packed row-data region
+}
+
+func newPageWriter() *pageWriter {
+	return &pageWriter{buf: make([]byte, PageSize), data: pageHdrSize}
+}
+
+// fits reports whether an encoded row of rowLen bytes still fits.
+func (w *pageWriter) fits(rowLen int) bool {
+	return w.data+rowLen <= PageSize-pageSlotSize*(w.nrows+1)
+}
+
+// add appends one encoded row; the caller must have checked fits.
+func (w *pageWriter) add(enc []byte) {
+	copy(w.buf[w.data:], enc)
+	slot := PageSize - pageSlotSize*(w.nrows+1)
+	binary.LittleEndian.PutUint16(w.buf[slot:], uint16(w.data))
+	binary.LittleEndian.PutUint16(w.buf[slot+2:], uint16(len(enc)))
+	w.data += len(enc)
+	w.nrows++
+}
+
+// finish seals the header and returns the page image (owned by the writer;
+// reset reuses it).
+func (w *pageWriter) finish() []byte {
+	binary.LittleEndian.PutUint16(w.buf[0:], uint16(w.nrows))
+	binary.LittleEndian.PutUint16(w.buf[2:], uint16(w.data))
+	return w.buf
+}
+
+// reset clears the page for reuse.
+func (w *pageWriter) reset() {
+	clear(w.buf)
+	w.nrows = 0
+	w.data = pageHdrSize
+}
+
+// pageRowCount reads the slot count of a page image.
+func pageRowCount(page []byte) int {
+	return int(binary.LittleEndian.Uint16(page[0:]))
+}
+
+// decodePage decodes every row of a page image into fresh rows of width
+// cols. Decoded values copy any variable-length payloads, so the returned
+// rows stay valid after the page buffer is unpinned or evicted. Row storage
+// is slab-allocated: one value slab per page, not one per row.
+func decodePage(page []byte, cols int) ([]schema.Row, error) {
+	n := pageRowCount(page)
+	if n == 0 {
+		return nil, nil
+	}
+	rows := make([]schema.Row, n)
+	slab := make([]sqlval.Value, n*cols)
+	for i := 0; i < n; i++ {
+		slot := PageSize - pageSlotSize*(i+1)
+		off := int(binary.LittleEndian.Uint16(page[slot:]))
+		length := int(binary.LittleEndian.Uint16(page[slot+2:]))
+		if off < pageHdrSize || off+length > PageSize {
+			return nil, fmt.Errorf("pager: corrupt slot %d: [%d,%d) outside page", i, off, off+length)
+		}
+		buf := page[off : off+length]
+		row := slab[i*cols : (i+1)*cols : (i+1)*cols]
+		for c := 0; c < cols; c++ {
+			v, rest, err := sqlval.DecodeValue(buf)
+			if err != nil {
+				return nil, fmt.Errorf("pager: row %d col %d: %w", i, c, err)
+			}
+			row[c] = v
+			buf = rest
+		}
+		if len(buf) != 0 {
+			return nil, fmt.Errorf("pager: row %d: %d trailing bytes", i, len(buf))
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}

@@ -60,12 +60,14 @@ func (n Node) finish(op exec.Operator, est float64) Node {
 // histogram applies; the paper's point is that dne survives such errors.
 const defaultFilterSelectivity = 1.0 / 3
 
-// Scan builds a full table scan.
+// Scan builds a full table scan. The table may be an in-memory relation or
+// a disk-backed store (pager heap file) — the scan reads through the
+// storage seam either way.
 func (b *Builder) Scan(table string) Node {
-	rel := b.cat.MustRelation(table)
-	op := exec.NewScan(rel)
-	op.SetEstimatedCard(rel.Cardinality())
-	return Node{b: b, Op: op, est: float64(rel.Cardinality())}
+	st := b.cat.MustStore(table)
+	op := exec.NewStoreScan(st)
+	op.SetEstimatedCard(st.Cardinality())
+	return Node{b: b, Op: op, est: float64(st.Cardinality())}
 }
 
 // ScanOrdered builds a full table scan with a controlled arrival order.
@@ -81,30 +83,30 @@ func (b *Builder) ScanOrdered(table string, order []int32) Node {
 // partition carries its window size as its estimate; the exchange carries
 // the full cardinality.
 func (b *Builder) ParallelScan(table string, workers int) Node {
-	rel := b.cat.MustRelation(table)
+	st := b.cat.MustStore(table)
 	parts := make([]exec.Operator, workers)
 	for i := range parts {
-		p := exec.NewScanPartition(rel, i, workers)
+		p := exec.NewStoreScanPartition(st, i, workers)
 		p.SetEstimatedCard(p.FinalBounds(nil).LB)
 		parts[i] = p
 	}
 	op := exec.NewExchange(parts...)
-	op.SetEstimatedCard(rel.Cardinality())
-	return Node{b: b, Op: op, est: float64(rel.Cardinality())}
+	op.SetEstimatedCard(st.Cardinality())
+	return Node{b: b, Op: op, est: float64(st.Cardinality())}
 }
 
 // ScanFiltered builds a table scan with an embedded predicate (pushed
 // selection). sel is the selectivity estimate used for downstream
 // cardinality estimates; pass 0 for the default guess.
 func (b *Builder) ScanFiltered(table string, sel float64, pred PredFn) Node {
-	rel := b.cat.MustRelation(table)
-	op := exec.NewScan(rel)
-	op.Pred = pred(rel.Schema())
-	op.SetEstimatedCard(rel.Cardinality())
+	st := b.cat.MustStore(table)
+	op := exec.NewStoreScan(st)
+	op.Pred = pred(st.Schema())
+	op.SetEstimatedCard(st.Cardinality())
 	if sel <= 0 || sel > 1 {
 		sel = defaultFilterSelectivity
 	}
-	return Node{b: b, Op: op, est: float64(rel.Cardinality()) * sel}
+	return Node{b: b, Op: op, est: float64(st.Cardinality()) * sel}
 }
 
 // ScanFilteredOrdered combines ScanFiltered and ScanOrdered.

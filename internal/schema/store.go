@@ -1,0 +1,111 @@
+package schema
+
+// This file defines the storage interface a table scan reads through. The
+// executor's Scan consumes a Store rather than a concrete relation, so the
+// same leaf operator runs over the in-memory Relation and over disk-backed
+// stores (internal/pager's PagedRelation). The interface lives here — the
+// bottom of the dependency graph — because both storage implementations and
+// the executor need it, and the executor already depends on schema.
+
+// Store is a named, immutable bag of rows a Scan can iterate. Positions are
+// dense scan positions in [0, Cardinality()); a cursor visits a half-open
+// window of them in storage order.
+type Store interface {
+	// StoreName is the table name (a method, not a field, so in-memory and
+	// paged implementations can both satisfy the interface).
+	StoreName() string
+	// Schema describes the stored rows.
+	Schema() *Schema
+	// Cardinality is the exact stored row count (known from the catalog /
+	// file header, the paper's anchor for tight leaf bounds).
+	Cardinality() int64
+	// AlignWindow maps partition `part` of `parts` equal slices onto a
+	// storage-aligned scan-position window [lo, hi). The windows of parts
+	// sibling partitions are disjoint and cover [0, Cardinality()) exactly.
+	// In-memory stores split on row boundaries; paged stores split on page
+	// boundaries so parallel workers never share a page read.
+	AlignWindow(part, parts int) (lo, hi int)
+	// OpenCursor opens a cursor over scan positions [lo, hi).
+	OpenCursor(lo, hi int) (Cursor, error)
+}
+
+// Cursor iterates one scan window. Cursors are single-goroutine; rows they
+// return remain valid indefinitely (they reference immutable in-memory
+// storage or are freshly decoded copies of on-disk pages).
+type Cursor interface {
+	// Next returns the next row of the window. units is the extra weighted
+	// GetNext units the storage charged for producing this row — zero for
+	// in-memory rows and buffer-pool hits, the store's read cost on the row
+	// whose page was physically read (see ReadCoster).
+	Next() (row Row, units int64, ok bool, err error)
+	// NextChunk returns up to want rows in one bulk step, plus the weighted
+	// units charged for the chunk. An empty chunk means the window is
+	// exhausted. The returned slice is only valid until the next cursor
+	// call; the rows it holds are valid indefinitely.
+	NextChunk(want int) (rows []Row, units int64, err error)
+	// Close releases cursor resources (pinned pages).
+	Close() error
+}
+
+// ReadCoster is implemented by stores whose scans charge extra GetNext
+// units for physical I/O: a row served from a page that had to be read
+// from disk costs 1 + ReadCost units instead of 1. MaxReadUnits bounds the
+// extra units a full scan of window [lo, hi) can accrue (every page of the
+// window read physically); the lower bound is always zero — a fully warm
+// buffer pool serves the whole window without physical reads.
+type ReadCoster interface {
+	MaxReadUnits(lo, hi int) int64
+}
+
+// StoreName implements Store.
+func (r *Relation) StoreName() string { return r.Name }
+
+// AlignWindow implements Store: in-memory relations split on row
+// boundaries.
+func (r *Relation) AlignWindow(part, parts int) (lo, hi int) {
+	n := len(r.Rows)
+	if parts <= 1 {
+		return 0, n
+	}
+	return n * part / parts, n * (part + 1) / parts
+}
+
+// OpenCursor implements Store.
+func (r *Relation) OpenCursor(lo, hi int) (Cursor, error) {
+	return &memCursor{rows: r.Rows, pos: lo, hi: hi}, nil
+}
+
+// memCursor iterates a window of an in-memory relation. NextChunk hands out
+// subslices of the relation's own row-header slice, so the bulk scan path
+// copies nothing.
+type memCursor struct {
+	rows    []Row
+	pos, hi int
+}
+
+// Next implements Cursor.
+func (c *memCursor) Next() (Row, int64, bool, error) {
+	if c.pos >= c.hi {
+		return nil, 0, false, nil
+	}
+	row := c.rows[c.pos]
+	c.pos++
+	return row, 0, true, nil
+}
+
+// NextChunk implements Cursor.
+func (c *memCursor) NextChunk(want int) ([]Row, int64, error) {
+	n := c.hi - c.pos
+	if n <= 0 {
+		return nil, 0, nil
+	}
+	if n > want {
+		n = want
+	}
+	out := c.rows[c.pos : c.pos+n]
+	c.pos += n
+	return out, 0, nil
+}
+
+// Close implements Cursor.
+func (c *memCursor) Close() error { return nil }

@@ -11,6 +11,7 @@ import (
 	"sqlprogress/internal/compile"
 	"sqlprogress/internal/core"
 	"sqlprogress/internal/exec"
+	"sqlprogress/internal/pager"
 	"sqlprogress/internal/schema"
 )
 
@@ -45,6 +46,11 @@ type Config struct {
 	// KeepRows caps result rows retained per finished session for
 	// inspection (0 = default 50, negative = unlimited).
 	KeepRows int
+	// Pool, when set, is the buffer pool behind the catalog's disk-backed
+	// tables; every published Progress event then carries a snapshot of
+	// its counters, so streaming clients see I/O behaviour (hit ratio,
+	// physical bytes) alongside the progress estimates.
+	Pool *pager.Pool
 	// StallAfter enables the per-session watchdog: a running session whose
 	// GetNext counter does not advance for this long is flagged stalled
 	// (Info.Stalled, Metrics.StallEvents). 0 disables the watchdog. The
@@ -232,6 +238,7 @@ func (m *Manager) admit(root exec.Operator, text string, opt SubmitOptions) (*Se
 		subs:       make(map[int]*subscriber),
 		instrument: opt.Instrument,
 		onEvict:    func() { m.c.subsEvicted.Add(1) },
+		pool:       m.cfg.Pool,
 	}
 	m.sessions[s.id] = s
 	m.order = append(m.order, s)

@@ -18,6 +18,7 @@ import (
 	"sqlprogress/internal/core"
 	"sqlprogress/internal/exec"
 	"sqlprogress/internal/ledger"
+	"sqlprogress/internal/pager"
 	"sqlprogress/internal/schema"
 )
 
@@ -63,6 +64,11 @@ type Progress struct {
 	// session's previous published event (every node on the first and final
 	// events). Node ids are the plan's stable dense NodeIDs.
 	Nodes []NodeProgress `json:"nodes,omitempty"`
+	// Pool is a snapshot of the shared buffer-pool counters at the
+	// observation, present when the manager serves disk-backed tables
+	// (Config.Pool). Counters are pool-wide and cumulative, so a single
+	// session's physical reads appear as deltas between its events.
+	Pool *pager.Stats `json:"pool,omitempty"`
 	// Elapsed is wall-clock time since the session started running.
 	Elapsed time.Duration `json:"elapsed_ns"`
 	// Final marks the last event a session will ever publish.
@@ -123,6 +129,7 @@ type Session struct {
 	nextSub      int
 	instrument   func(*exec.Ctx)
 	onEvict      func()
+	pool         *pager.Pool
 	shape        *core.PlanShape
 	led          *ledger.Ledger
 	nodeScratch  []ledger.Snapshot
@@ -334,6 +341,10 @@ func (s *Session) progressLocked(smp core.Sample, final bool) Progress {
 	}
 	if !s.started.IsZero() {
 		p.Elapsed = time.Since(s.started)
+	}
+	if s.pool != nil {
+		st := s.pool.Stats()
+		p.Pool = &st
 	}
 	if s.led != nil {
 		s.nodeScratch = s.led.SnapshotAll(s.nodeScratch[:0])

@@ -228,6 +228,10 @@ type ProgressUpdate struct {
 	Nodes []NodeCount
 	// Calls is the GetNext count at this instant (Curr).
 	Calls int64
+	// Pool is a snapshot of the database's buffer-pool counters at this
+	// instant; nil while the database has no disk-backed tables. Counters
+	// are pool-wide and cumulative across queries.
+	Pool *PoolStats
 	// Elapsed is the wall-clock time since the run started.
 	Elapsed time.Duration
 	// ETA extrapolates the remaining wall-clock time from the headline
@@ -298,6 +302,10 @@ func (q *Query) RunWithProgressContext(ctx context.Context, opts ProgressOptions
 			Lo: lo, Hi: hi, Calls: s.Curr,
 			Estimates: make(map[EstimatorKind]float64, len(ests)),
 			Elapsed:   time.Since(start),
+		}
+		if q.db != nil && q.db.pool != nil {
+			st := q.db.pool.Stats()
+			u.Pool = &st
 		}
 		scratch = led.SnapshotAll(scratch[:0])
 		u.Nodes = make([]NodeCount, len(scratch))

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"sqlprogress/internal/catalog"
+	"sqlprogress/internal/pager"
 	"sqlprogress/internal/plan"
 	"sqlprogress/internal/schema"
 	"sqlprogress/internal/skyserver"
@@ -57,9 +58,12 @@ type Column struct {
 }
 
 // DB is a database instance: named in-memory tables with statistics,
-// optional indexes and key declarations.
+// optional indexes and key declarations. Tables can be spilled to
+// disk-backed paged storage (SpillToDisk), after which scans go through a
+// shared buffer pool.
 type DB struct {
-	cat *catalog.Catalog
+	cat  *catalog.Catalog
+	pool *pager.Pool
 }
 
 // Open returns an empty database.
