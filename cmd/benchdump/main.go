@@ -8,11 +8,16 @@
 // BENCH_3.json, the vectorized (batch-at-a-time) engine's row-vs-batch
 // comparison as BENCH_4.json, and the paged-storage suite — cold vs warm
 // buffer-pool timings plus the estimator errors each regime induces — as
-// BENCH_5.json.
+// BENCH_5.json, and the estimator accuracy matrix (dataset x stats-health x
+// plan-family sweep, one row per cell per estimator) as BENCH_ACC.json.
+//
+// Unlike the timing artifacts, BENCH_ACC.json is fully deterministic — no
+// date, no host facts — so CI can demand byte-identical re-runs.
 //
 // Usage:
 //
-//	go run ./cmd/benchdump [-o BENCH_1.json] [-o2 BENCH_2.json] [-o3 BENCH_3.json] [-o4 BENCH_4.json] [-o5 BENCH_5.json]
+//	go run ./cmd/benchdump [-o BENCH_1.json] [-o2 BENCH_2.json] [-o3 BENCH_3.json] [-o4 BENCH_4.json] [-o5 BENCH_5.json] [-oacc BENCH_ACC.json]
+//	go run ./cmd/benchdump -o acc   # accuracy matrix only (the CI gate's mode)
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"sqlprogress/internal/core"
 	"sqlprogress/internal/coretest"
 	"sqlprogress/internal/datagen"
+	"sqlprogress/internal/evalmatrix"
 	"sqlprogress/internal/exec"
 	"sqlprogress/internal/experiments"
 	"sqlprogress/internal/ledger"
@@ -381,14 +387,38 @@ func maxF(a, b float64) float64 {
 	return b
 }
 
+// accMatrix runs the estimator accuracy matrix at the standard scale and
+// writes its artifact, printing the per-cell table as it goes.
+func accMatrix(path string) {
+	accRows, err := evalmatrix.Run(evalmatrix.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "accuracy matrix:", err)
+		os.Exit(1)
+	}
+	fmt.Print(evalmatrix.Table(accRows).Render())
+	if err := evalmatrix.WriteFile(path, accRows); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
 func main() {
-	out := flag.String("o", "BENCH_1.json", "output path")
+	out := flag.String("o", "BENCH_1.json", "output path; the literal value \"acc\" runs only the accuracy matrix")
 	out2 := flag.String("o2", "BENCH_2.json", "session-service output path")
 	out3 := flag.String("o3", "BENCH_3.json", "ledger + parallel-scan output path")
 	out4 := flag.String("o4", "BENCH_4.json", "vectorized-engine output path")
 	out5 := flag.String("o5", "BENCH_5.json", "paged-storage output path")
+	outAcc := flag.String("oacc", "BENCH_ACC.json", "accuracy-matrix output path")
 	chaosN := flag.Int("chaos", 500, "fault schedules in the chaos sweep (0 = skip)")
 	flag.Parse()
+
+	// The accuracy matrix is deterministic and cheap next to the timing
+	// suites, so CI runs it alone: `-o acc` short-circuits everything else.
+	if *out == "acc" {
+		accMatrix(*outAcc)
+		return
+	}
 
 	var results []result
 
@@ -555,6 +585,10 @@ func main() {
 	// errors each cache regime induces (the I/O-bound scenario the pager
 	// PR makes measurable).
 	writeDump(*out5, pagedCacheRows(3))
+
+	// Estimator accuracy matrix: the full sweep, refreshed alongside the
+	// timing artifacts so the two never drift apart.
+	accMatrix(*outAcc)
 }
 
 // sink defeats dead-code elimination in the sample-path benchmarks.

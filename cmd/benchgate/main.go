@@ -8,6 +8,14 @@
 // row). Only allocations are gated: allocs/op is deterministic for this
 // workload, while wall-clock varies too much across CI machines to gate
 // without flakes (ns/op is printed for information only).
+//
+// With -acc the gate switches to the estimator accuracy matrix: it re-runs
+// the full sweep (deterministic, so the comparison is exact) against the
+// checked-in BENCH_ACC.json and fails when any cell's max ratio error
+// regresses past the slack factor, any hard-bound soundness counter fires,
+// any baseline cell disappears, or a skewed-stale cell loses the paper's
+// safe <= dne ordering. -perturb name=factor deliberately breaks an
+// estimator first — CI uses it as the gate's negative self-test.
 package main
 
 import (
@@ -17,10 +25,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"testing"
 
 	sqlprogress "sqlprogress"
 	"sqlprogress/internal/datagen"
+	"sqlprogress/internal/evalmatrix"
 	"sqlprogress/internal/exec"
 	"sqlprogress/internal/plan"
 )
@@ -85,11 +96,111 @@ func newestBaseline(row string) (string, int64, error) {
 	return "", -1, fmt.Errorf("no BENCH_*.json artifact has a row named %q", row)
 }
 
+// parsePerturb turns "dne=0.7,pmax=1.2" into estimator output multipliers.
+func parsePerturb(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("perturbation %q: want name=factor", pair)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("perturbation %q: %v", pair, err)
+		}
+		out[name] = f
+	}
+	return out, nil
+}
+
+// gateAcc is the accuracy-gate mode: re-run the matrix and hold every cell
+// to its checked-in baseline. Returns the number of violations (each is
+// printed as it is found).
+func gateAcc(baselinePath string, slack float64, perturb map[string]float64) int {
+	baseRows, err := evalmatrix.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	base := make(map[string]evalmatrix.Row, len(baseRows))
+	for _, r := range baseRows {
+		base[r.Key()] = r
+	}
+	opts := evalmatrix.DefaultOptions()
+	opts.Perturb = perturb
+	gotRows, err := evalmatrix.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	got := make(map[string]evalmatrix.Row, len(gotRows))
+	bad := 0
+	fail := func(format string, args ...any) {
+		bad++
+		fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	}
+	for _, g := range gotRows {
+		got[g.Key()] = g
+		if g.LBRegressions != 0 || g.UBRegressions != 0 || g.BoundMisses != 0 {
+			fail("%s: hard-bound violation (lb_regressions=%d ub_regressions=%d bound_misses=%d)",
+				g.Key(), g.LBRegressions, g.UBRegressions, g.BoundMisses)
+		}
+		b, ok := base[g.Key()]
+		if !ok {
+			// New cells only extend the matrix; they get gated once checked in.
+			continue
+		}
+		if g.MaxRatioErr > b.MaxRatioErr*slack {
+			fail("%s: max ratio error regression: %.4f > %.4f (baseline %.4f x %.2f)",
+				g.Key(), g.MaxRatioErr, b.MaxRatioErr*slack, b.MaxRatioErr, slack)
+		}
+	}
+	for _, b := range baseRows {
+		if _, ok := got[b.Key()]; !ok {
+			fail("%s: cell present in %s but missing from this run", b.Key(), baselinePath)
+		}
+	}
+	for _, g := range gotRows {
+		if !g.SkewedStale || g.Estimator != "safe" {
+			continue
+		}
+		dne, ok := got[g.CellID()+"/dne"]
+		if ok && g.MaxRatioErr > dne.MaxRatioErr {
+			fail("%s: safe max ratio error %.4f exceeds dne's %.4f on a skewed-stale cell",
+				g.CellID(), g.MaxRatioErr, dne.MaxRatioErr)
+		}
+	}
+	fmt.Printf("accuracy gate: %d cells x %d rows vs %s: %d violation(s)\n",
+		len(gotRows)/3, len(gotRows), baselinePath, bad)
+	return bad
+}
+
 func main() {
 	file := flag.String("f", "", "benchmark artifact to gate against (default: newest BENCH_*.json holding the row)")
 	row := flag.String("row", "exec_inl_join_batch", "artifact row holding the baseline")
 	slack := flag.Float64("slack", 1.10, "allowed allocs/op growth factor")
+	acc := flag.Bool("acc", false, "gate the estimator accuracy matrix against BENCH_ACC.json instead")
+	perturbFlag := flag.String("perturb", "", "acc mode: multiply named estimators' outputs, e.g. dne=0.7 (negative self-test)")
 	flag.Parse()
+
+	if *acc {
+		perturb, err := parsePerturb(*perturbFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		baseline := *file
+		if baseline == "" {
+			baseline = "BENCH_ACC.json"
+		}
+		if bad := gateAcc(baseline, *slack, perturb); bad > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var base int64
 	var err error

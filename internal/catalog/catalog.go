@@ -210,6 +210,19 @@ func (c *Catalog) JoinIsLinear(aTable, aCol, bTable, bCol string) bool {
 // ForeignKeys returns the declared foreign keys.
 func (c *Catalog) ForeignKeys() []ForeignKey { return c.fks }
 
+// HasForeignKey reports whether child.childCol -> parent.parentCol was
+// declared as a foreign key (referential integrity: every non-NULL child
+// value has exactly one parent match).
+func (c *Catalog) HasForeignKey(childTable, childColumn, parentTable, parentColumn string) bool {
+	for _, fk := range c.fks {
+		if key(fk.ChildTable) == key(childTable) && key(fk.ChildColumn) == key(childColumn) &&
+			key(fk.ParentTable) == key(parentTable) && key(fk.ParentColumn) == key(parentColumn) {
+			return true
+		}
+	}
+	return false
+}
+
 // DropTable removes a relation, its indexes, statistics, and any key or
 // foreign-key declarations referring to it. It reports whether the table
 // existed.
@@ -234,6 +247,19 @@ func (c *Catalog) DropTable(name string) bool {
 	}
 	c.fks = kept
 	return true
+}
+
+// SetStats replaces the stored synopsis for a table. It is how the
+// evaluation matrix installs degraded (stale or absent) statistics: the
+// relation's rows stay as they are, only the planner-visible synopsis
+// changes. Passing nil removes the synopsis entirely.
+func (c *Catalog) SetStats(table string, ts *stats.TableStats) {
+	k := key(table)
+	if ts == nil {
+		delete(c.tblStats, k)
+		return
+	}
+	c.tblStats[k] = ts
 }
 
 // RefreshStats rebuilds the statistics for a table (after bulk loads done

@@ -6,6 +6,7 @@ import (
 
 	"sqlprogress/internal/schema"
 	"sqlprogress/internal/sqlval"
+	"sqlprogress/internal/stats"
 )
 
 func sampleRelation(name string, n int64) *schema.Relation {
@@ -199,5 +200,34 @@ func TestRefreshStats(t *testing.T) {
 	}
 	if c.RefreshStats("ghost") {
 		t.Error("refreshing a missing table should report false")
+	}
+}
+
+func TestSetStats(t *testing.T) {
+	c := New(nil)
+	c.AddRelation(sampleRelation("t", 100))
+	fresh := c.Stats("t")
+	if fresh == nil {
+		t.Fatal("stats missing after AddRelation")
+	}
+
+	degraded := stats.Degrade(fresh, stats.Absent, 0)
+	c.SetStats("T", degraded) // case-insensitive key
+	if got := c.Stats("t"); got != degraded {
+		t.Fatalf("Stats after SetStats = %p, want the installed synopsis %p", got, degraded)
+	}
+	if c.Stats("t").Histogram(0) != nil {
+		t.Error("absent-degraded synopsis should have no histograms")
+	}
+
+	c.SetStats("t", nil)
+	if c.Stats("t") != nil {
+		t.Error("SetStats(nil) should remove the synopsis")
+	}
+	if !c.RefreshStats("t") {
+		t.Fatal("RefreshStats failed")
+	}
+	if ts := c.Stats("t"); ts == nil || ts.Histogram(0) == nil {
+		t.Error("RefreshStats should rebuild full statistics")
 	}
 }

@@ -9,9 +9,11 @@ import (
 	"testing"
 
 	"sqlprogress/internal/catalog"
+	"sqlprogress/internal/core"
 	"sqlprogress/internal/coretest"
 	"sqlprogress/internal/exec"
 	"sqlprogress/internal/expr"
+	"sqlprogress/internal/ledger"
 	"sqlprogress/internal/pager"
 	"sqlprogress/internal/schema"
 	"sqlprogress/internal/sqlval"
@@ -417,6 +419,109 @@ func fuzzPagedVsMem(t *testing.T, seed int64) {
 	}
 }
 
+// permutedFuzzCatalog builds a second catalog holding exactly db's rows with
+// both tables re-appended in a seeded-shuffled order. Statistics are rebuilt
+// from the shuffled relations, so everything downstream of the catalog —
+// histograms, indexes, compiled plans — derives from the permuted store.
+func permutedFuzzCatalog(db *fuzzDB, r *rand.Rand) *catalog.Catalog {
+	cat := catalog.New(nil)
+	rel1 := schema.NewRelation("t1", schema.New(
+		schema.Column{Name: "a", Type: sqlval.KindInt},
+		schema.Column{Name: "b", Type: sqlval.KindInt},
+		schema.Column{Name: "c", Type: sqlval.KindInt},
+	))
+	for _, i := range r.Perm(len(db.t1)) {
+		row := db.t1[i]
+		rel1.Append(schema.Row{sqlval.Int(row[0]), sqlval.Int(row[1]), sqlval.Int(row[2])})
+	}
+	rel2 := schema.NewRelation("t2", schema.New(
+		schema.Column{Name: "d", Type: sqlval.KindInt},
+		schema.Column{Name: "e", Type: sqlval.KindInt},
+	))
+	for _, i := range r.Perm(len(db.t2)) {
+		row := db.t2[i]
+		rel2.Append(schema.Row{sqlval.Int(row[0]), sqlval.Int(row[1])})
+	}
+	cat.AddRelation(rel1)
+	cat.AddRelation(rel2)
+	return cat
+}
+
+// orderMark is the end-of-run observable state the metamorphic family holds
+// fixed across permutations: result multiset, total counted GetNext calls,
+// the full per-node ledger, and the three headline estimators' final values.
+type orderMark struct {
+	rows            [][]int64
+	calls           int64
+	nodes           []ledger.Snapshot
+	dne, pmax, safe float64
+}
+
+func runOrderMark(t *testing.T, cat *catalog.Catalog, sql string) orderMark {
+	t.Helper()
+	op, err := CompileSQL(cat, sql)
+	if err != nil {
+		t.Fatalf("compile %q: %v", sql, err)
+	}
+	tracker := core.NewTracker(op)
+	ctx := exec.NewCtx()
+	rows, err := exec.Run(ctx, op)
+	if err != nil {
+		t.Fatalf("run %q: %v", sql, err)
+	}
+	s := tracker.Capture()
+	return orderMark{
+		rows:  resultToInts(t, rows),
+		calls: ctx.Calls(),
+		nodes: tracker.Ledger().SnapshotAll(nil),
+		dne:   (core.Dne{}).Estimate(s),
+		pmax:  (core.Pmax{}).Estimate(s),
+		safe:  (core.Safe{}).Estimate(s),
+	}
+}
+
+// fuzzOrderInvariance is the metamorphic order-invariance family: permuting
+// the stored row order of both base tables must leave every end-of-run
+// observable of an order-insensitive plan unchanged — the result multiset,
+// the total counted GetNext calls, the final per-node ledger, and the final
+// dne/pmax/safe estimates. The query set avoids LIMIT (whose work depends on
+// which rows arrive first); ORDER BY is fine because results are compared as
+// multisets and Sort consumes its input fully either way.
+func fuzzOrderInvariance(t *testing.T, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	db := newFuzzDB(r)
+	perm := permutedFuzzCatalog(db, r)
+	p := randPred(r)
+	queries := []string{
+		fmt.Sprintf("SELECT a, b, c FROM t1 WHERE %s", p.sql()),
+		"SELECT b, COUNT(*), SUM(c), MIN(c), MAX(c) FROM t1 GROUP BY b",
+		"SELECT a, e FROM t1, t2 WHERE a = d",
+		"SELECT b, COUNT(*), SUM(e) FROM t1 JOIN t2 ON a = d GROUP BY b ORDER BY b",
+		"SELECT a, c FROM t1 WHERE NOT EXISTS (SELECT 1 FROM t2 WHERE t2.d = t1.a)",
+	}
+	for _, sql := range queries {
+		base := runOrderMark(t, db.cat, sql)
+		shuf := runOrderMark(t, perm, sql)
+		compare(t, sql, shuf.rows, base.rows)
+		if base.calls != shuf.calls {
+			t.Fatalf("%s: total calls changed under permutation: %d vs %d", sql, base.calls, shuf.calls)
+		}
+		if len(base.nodes) != len(shuf.nodes) {
+			t.Fatalf("%s: ledger has %d slots vs %d under permutation", sql, len(base.nodes), len(shuf.nodes))
+		}
+		for i := range base.nodes {
+			if base.nodes[i] != shuf.nodes[i] {
+				t.Fatalf("%s: ledger slot %d changed under permutation: %+v vs %+v",
+					sql, i, base.nodes[i], shuf.nodes[i])
+			}
+		}
+		if base.dne != shuf.dne || base.pmax != shuf.pmax || base.safe != shuf.safe {
+			t.Fatalf("%s: final estimates changed under permutation: dne %v/%v pmax %v/%v safe %v/%v",
+				sql, base.dne, shuf.dne, base.pmax, shuf.pmax, base.safe, shuf.safe)
+		}
+	}
+}
+
 // fuzzFamilies dispatches a fuzz input's kind byte to one query family.
 var fuzzFamilies = []func(*testing.T, int64){
 	fuzzFilterProjection,
@@ -428,9 +533,10 @@ var fuzzFamilies = []func(*testing.T, int64){
 	fuzzExchangeParallel,
 	fuzzBatchVsRow,
 	fuzzPagedVsMem,
+	fuzzOrderInvariance,
 }
 
-// FuzzDifferential is the native-fuzzing entry point over all nine
+// FuzzDifferential is the native-fuzzing entry point over all ten
 // differential families: the fuzzer explores (seed, family) pairs, every
 // one of which must produce results identical to the naive evaluator (and
 // clean progress invariants for the invariant families). The checked-in
@@ -495,5 +601,11 @@ func TestFuzzBatchVsRow(t *testing.T) {
 func TestFuzzPagedVsMem(t *testing.T) {
 	for seed := int64(800); seed < 812; seed++ {
 		fuzzPagedVsMem(t, seed)
+	}
+}
+
+func TestFuzzOrderInvariance(t *testing.T) {
+	for seed := int64(900); seed < 912; seed++ {
+		fuzzOrderInvariance(t, seed)
 	}
 }

@@ -168,6 +168,17 @@ func (m *Monitor) Hook() func(int64) {
 	}
 }
 
+// Observe captures a sample at an externally chosen instant. It is the
+// quiesce-point alternative to Hook for the batch engine: installing
+// OnGetNext would collapse vectorized execution to row-at-a-time (the fast
+// path requires no per-call hook), so batch callers instead run under
+// exec.RunBatchObserved and call Observe with the delivered-call count after
+// each root batch. Captures are serialized by the callers' own quiesce
+// points; Observe itself is not safe for concurrent use.
+func (m *Monitor) Observe(calls int64) {
+	m.capture(m.tracker, calls)
+}
+
 // Finish records the at-completion sample (unless the hook already sampled
 // that instant) and total(Q). Run calls it automatically; install-the-hook
 // callers invoke it once the plan is drained.

@@ -1,0 +1,424 @@
+// Package evalmatrix is the estimator accuracy matrix: the paper's central
+// question — when can a progress estimator be trusted? — turned into a
+// standing instrument. It sweeps {TPC-H zipf 0/1/2, SkyServer, adversarial
+// skew} × {fresh, stale, absent statistics} × {scan, join, agg,
+// parallel-exchange, paged} plan families, runs every cell under both the
+// row and the batch engine, and records each estimator's (dne, pmax, safe)
+// error trajectory: max ratio error, mean L1 error, time-to-convergence,
+// plus hard-bound soundness counters. cmd/benchdump emits the matrix as
+// BENCH_ACC.json and cmd/benchgate fails CI when a cell regresses — the
+// same gating discipline applied to allocations since PR 5.
+//
+// Every cell is deterministic: all generation and mutation is seeded, the
+// parallel family uses the lockstep exchange, batch cells sample at quiesce
+// points, and the convergence metric is defined over progress fractions,
+// never wall clock. Two back-to-back runs produce byte-identical artifacts.
+package evalmatrix
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sqlprogress/internal/core"
+	"sqlprogress/internal/exec"
+	"sqlprogress/internal/experiments"
+	"sqlprogress/internal/stats"
+)
+
+// Options scales the matrix. All fields are seeds or sizes — nothing
+// wall-clock dependent.
+type Options struct {
+	// Seed drives every generator and mutation in the matrix.
+	Seed int64
+	// TPCHScale is the TPC-H scale factor per zipf variant.
+	TPCHScale float64
+	// SkyRows is the SkyServer photoobj cardinality.
+	SkyRows int64
+	// AdvKeys and AdvRows size the adversarial skew pair (|R1| keys,
+	// |R2| rows zipf(2)-distributed over them).
+	AdvKeys int
+	AdvRows int64
+	// Samples is the target number of progress samples per cell.
+	Samples int64
+	// BatchSize is the batch engine's window; small enough that quiesce
+	// points give several samples even on modest tables.
+	BatchSize int
+	// Perturb multiplies the named estimators' outputs by the given factor
+	// (clamped to [0, 1]). It exists for the gate's negative self-test: a
+	// deliberately broken estimator must fail the accuracy gate.
+	Perturb map[string]float64
+}
+
+// DefaultOptions is the scale the checked-in BENCH_ACC.json artifact is
+// generated at.
+func DefaultOptions() Options {
+	return Options{
+		Seed:      42,
+		TPCHScale: 0.002,
+		SkyRows:   8_000,
+		AdvKeys:   2_000,
+		AdvRows:   8_000,
+		Samples:   40,
+		BatchSize: 64,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.TPCHScale <= 0 {
+		o.TPCHScale = d.TPCHScale
+	}
+	if o.SkyRows <= 0 {
+		o.SkyRows = d.SkyRows
+	}
+	if o.AdvKeys <= 0 {
+		o.AdvKeys = d.AdvKeys
+	}
+	if o.AdvRows <= 0 {
+		o.AdvRows = d.AdvRows
+	}
+	if o.Samples <= 0 {
+		o.Samples = d.Samples
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = d.BatchSize
+	}
+	return o
+}
+
+// RatioErrCap replaces an infinite ratio error (an estimate of exactly zero
+// while actual progress is nonzero, or vice versa) in the artifact: JSON
+// cannot carry +Inf, and any capped value fails a gate comparison against a
+// finite baseline just as +Inf would.
+const RatioErrCap = 1e9
+
+// ConvergenceNever is the convergence value of a cell whose ratio error
+// never settles below ConvergenceRatio (progress fractions live in [0, 1],
+// so 2 is unreachable by a converging run).
+const ConvergenceNever = 2.0
+
+// ConvergenceRatio is the ratio-error threshold defining convergence: the
+// reported convergence point is the actual-progress fraction of the first
+// sample after which every sample's ratio error stays below it.
+const ConvergenceRatio = 1.1
+
+// Row is one artifact row: one matrix cell × one estimator.
+type Row struct {
+	Dataset   string `json:"dataset"`
+	Stats     string `json:"stats"`
+	Family    string `json:"family"`
+	Engine    string `json:"engine"`
+	Estimator string `json:"estimator"`
+	// Mu is the paper's mu = total(Q) / scanned leaf cardinality for the
+	// cell's execution (identical across the cell's estimator rows).
+	Mu float64 `json:"mu"`
+	// MaxRatioErr is the worst max(a/e, e/a) over the cell's samples,
+	// capped at RatioErrCap.
+	MaxRatioErr float64 `json:"max_ratio_err"`
+	// L1Err is the mean |estimate - actual| over the samples.
+	L1Err float64 `json:"l1_err"`
+	// Convergence is the actual-progress fraction after which the ratio
+	// error stays below ConvergenceRatio (ConvergenceNever if it never does).
+	Convergence float64 `json:"convergence"`
+	// Samples is the number of recorded observations.
+	Samples int `json:"samples"`
+	// LBRegressions counts samples whose LB dropped below the previous
+	// sample's (must be 0: lower bounds only tighten upward).
+	LBRegressions int `json:"lb_regressions"`
+	// UBRegressions counts samples whose UB rose above the previous
+	// sample's (must be 0: upper bounds only tighten downward).
+	UBRegressions int `json:"ub_regressions"`
+	// BoundMisses counts samples whose hard interval failed to bracket the
+	// run — Curr > UB, LB > total, or UB < total (must be 0).
+	BoundMisses int `json:"bound_misses"`
+	// SkewedStale marks the paper's Section 5 regime: a skewed dataset's
+	// stale join cell, where the acceptance ordering safe <= dne must hold.
+	SkewedStale bool `json:"skewed_stale"`
+}
+
+// CellID identifies the row's matrix cell (every cell has one row per
+// estimator).
+func (r Row) CellID() string {
+	return r.Dataset + "/" + r.Stats + "/" + r.Family + "/" + r.Engine
+}
+
+// Key identifies the row uniquely within an artifact.
+func (r Row) Key() string { return r.CellID() + "/" + r.Estimator }
+
+// perturbed wraps an estimator with a multiplicative output error, keeping
+// the inner name so series lookups and artifact rows stay comparable.
+type perturbed struct {
+	inner  core.Estimator
+	factor float64
+}
+
+func (p perturbed) Name() string { return p.inner.Name() }
+
+func (p perturbed) Estimate(s *core.State) float64 {
+	v := p.inner.Estimate(s) * p.factor
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// estimators returns the matrix's estimator set, with any configured
+// perturbations applied.
+func estimators(opts Options) []core.Estimator {
+	base := []core.Estimator{core.Dne{}, core.Pmax{}, core.Safe{}}
+	if len(opts.Perturb) == 0 {
+		return base
+	}
+	out := make([]core.Estimator, len(base))
+	for i, e := range base {
+		if f, ok := opts.Perturb[e.Name()]; ok {
+			out[i] = perturbed{inner: e, factor: f}
+		} else {
+			out[i] = e
+		}
+	}
+	return out
+}
+
+// Run executes the full matrix and returns one Row per cell per estimator,
+// in deterministic sweep order (dataset, health, family, engine, estimator).
+func Run(opts Options) ([]Row, error) {
+	opts = opts.withDefaults()
+	var rows []Row
+	for _, ds := range datasets() {
+		for _, health := range stats.Healths() {
+			sc, err := buildScenario(ds, health, opts)
+			if err != nil {
+				return nil, err
+			}
+			for _, fam := range sc.families {
+				for _, engine := range []string{"row", "batch"} {
+					cellRows, err := runCell(ds, health, fam, engine, opts)
+					if err != nil {
+						sc.cleanup()
+						return nil, fmt.Errorf("evalmatrix: %s/%s/%s/%s: %w",
+							ds.name, health, fam.name, engine, err)
+					}
+					rows = append(rows, cellRows...)
+				}
+			}
+			sc.cleanup()
+		}
+	}
+	return rows, nil
+}
+
+// runCell measures one (dataset, health, family, engine) cell: a dry run
+// sizes the sampling period from the cell's exact total, then a fresh plan
+// executes under the chosen engine with all estimators sampled.
+func runCell(ds dataset, health stats.Health, fam familySpec, engine string, opts Options) ([]Row, error) {
+	dry, err := fam.build()
+	if err != nil {
+		return nil, err
+	}
+	dctx := exec.NewCtx()
+	if _, err := exec.Run(dctx, dry); err != nil {
+		return nil, err
+	}
+	total := dctx.Calls()
+	every := total / opts.Samples
+	if every < 1 {
+		every = 1
+	}
+
+	root, err := fam.build()
+	if err != nil {
+		return nil, err
+	}
+	ests := estimators(opts)
+	m := core.NewMonitor(root, every, ests...)
+	switch engine {
+	case "row":
+		if _, err := m.Run(); err != nil {
+			return nil, err
+		}
+	case "batch":
+		// Installing the monitor's hook would collapse the batch fast path
+		// to row-at-a-time; instead sample at quiesce points — after each
+		// root batch, whenever the call count crosses the next period.
+		ctx := exec.NewCtx()
+		ctx.BatchSize = opts.BatchSize
+		next := every
+		if _, err := exec.RunBatchObserved(ctx, root, func(curr int64) {
+			if curr >= next {
+				m.Observe(curr)
+				next = curr - curr%every + every
+			}
+		}); err != nil {
+			return nil, err
+		}
+		m.Finish(ctx.Calls())
+	default:
+		return nil, fmt.Errorf("unknown engine %q", engine)
+	}
+
+	lbReg, ubReg, misses := soundness(m.Samples, m.Total())
+	rows := make([]Row, 0, len(ests))
+	for i, e := range ests {
+		pts := m.SeriesAt(i)
+		maxErr := core.MaxRatioError(pts)
+		if maxErr > RatioErrCap {
+			maxErr = RatioErrCap
+		}
+		rows = append(rows, Row{
+			Dataset:       ds.name,
+			Stats:         string(health),
+			Family:        fam.name,
+			Engine:        engine,
+			Estimator:     e.Name(),
+			Mu:            core.Mu(root),
+			MaxRatioErr:   maxErr,
+			L1Err:         core.AvgAbsError(pts),
+			Convergence:   convergence(pts),
+			Samples:       len(m.Samples),
+			LBRegressions: lbReg,
+			UBRegressions: ubReg,
+			BoundMisses:   misses,
+			SkewedStale:   ds.skewed && health == stats.Stale && fam.name == "join",
+		})
+	}
+	return rows, nil
+}
+
+// soundness counts hard-bound violations over a completed run's samples:
+// LB must be non-decreasing, UB non-increasing, and every sample's interval
+// must bracket both its own Curr and the final total.
+func soundness(samples []core.Sample, total int64) (lbReg, ubReg, misses int) {
+	for i, s := range samples {
+		if i > 0 {
+			if s.LB < samples[i-1].LB {
+				lbReg++
+			}
+			if s.UB > samples[i-1].UB {
+				ubReg++
+			}
+		}
+		if s.Calls > s.UB || s.LB > total || s.UB < total {
+			misses++
+		}
+	}
+	return lbReg, ubReg, misses
+}
+
+// convergence returns the actual-progress fraction of the first sample
+// after which every sample's ratio error stays below ConvergenceRatio, or
+// ConvergenceNever. Defined purely over the sampled series — no clocks.
+func convergence(pts []core.Point) float64 {
+	conv := ConvergenceNever
+	for i := len(pts) - 1; i >= 0; i-- {
+		if core.RatioError(pts[i].Actual, pts[i].Est) >= ConvergenceRatio {
+			break
+		}
+		conv = pts[i].Actual
+	}
+	return conv
+}
+
+// artifact is the BENCH_ACC.json layout. Unlike the timing artifacts it
+// carries no date and no host facts: every field is deterministic, and the
+// flake audit diffs two runs byte for byte.
+type artifact struct {
+	Suite string `json:"suite"`
+	Cells int    `json:"cells"`
+	Rows  []Row  `json:"rows"`
+}
+
+// EncodeJSON renders rows as the canonical artifact bytes.
+func EncodeJSON(rows []Row) ([]byte, error) {
+	cells := map[string]bool{}
+	for _, r := range rows {
+		cells[r.CellID()] = true
+	}
+	buf, err := json.MarshalIndent(artifact{Suite: "acc", Cells: len(cells), Rows: rows}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// WriteFile writes the artifact to path.
+func WriteFile(path string, rows []Row) error {
+	buf, err := EncodeJSON(rows)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// ReadFile loads an artifact's rows.
+func ReadFile(path string) ([]Row, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a artifact
+	if err := json.Unmarshal(buf, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a.Rows, nil
+}
+
+// Table folds the per-estimator rows into one rendered line per matrix cell
+// (max ratio error per estimator, safe's convergence point), reusing the
+// experiments Result rendering used by every other table in the repo.
+func Table(rows []Row) experiments.Result {
+	res := experiments.Result{
+		ID:      "acc",
+		Title:   "estimator accuracy matrix (max ratio error per cell)",
+		Headers: []string{"dataset", "stats", "family", "engine", "mu", "dne", "pmax", "safe", "conv(safe)", "flag"},
+		Metrics: map[string]float64{},
+	}
+	type cell struct {
+		first Row
+		errs  map[string]float64
+		conv  map[string]float64
+	}
+	order := []string{}
+	cells := map[string]*cell{}
+	flagged := 0
+	for _, r := range rows {
+		id := r.CellID()
+		c, ok := cells[id]
+		if !ok {
+			c = &cell{first: r, errs: map[string]float64{}, conv: map[string]float64{}}
+			cells[id] = c
+			order = append(order, id)
+		}
+		c.errs[r.Estimator] = r.MaxRatioErr
+		c.conv[r.Estimator] = r.Convergence
+		res.Metrics[r.Key()] = r.MaxRatioErr
+	}
+	for _, id := range order {
+		c := cells[id]
+		flag := ""
+		if c.first.SkewedStale {
+			flag = "skewed-stale"
+			flagged++
+		}
+		res.Rows = append(res.Rows, []string{
+			c.first.Dataset, c.first.Stats, c.first.Family, c.first.Engine,
+			fmt.Sprintf("%.3f", c.first.Mu),
+			fmt.Sprintf("%.3f", c.errs["dne"]),
+			fmt.Sprintf("%.3f", c.errs["pmax"]),
+			fmt.Sprintf("%.3f", c.errs["safe"]),
+			fmt.Sprintf("%.3f", c.conv["safe"]),
+			flag,
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d cells x %d estimator rows; %d skewed-stale cells gated on safe <= dne",
+			len(order), len(rows), flagged))
+	return res
+}

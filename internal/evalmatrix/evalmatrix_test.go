@@ -1,0 +1,251 @@
+package evalmatrix
+
+import (
+	"bytes"
+	"testing"
+
+	"sqlprogress/internal/core"
+	"sqlprogress/internal/stats"
+)
+
+// testOptions is a scaled-down matrix for unit tests: same cell structure
+// as the checked-in artifact, smaller relations.
+func testOptions() Options {
+	return Options{
+		Seed:      42,
+		TPCHScale: 0.001,
+		SkyRows:   2_000,
+		AdvKeys:   500,
+		AdvRows:   2_000,
+		Samples:   20,
+		BatchSize: 32,
+	}
+}
+
+// TestMatrixDeterministic is the flake audit: two back-to-back runs must
+// encode to byte-identical artifacts.
+func TestMatrixDeterministic(t *testing.T) {
+	r1, err := Run(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := EncodeJSON(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := EncodeJSON(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				t.Fatalf("first differing row %d:\n  run1 %+v\n  run2 %+v", i, r1[i], r2[i])
+			}
+		}
+		t.Fatalf("artifacts differ (%d vs %d bytes) but rows compare equal", len(b1), len(b2))
+	}
+}
+
+// TestMatrixShapeAndSoundness checks the structural acceptance criteria:
+// full cell coverage, one row per estimator per cell, zero hard-bound
+// violations anywhere, and the paper's ordering safe <= dne on every
+// skewed-stale cell.
+func TestMatrixShapeAndSoundness(t *testing.T) {
+	rows, err := Run(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := map[string]map[string]Row{}
+	for _, r := range rows {
+		id := r.CellID()
+		if cells[id] == nil {
+			cells[id] = map[string]Row{}
+		}
+		if _, dup := cells[id][r.Estimator]; dup {
+			t.Fatalf("duplicate row %s", r.Key())
+		}
+		cells[id][r.Estimator] = r
+	}
+	// 5 datasets x 3 healths x 5 families x 2 engines.
+	if want := 5 * 3 * 5 * 2; len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	if len(cells) < 40 {
+		t.Fatalf("matrix too small for acceptance: %d cells < 40", len(cells))
+	}
+	skewedStale := 0
+	for id, byEst := range cells {
+		if len(byEst) != 3 {
+			t.Fatalf("cell %s has %d estimator rows, want 3", id, len(byEst))
+		}
+		for _, r := range byEst {
+			// Streaming families quiesce steadily under both engines. Batch
+			// join/agg cells legitimately collapse to very few samples: the
+			// blocking build (agg) or skew-tail fanout (join) delivers almost
+			// all counted work inside one root batch, which is exactly the
+			// observability loss DESIGN.md section 17 documents.
+			minSamples := 1
+			if r.Family == "scan" || r.Family == "parallel" || r.Family == "paged" {
+				minSamples = 5
+			}
+			if r.Samples < minSamples {
+				t.Errorf("%s: only %d samples, want >= %d", r.Key(), r.Samples, minSamples)
+			}
+			if r.LBRegressions != 0 || r.UBRegressions != 0 || r.BoundMisses != 0 {
+				t.Errorf("%s: bound violations lb=%d ub=%d miss=%d",
+					r.Key(), r.LBRegressions, r.UBRegressions, r.BoundMisses)
+			}
+			if r.MaxRatioErr < 1 {
+				t.Errorf("%s: max ratio error %v < 1", r.Key(), r.MaxRatioErr)
+			}
+			if r.Mu <= 0 {
+				t.Errorf("%s: mu = %v", r.Key(), r.Mu)
+			}
+		}
+		if byEst["dne"].SkewedStale {
+			skewedStale++
+			if safe, dne := byEst["safe"].MaxRatioErr, byEst["dne"].MaxRatioErr; safe > dne {
+				t.Errorf("%s: safe max ratio error %.4f exceeds dne's %.4f on a skewed-stale cell",
+					id, safe, dne)
+			}
+		}
+	}
+	// tpch-z1, tpch-z2, adversarial joins x 2 engines.
+	if want := 3 * 2; skewedStale != want {
+		t.Errorf("got %d skewed-stale cells, want %d", skewedStale, want)
+	}
+}
+
+// TestMatrixEnginesAgreeOnTotals: a cell's mu is an execution property, so
+// the row- and batch-engine variants of the same logical cell must agree on
+// it (PR 5's quiesce equivalence, observed through the matrix).
+func TestMatrixEnginesAgreeOnTotals(t *testing.T) {
+	rows, err := Run(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := map[string]float64{}
+	for _, r := range rows {
+		logical := r.Dataset + "/" + r.Stats + "/" + r.Family
+		if prev, ok := mu[logical]; ok {
+			if prev != r.Mu {
+				t.Errorf("%s: mu differs across engines/estimators: %v vs %v", logical, prev, r.Mu)
+			}
+		} else {
+			mu[logical] = r.Mu
+		}
+	}
+}
+
+// TestPerturbationInflatesError: breaking an estimator must show up in its
+// matrix rows — the mechanism the accuracy gate's negative self-test relies
+// on.
+func TestPerturbationInflatesError(t *testing.T) {
+	base, err := Run(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions()
+	opts.Perturb = map[string]float64{"dne": 0.7}
+	broken, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(broken) {
+		t.Fatalf("row counts differ: %d vs %d", len(base), len(broken))
+	}
+	worse, others := 0, 0
+	for i := range base {
+		if base[i].Key() != broken[i].Key() {
+			t.Fatalf("row order differs at %d: %s vs %s", i, base[i].Key(), broken[i].Key())
+		}
+		if base[i].Estimator == "dne" {
+			if broken[i].MaxRatioErr > base[i].MaxRatioErr*1.10 {
+				worse++
+			}
+		} else if broken[i].MaxRatioErr != base[i].MaxRatioErr {
+			others++
+		}
+	}
+	if worse == 0 {
+		t.Fatal("perturbing dne by 0.7 did not inflate any dne cell past the 10% gate slack")
+	}
+	if others != 0 {
+		t.Errorf("perturbing dne changed %d non-dne rows", others)
+	}
+}
+
+// TestArtifactRoundTrip: encode -> write -> read preserves rows exactly.
+func TestArtifactRoundTrip(t *testing.T) {
+	rows := []Row{
+		{Dataset: "d", Stats: string(stats.Fresh), Family: "scan", Engine: "row",
+			Estimator: "dne", Mu: 1, MaxRatioErr: 1.25, L1Err: 0.01,
+			Convergence: 0.5, Samples: 12},
+		{Dataset: "d", Stats: string(stats.Stale), Family: "join", Engine: "batch",
+			Estimator: "safe", Mu: 2.5, MaxRatioErr: RatioErrCap, L1Err: 0.2,
+			Convergence: ConvergenceNever, Samples: 7, SkewedStale: true},
+	}
+	path := t.TempDir() + "/acc.json"
+	if err := WriteFile(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("got %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if got[i] != rows[i] {
+			t.Fatalf("row %d: %+v != %+v", i, got[i], rows[i])
+		}
+	}
+}
+
+// TestTable renders without panicking and reports every cell once.
+func TestTable(t *testing.T) {
+	rows, err := Run(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Table(rows)
+	if want := len(rows) / 3; len(res.Rows) != want {
+		t.Fatalf("table has %d rows, want %d", len(res.Rows), want)
+	}
+	if res.Render() == "" {
+		t.Fatal("empty render")
+	}
+	if len(res.Metrics) != len(rows) {
+		t.Fatalf("metrics map has %d entries, want %d", len(res.Metrics), len(rows))
+	}
+}
+
+// TestConvergenceMetric pins the backwards-scan definition on a hand-built
+// series.
+func TestConvergenceMetric(t *testing.T) {
+	mk := func(pairs ...float64) []core.Point {
+		out := make([]core.Point, 0, len(pairs)/2)
+		for i := 0; i < len(pairs); i += 2 {
+			out = append(out, core.Point{Actual: pairs[i], Est: pairs[i+1]})
+		}
+		return out
+	}
+	// Converges at 0.5: the 0.25 sample is off by 2x, everything after is exact.
+	if got := convergence(mk(0.25, 0.5, 0.5, 0.5, 1.0, 1.0)); got != 0.5 {
+		t.Fatalf("convergence = %v, want 0.5", got)
+	}
+	// Never converges: last sample is off by 2x.
+	if got := convergence(mk(0.5, 0.5, 1.0, 0.5)); got != ConvergenceNever {
+		t.Fatalf("convergence = %v, want %v", got, ConvergenceNever)
+	}
+	// Converged from the start.
+	if got := convergence(mk(0.5, 0.5, 1.0, 1.0)); got != 0.5 {
+		t.Fatalf("convergence = %v, want 0.5", got)
+	}
+}

@@ -37,6 +37,16 @@ type Exchange struct {
 	firstErr error
 	buf      *Batch
 	pos      int
+
+	// Lockstep mode: no worker goroutines. The reader drains the partitions
+	// itself, one batch at a time, round-robin over the unfinished ones. Same
+	// rows, same counts, same ledger slots — but a fixed interleaving, so a
+	// sampler observes identical instants run after run. The evaluation
+	// matrix uses it to keep parallel-plan cells byte-deterministic.
+	lockstep bool
+	lsDone   []bool
+	lsIdx    int
+	lsBuf    Batch
 }
 
 // NewExchange builds an exchange over the given partitions (at least one;
@@ -47,6 +57,17 @@ func NewExchange(parts ...Operator) *Exchange {
 	}
 	e := &Exchange{parts: parts}
 	e.init(parts[0].Schema())
+	return e
+}
+
+// NewExchangeLockstep builds an exchange that drains its partitions on the
+// caller's goroutine in deterministic round-robin order instead of spawning
+// workers. The plan shape, schema, ledger slots, and aggregate counts are
+// identical to NewExchange over the same partitions; only the interleaving
+// (and therefore the sequence of sampled instants) becomes reproducible.
+func NewExchangeLockstep(parts ...Operator) *Exchange {
+	e := NewExchange(parts...)
+	e.lockstep = true
 	return e
 }
 
@@ -75,6 +96,18 @@ func NewParallelStoreScan(st schema.Store, workers int) *Exchange {
 // counted call of a subtree happens on that subtree's worker goroutine.
 func (e *Exchange) Open(ctx *Ctx) error {
 	e.reopen()
+	if e.lockstep {
+		e.buf, e.pos = nil, 0
+		e.firstErr = nil
+		e.lsDone = make([]bool, len(e.parts))
+		e.lsIdx = 0
+		for _, c := range e.parts {
+			if err := c.Open(ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	e.ch = make(chan *Batch, len(e.parts))
 	e.free = make(chan *Batch, 2*len(e.parts))
 	e.quit = make(chan struct{})
@@ -155,6 +188,37 @@ func (e *Exchange) worker(ctx *Ctx, part Operator, wg *sync.WaitGroup) {
 	}
 }
 
+// lockstepNext refills e.buf with the next non-empty batch from the
+// partitions, visiting them round-robin and retiring each at its EOF. It
+// reports false once every partition is drained. Runs entirely on the
+// caller's goroutine.
+func (e *Exchange) lockstepNext(ctx *Ctx) (bool, error) {
+	for {
+		allDone := true
+		for range e.parts {
+			i := e.lsIdx
+			e.lsIdx = (e.lsIdx + 1) % len(e.parts)
+			if e.lsDone[i] {
+				continue
+			}
+			allDone = false
+			e.lsBuf.Reset()
+			if err := nextBatch(ctx, e.parts[i], &e.lsBuf); err != nil {
+				return false, err
+			}
+			if e.lsBuf.Len() == 0 {
+				e.lsDone[i] = true
+				continue
+			}
+			e.buf, e.pos = &e.lsBuf, 0
+			return true, nil
+		}
+		if allDone {
+			return false, nil
+		}
+	}
+}
+
 // Next implements Operator: it merges worker batches into one counted
 // stream. Only the reader goroutine touches the exchange's own ledger slot.
 func (e *Exchange) Next(ctx *Ctx) (schema.Row, bool, error) {
@@ -163,6 +227,17 @@ func (e *Exchange) Next(ctx *Ctx) (schema.Row, bool, error) {
 			row := e.buf.Rows[e.pos]
 			e.pos++
 			return e.emit(ctx, row)
+		}
+		if e.lockstep {
+			e.buf = nil
+			ok, err := e.lockstepNext(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				return e.eof()
+			}
+			continue
 		}
 		if e.buf != nil {
 			e.putBatch(e.buf)
@@ -192,6 +267,20 @@ func (e *Exchange) NextBatch(ctx *Ctx, b *Batch) error {
 		return FillFromNext(ctx, e, b, ctx.batchSize())
 	}
 	b.Reset()
+	if e.lockstep {
+		e.buf = nil
+		ok, err := e.lockstepNext(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			e.markDone()
+			return nil
+		}
+		b.Rows = append(b.Rows, e.buf.Rows...)
+		e.buf = nil
+		return e.creditRows(ctx, b.Len())
+	}
 	wb, ok := <-e.ch
 	if !ok {
 		e.errMu.Lock()

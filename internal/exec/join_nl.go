@@ -36,7 +36,15 @@ type INLJoin struct {
 	in      Batch    // reused outer-batch scratch (vectorized path)
 	drained bool     // outer EOF seen while output was in hand
 	arena   rowArena // chunked backing storage for concatenated outputs
+
+	static *CardBounds
 }
+
+// SetStaticBounds records plan-time output-cardinality bounds (from inner-
+// column histograms). They are intersected with the fan-out bounds in
+// FinalBounds: the static interval is constant over the run, so monotone
+// refinement of the dynamic bounds is preserved.
+func (j *INLJoin) SetStaticBounds(b CardBounds) { j.static = &b }
 
 // NewINLJoin builds an index nested loops join probing idx with the value of
 // outerKey for each outer row.
@@ -216,10 +224,12 @@ func (j *INLJoin) Name() string {
 }
 
 // FinalBounds implements Operator. The inner relation is visible through the
-// index: its cardinality and maximum per-key fan-out bound the output.
+// index: its cardinality and maximum per-key fan-out bound the output. Any
+// static (histogram-derived) bounds are intersected in.
 func (j *INLJoin) FinalBounds(ch []CardBounds) CardBounds {
 	outer := ch[0]
 	innerCard := j.Idx.Rel.Cardinality()
+	var b CardBounds
 	switch j.Mode {
 	case SemiJoin, AntiJoin:
 		return CardBounds{LB: 0, UB: outer.UB}
@@ -237,8 +247,13 @@ func (j *INLJoin) FinalBounds(ch []CardBounds) CardBounds {
 		if j.Linear {
 			ub = minI64(ub, maxI64(outer.UB, innerCard))
 		}
-		return CardBounds{LB: 0, UB: ub}
+		b = CardBounds{LB: 0, UB: ub}
 	}
+	if j.static != nil {
+		b.LB = maxI64(b.LB, j.static.LB)
+		b.UB = minI64(b.UB, j.static.UB)
+	}
+	return b
 }
 
 // StreamChildren implements Operator.

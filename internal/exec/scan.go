@@ -117,6 +117,12 @@ func (s *Scan) window() (int, int) {
 	return s.Src.AlignWindow(s.part, s.parts)
 }
 
+// WholeStore reports whether the scan covers the entire store rather than a
+// partition window. Together with a nil Pred it certifies the scan delivers
+// every stored row — the property plan-time reasoning (e.g. key-FK join
+// bounds) needs from a driver.
+func (s *Scan) WholeStore() bool { return s.parts == 0 }
+
 // Open implements Operator.
 func (s *Scan) Open(*Ctx) error {
 	s.reopen()

@@ -226,6 +226,31 @@ func (n Node) INLJoin(innerTable, innerCol, outerCol string, mode exec.JoinMode)
 	op := exec.NewINLJoin(n.Op, ix, expr.NewCol(n.Schema(), "", outerCol), mode)
 	op.Linear = n.b.joinLinear(n.Schema(), outerCol, ix.Rel.Schema(), innerCol)
 	innerEst := float64(ix.Rel.Cardinality())
+	// When the outer key is unique (a key-FK join driven from the key side),
+	// every inner row is emitted at most once, so inner rows with a non-NULL
+	// key are a hard output ceiling. The inner column's histogram counts them
+	// (stale-widened when the synopsis is degraded), giving a sound static
+	// upper bound. If a foreign key innerCol -> outerCol is also declared and
+	// the driver provably delivers every parent row (an unfiltered whole-table
+	// scan), referential integrity turns the same count into a lower bound:
+	// every non-NULL inner row must find its unique match. Fresh statistics
+	// then pin the join's output exactly; degraded ones widen the interval by
+	// the staleness budget instead of abandoning it.
+	if ot, oc := columnBase(n.Schema(), outerCol); mode == exec.InnerJoin && ot != "" && n.b.cat.IsUnique(ot, oc) {
+		if ts := n.b.cat.Stats(innerTable); ts != nil {
+			ci, _ := ix.Rel.Sch.ColIndex("", innerCol)
+			if h := ts.Histogram(ci); h != nil && len(h.Buckets) > 0 {
+				re := h.EstimateRange(nil, nil, true, true)
+				sb := exec.CardBounds{LB: 0, UB: re.UB}
+				if sc, ok := n.Op.(*exec.Scan); ok && sc.Pred == nil && sc.WholeStore() &&
+					n.b.cat.HasForeignKey(innerTable, innerCol, ot, oc) {
+					sb.LB = re.LB
+				}
+				op.SetStaticBounds(sb)
+				innerEst = re.Est
+			}
+		}
+	}
 	return n.finish(op, joinEstimate(mode, n.est, innerEst, op.Linear))
 }
 

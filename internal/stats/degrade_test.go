@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// TestDegradeStaleWidensNeverCrosses sweeps ranges over a fixed histogram
+// and checks that degrading to Stale only ever widens the hard bounds: the
+// stale interval contains the fresh one, never crosses it, and the point
+// estimate is untouched.
+func TestDegradeStaleWidensNeverCrosses(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	vals := make([]sqlval.Value, 800)
+	for i := range vals {
+		vals[i] = sqlval.Int(r.Int63n(200))
+	}
+	rel := schema.NewRelation("r", schema.New(schema.Column{Name: "a", Type: sqlval.KindInt}))
+	for _, v := range vals {
+		rel.Append(schema.Row{v})
+	}
+	fresh := HistogramGenerator{MaxBuckets: 16}.Generate(rel)
+	for _, changed := range []int64{1, 40, 160, 10_000} {
+		stale := Degrade(fresh, Stale, changed)
+		for trial := 0; trial < 200; trial++ {
+			a, b := r.Int63n(220)-10, r.Int63n(220)-10
+			if a > b {
+				a, b = b, a
+			}
+			lo, hi := sqlval.Int(a), sqlval.Int(b)
+			fe := fresh.Histogram(0).EstimateRange(&lo, &hi, true, true)
+			se := stale.Histogram(0).EstimateRange(&lo, &hi, true, true)
+			if se.LB > fe.LB || se.UB < fe.UB {
+				t.Fatalf("changed=%d range [%d,%d]: stale bounds [%d,%d] cross fresh [%d,%d]",
+					changed, a, b, se.LB, se.UB, fe.LB, fe.UB)
+			}
+			if se.LB < 0 || se.LB > se.UB || se.UB > fresh.Histogram(0).Total {
+				t.Fatalf("changed=%d range [%d,%d]: stale bounds [%d,%d] malformed",
+					changed, a, b, se.LB, se.UB)
+			}
+			if se.Est != fe.Est {
+				t.Fatalf("degrading must not move the point estimate: %g vs %g", se.Est, fe.Est)
+			}
+		}
+	}
+}
+
+// TestDegradeStaleSoundAfterMutation is the end-to-end soundness claim: build
+// statistics, mutate k rows in place without re-analyzing, and verify the
+// widened bounds still bracket every range's true count over the mutated
+// data — while the un-degraded bounds provably do not (the test demands at
+// least one fresh-bound violation, so it cannot pass vacuously).
+func TestDegradeStaleSoundAfterMutation(t *testing.T) {
+	const n = 1000
+	r := rand.New(rand.NewSource(11))
+	rel := schema.NewRelation("r", schema.New(schema.Column{Name: "a", Type: sqlval.KindInt}))
+	for i := 0; i < n; i++ {
+		rel.Append(schema.Row{sqlval.Int(r.Int63n(100))})
+	}
+	fresh := HistogramGenerator{MaxBuckets: 8}.Generate(rel)
+
+	// Mutate 20% of the rows to the top of the domain — a decisive drift.
+	k := int64(0)
+	for _, i := range r.Perm(n)[:n/5] {
+		rel.Rows[i][0] = sqlval.Int(90 + r.Int63n(10))
+		k++
+	}
+	stale := Degrade(fresh, Stale, k)
+
+	freshViolations := 0
+	for a := int64(0); a < 100; a += 5 {
+		for b := a; b < 100; b += 10 {
+			lo, hi := sqlval.Int(a), sqlval.Int(b)
+			var truth int64
+			for _, row := range rel.Rows {
+				if v := row[0].AsInt(); v >= a && v <= b {
+					truth++
+				}
+			}
+			se := stale.Histogram(0).EstimateRange(&lo, &hi, true, true)
+			if truth < se.LB || truth > se.UB {
+				t.Fatalf("range [%d,%d]: true count %d outside stale bounds [%d,%d]",
+					a, b, truth, se.LB, se.UB)
+			}
+			fe := fresh.Histogram(0).EstimateRange(&lo, &hi, true, true)
+			if truth < fe.LB || truth > fe.UB {
+				freshViolations++
+			}
+		}
+	}
+	if freshViolations == 0 {
+		t.Fatal("mutation did not invalidate any fresh bound; soundness test has no teeth")
+	}
+}
+
+// TestDegradeAbsent checks that Absent strips histograms entirely while
+// keeping the row count — the consumer-visible signal to fall back to
+// catalog cardinalities.
+func TestDegradeAbsent(t *testing.T) {
+	rel := schema.NewRelation("r", schema.New(schema.Column{Name: "a", Type: sqlval.KindInt}))
+	for i := int64(0); i < 50; i++ {
+		rel.Append(schema.Row{sqlval.Int(i)})
+	}
+	fresh := HistogramGenerator{}.Generate(rel)
+	absent := Degrade(fresh, Absent, 0)
+	if absent.Histogram(0) != nil {
+		t.Fatal("Absent must strip histograms")
+	}
+	if absent.RowCount != 50 || absent.Table != "r" {
+		t.Fatalf("Absent must keep the synopsis header: %+v", absent)
+	}
+	if fresh.Histogram(0) == nil {
+		t.Fatal("degrading must not modify the input synopsis")
+	}
+}
+
+// TestDegradeFreshAndNil checks the pass-through cases: Fresh shares the
+// original histograms, nil degrades to nil, and repeated staleness budgets
+// accumulate.
+func TestDegradeFreshAndNil(t *testing.T) {
+	rel := schema.NewRelation("r", schema.New(schema.Column{Name: "a", Type: sqlval.KindInt}))
+	for i := int64(0); i < 10; i++ {
+		rel.Append(schema.Row{sqlval.Int(i)})
+	}
+	fresh := HistogramGenerator{}.Generate(rel)
+	same := Degrade(fresh, Fresh, 99)
+	if same.Histogram(0) != fresh.Histogram(0) {
+		t.Error("Fresh degrade should share histograms unchanged")
+	}
+	if Degrade(nil, Stale, 1) != nil {
+		t.Error("nil synopsis degrades to nil")
+	}
+	twice := Degrade(Degrade(fresh, Stale, 3), Stale, 4)
+	if got := twice.Histogram(0).Stale; got != 7 {
+		t.Errorf("staleness budgets must accumulate: got %d, want 7", got)
+	}
+	if fresh.Histogram(0).Stale != 0 {
+		t.Error("degrading must not mutate the input histograms")
+	}
+}

@@ -32,6 +32,13 @@ type Histogram struct {
 	Buckets   []Bucket
 	NullCount int64
 	Total     int64 // including NULLs
+	// Stale is the staleness budget: the number of rows known (or assumed)
+	// to have been mutated since the histogram was built, without
+	// re-analysis. Each in-place mutation moves at most one row into or out
+	// of any range, so EstimateRange widens its hard bounds by this budget
+	// and they remain sound for the drifted relation. Zero for fresh
+	// statistics; set via Degrade.
+	Stale int64
 }
 
 // BuildHistogram constructs an equi-depth histogram with at most maxBuckets
@@ -145,6 +152,20 @@ func (h *Histogram) EstimateRange(lo, hi *sqlval.Value, loIncl, hiIncl bool) Ran
 			frac = m
 		}
 		out.Est += frac * float64(b.Count)
+	}
+	// A stale histogram's bucket counts describe the relation as analyzed;
+	// up to Stale rows have drifted since. Widening by the budget keeps the
+	// bounds hard: rows cannot be created or destroyed by in-place updates,
+	// so the upper bound stays capped at the analyzed row count.
+	if h.Stale > 0 {
+		out.LB -= h.Stale
+		if out.LB < 0 {
+			out.LB = 0
+		}
+		out.UB += h.Stale
+		if out.UB > h.Total {
+			out.UB = h.Total
+		}
 	}
 	return out
 }

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"testing"
+
+	"sqlprogress/internal/datagen"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// Edge cases on the estimation path (ISSUE 8): the empty relation, a single
+// distinct value, an all-NULL column, and the tail buckets of a zipf
+// distribution. TestHistogramEmpty/Nulls/SkewedRuns in stats_test.go cover
+// the value-slice level; these go through the generator and pin down the
+// range-estimate behaviour the evaluation matrix depends on.
+
+func intRel(name string, vals ...int64) *schema.Relation {
+	rel := schema.NewRelation(name, schema.New(schema.Column{Name: "a", Type: sqlval.KindInt}))
+	for _, v := range vals {
+		rel.Append(schema.Row{sqlval.Int(v)})
+	}
+	return rel
+}
+
+// TestHistogramEmptyRelation: generating over a zero-row relation must yield
+// a well-formed synopsis whose every range estimate is exactly zero.
+func TestHistogramEmptyRelation(t *testing.T) {
+	ts := HistogramGenerator{}.Generate(intRel("empty"))
+	if ts.RowCount != 0 {
+		t.Fatalf("RowCount = %d, want 0", ts.RowCount)
+	}
+	h := ts.Histogram(0)
+	if h == nil {
+		t.Fatal("empty relation should still get a (bucketless) histogram")
+	}
+	if h.Total != 0 || h.NullCount != 0 || len(h.Buckets) != 0 {
+		t.Fatalf("empty histogram malformed: %s", h)
+	}
+	if !h.MinValue().IsNull() || !h.MaxValue().IsNull() {
+		t.Error("min/max of empty histogram must be NULL")
+	}
+	lo, hi := sqlval.Int(-10), sqlval.Int(10)
+	re := h.EstimateRange(&lo, &hi, true, true)
+	if re.Est != 0 || re.LB != 0 || re.UB != 0 {
+		t.Errorf("empty histogram range estimate = %+v, want zeros", re)
+	}
+	if h.EstimateEqual(sqlval.Int(3)) != 0 {
+		t.Error("empty histogram equality estimate must be 0")
+	}
+	if h.DistinctEstimate() != 0 {
+		t.Error("empty histogram distinct estimate must be 0")
+	}
+}
+
+// TestHistogramSingleDistinctValue: n copies of one value must collapse to
+// one exact bucket regardless of the bucket budget, and both covering and
+// disjoint ranges must be answered exactly (LB == UB).
+func TestHistogramSingleDistinctValue(t *testing.T) {
+	const n = 500
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = 42
+	}
+	h := HistogramGenerator{MaxBuckets: 16}.Generate(intRel("one", vals...)).Histogram(0)
+	if len(h.Buckets) != 1 {
+		t.Fatalf("single distinct value built %d buckets, want 1", len(h.Buckets))
+	}
+	b := h.Buckets[0]
+	if b.Count != n || b.Distinct != 1 || sqlval.Compare(b.Lo, b.Hi) != 0 {
+		t.Fatalf("degenerate bucket malformed: %+v", b)
+	}
+	if got := h.EstimateEqual(sqlval.Int(42)); got != n {
+		t.Errorf("EstimateEqual(42) = %g, want %d", got, n)
+	}
+	lo, hi := sqlval.Int(42), sqlval.Int(42)
+	if re := h.EstimateRange(&lo, &hi, true, true); re.LB != n || re.UB != n || re.Est != n {
+		t.Errorf("point range over the value = %+v, want exact %d", re, n)
+	}
+	lo2, hi2 := sqlval.Int(43), sqlval.Int(100)
+	if re := h.EstimateRange(&lo2, &hi2, true, true); re.LB != 0 || re.UB != 0 || re.Est != 0 {
+		t.Errorf("disjoint range = %+v, want zeros", re)
+	}
+	// Exclusive bounds at the single value must exclude the whole bucket.
+	if re := h.EstimateRange(&lo, nil, false, true); re.UB != 0 {
+		t.Errorf("exclusive lower bound at the value: UB = %d, want 0", re.UB)
+	}
+}
+
+// TestHistogramAllNullColumn: every row NULL ⇒ no buckets, full null count,
+// and range estimates that cannot claim any row (SQL range predicates never
+// match NULL).
+func TestHistogramAllNullColumn(t *testing.T) {
+	const n = 64
+	rel := schema.NewRelation("nulls", schema.New(schema.Column{Name: "a", Type: sqlval.KindInt}))
+	for i := 0; i < n; i++ {
+		rel.Append(schema.Row{sqlval.Null()})
+	}
+	h := HistogramGenerator{}.Generate(rel).Histogram(0)
+	if h.Total != n || h.NullCount != n || h.NonNullCount() != 0 {
+		t.Fatalf("all-NULL histogram counts wrong: %s", h)
+	}
+	if len(h.Buckets) != 0 {
+		t.Fatalf("all-NULL column built %d buckets, want 0", len(h.Buckets))
+	}
+	re := h.EstimateRange(nil, nil, true, true)
+	if re.Est != 0 || re.LB != 0 || re.UB != 0 {
+		t.Errorf("open range over all-NULL column = %+v, want zeros", re)
+	}
+	// Stale widening must not resurrect rows a NULL-free bound excluded
+	// beyond the total.
+	h.Stale = 1000
+	if re := h.EstimateRange(nil, nil, true, true); re.UB > h.Total {
+		t.Errorf("stale all-NULL UB %d exceeds total %d", re.UB, h.Total)
+	}
+}
+
+// TestHistogramZipfTailBuckets: under heavy zipf skew the run-aware boundary
+// rule must keep each heavy hitter exact (own bucket, Distinct == 1) while
+// the long tail of rare values shares buckets; counts must still sum to the
+// population and equality estimates on head values must be exact.
+func TestHistogramZipfTailBuckets(t *testing.T) {
+	const n, vmax = 4000, 300
+	freqs := datagen.ZipfFrequencies(vmax, n, 1.5)
+	var vals []int64
+	for v, f := range freqs {
+		for i := int64(0); i < f; i++ {
+			vals = append(vals, int64(v))
+		}
+	}
+	h := HistogramGenerator{MaxBuckets: 16}.Generate(intRel("zipf", vals...)).Histogram(0)
+
+	var sum int64
+	for _, b := range h.Buckets {
+		sum += b.Count
+		if b.Count <= 0 || b.Distinct <= 0 || b.Distinct > b.Count {
+			t.Fatalf("malformed bucket %+v", b)
+		}
+		if sqlval.Compare(b.Lo, b.Hi) > 0 {
+			t.Fatalf("bucket bounds inverted: %+v", b)
+		}
+	}
+	if sum != h.NonNullCount() {
+		t.Fatalf("bucket counts sum to %d, want %d", sum, h.NonNullCount())
+	}
+
+	depth := (len(vals) + 16 - 1) / 16
+	heavy, singleton := 0, 0
+	for v, f := range freqs {
+		if f < int64(depth) {
+			continue
+		}
+		heavy++
+		// A value whose frequency meets the bucket depth gets a run-exclusive
+		// bucket, so its equality estimate is exact.
+		if got := h.EstimateEqual(sqlval.Int(int64(v))); got != float64(f) {
+			t.Errorf("heavy hitter %d: EstimateEqual = %g, want exact %d", v, got, f)
+		}
+		lo, hi := sqlval.Int(int64(v)), sqlval.Int(int64(v))
+		if re := h.EstimateRange(&lo, &hi, true, true); re.LB != f || re.UB != f {
+			t.Errorf("heavy hitter %d: point range [%d,%d], want [%d,%d]", v, re.LB, re.UB, f, f)
+		}
+	}
+	if heavy == 0 {
+		t.Fatal("zipf 1.5 should produce at least one heavy hitter at depth")
+	}
+	for _, b := range h.Buckets {
+		if b.Distinct == 1 {
+			singleton++
+		}
+	}
+	if singleton == 0 {
+		t.Error("no singleton (heavy-hitter) buckets despite skew")
+	}
+	// The tail must not be swallowed by the head: rare values still live in
+	// some multi-distinct bucket and the max covered value is the true max.
+	multi := 0
+	for _, b := range h.Buckets {
+		if b.Distinct > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no shared tail buckets; tail values lost")
+	}
+	var trueMax int64
+	for _, v := range vals {
+		if v > trueMax {
+			trueMax = v
+		}
+	}
+	if h.MaxValue().AsInt() != trueMax {
+		t.Errorf("MaxValue = %s, want %d", h.MaxValue(), trueMax)
+	}
+}
