@@ -8,7 +8,10 @@
 // BENCH_3.json, the vectorized (batch-at-a-time) engine's row-vs-batch
 // comparison as BENCH_4.json, and the paged-storage suite — cold vs warm
 // buffer-pool timings plus the estimator errors each regime induces — as
-// BENCH_5.json, and the estimator accuracy matrix (dataset x stats-health x
+// BENCH_5.json, the whole-plan parallelism suite — partitioned hash-join and
+// parallel pre-aggregation speedups vs their serial batch-engine
+// counterparts, plus the sub-slot vs flat-ledger snapshot cost — as
+// BENCH_6.json, and the estimator accuracy matrix (dataset x stats-health x
 // plan-family sweep, one row per cell per estimator) as BENCH_ACC.json.
 //
 // Unlike the timing artifacts, BENCH_ACC.json is fully deterministic — no
@@ -16,7 +19,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchdump [-o BENCH_1.json] [-o2 BENCH_2.json] [-o3 BENCH_3.json] [-o4 BENCH_4.json] [-o5 BENCH_5.json] [-oacc BENCH_ACC.json]
+//	go run ./cmd/benchdump [-o BENCH_1.json] [-o2 BENCH_2.json] [-o3 BENCH_3.json] [-o4 BENCH_4.json] [-o5 BENCH_5.json] [-o6 BENCH_6.json] [-oacc BENCH_ACC.json]
 //	go run ./cmd/benchdump -o acc   # accuracy matrix only (the CI gate's mode)
 package main
 
@@ -39,10 +42,13 @@ import (
 	"sqlprogress/internal/evalmatrix"
 	"sqlprogress/internal/exec"
 	"sqlprogress/internal/experiments"
+	"sqlprogress/internal/expr"
 	"sqlprogress/internal/ledger"
 	"sqlprogress/internal/pager"
 	"sqlprogress/internal/plan"
+	"sqlprogress/internal/schema"
 	"sqlprogress/internal/session"
+	"sqlprogress/internal/sqlval"
 	"sqlprogress/internal/tpch"
 )
 
@@ -57,6 +63,9 @@ type result struct {
 	// Speedup is the wall-clock ratio vs the 1-worker row of the same
 	// experiment (parallel-scan rows only).
 	Speedup float64 `json:"speedup_vs_1_worker,omitempty"`
+	// SpeedupVsSerial is the wall-clock ratio vs the serial batch-engine
+	// row of the same experiment (parallel join/agg rows only).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
 	// HitRatio is the buffer-pool hit ratio over the measured run
 	// (paged-storage rows only).
 	HitRatio float64 `json:"hit_ratio,omitempty"`
@@ -200,31 +209,58 @@ var bigHeapMem struct {
 }
 
 // bigHeap writes the bigscan relation to a heap file once and keeps it
-// open for every paged row. The temp directory is removed immediately
-// after the open — the held descriptor keeps the pages readable with no
-// cleanup obligation.
+// open for every paged row.
 func bigHeap() *pager.HeapFile {
 	bigHeapMem.once.Do(func() {
-		rel := datagen.IntRelation("bigscan", "v", datagen.Sequence(bigScanRows))
-		dir, err := os.MkdirTemp("", "benchdump-heap-")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		path := filepath.Join(dir, "bigscan.heap")
-		if err := pager.WriteRelation(path, rel); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		hf, err := pager.OpenHeapFile(path)
-		os.RemoveAll(dir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		bigHeapMem.hf = hf
+		bigHeapMem.hf = openHeap(datagen.IntRelation("bigscan", "v", datagen.Sequence(bigScanRows)))
 	})
 	return bigHeapMem.hf
+}
+
+var bigAggMem struct {
+	once   sync.Once
+	hf     *pager.HeapFile
+	groups int
+}
+
+// bigAgg writes a zipf-keyed variant of the bigscan relation once — the
+// aggregation rows' input, whose heavy-key overlap across partitions makes
+// the parallel pre-aggregation's merge phase do real work. Returns the heap
+// file and the exact number of distinct groups.
+func bigAgg() (*pager.HeapFile, int) {
+	bigAggMem.once.Do(func() {
+		rel := datagen.IntRelation("bigagg", "v", datagen.ZipfValues(100, bigScanRows, 1.2, 7))
+		seen := map[int64]bool{}
+		for _, row := range rel.Rows {
+			seen[row[0].AsInt()] = true
+		}
+		bigAggMem.groups = len(seen)
+		bigAggMem.hf = openHeap(rel)
+	})
+	return bigAggMem.hf, bigAggMem.groups
+}
+
+// openHeap writes rel to a temp heap file and opens it. The temp directory
+// is removed immediately after the open — the held descriptor keeps the
+// pages readable with no cleanup obligation.
+func openHeap(rel *schema.Relation) *pager.HeapFile {
+	dir, err := os.MkdirTemp("", "benchdump-heap-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	path := filepath.Join(dir, rel.Name+".heap")
+	if err := pager.WriteRelation(path, rel); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	hf, err := pager.OpenHeapFile(path)
+	os.RemoveAll(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return hf
 }
 
 // stallBackend stands in for disk latency: every physical page read
@@ -380,6 +416,150 @@ func pagedCacheRows(runs int) []result {
 	return out
 }
 
+// stalledStore is a fresh cold-pool paged view of hf whose backend stalls
+// pageDelay per physical read — the shared I/O-bound substrate of the
+// parallel join/agg rows.
+func stalledStore(hf *pager.HeapFile, frames int, pageDelay time.Duration) schema.Store {
+	return pager.NewPagedRelationBackend(hf, pager.NewPool(frames),
+		stallBackend{hf.Backend(), pageDelay})
+}
+
+// parallelJoinAggRows is the BENCH_6 suite: the partitioned hash join and
+// the parallel pre-aggregation timed at each worker count against their
+// serial batch-engine counterparts over an I/O-bound input (every page read
+// of the big side stalls one millisecond through a cold pool, so worker
+// stalls overlap exactly as in parallelScanRows — the speedup is a property
+// of the partitioned design, not of the host's core count), plus the cost
+// the per-worker ledger sub-slots add to a full SnapshotAll. Timed by hand
+// for the same reason as parallelScanRows: the runs are sleep-dominated.
+func parallelJoinAggRows(runs int) []result {
+	const pageDelay = time.Millisecond
+	workerCounts := []int{1, 2, 4, 8}
+	var out []result
+
+	timeRuns := func(name string, wantRows int, baseNs float64, build func() exec.Operator) result {
+		var elapsed time.Duration
+		for r := 0; r < runs; r++ {
+			op := build()
+			start := time.Now()
+			rows, err := exec.RunBatch(exec.NewCtx(), op)
+			elapsed += time.Since(start)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if len(rows) != wantRows {
+				fmt.Fprintf(os.Stderr, "%s: got %d rows, want %d\n", name, len(rows), wantRows)
+				os.Exit(1)
+			}
+		}
+		res := result{
+			Name:      name,
+			NsPerOp:   float64(elapsed.Nanoseconds()) / float64(runs),
+			N:         runs,
+			TotalSecs: elapsed.Seconds(),
+		}
+		if baseNs > 0 {
+			res.SpeedupVsSerial = baseNs / res.NsPerOp
+			fmt.Printf("%-28s %12.1f ns/op %8s %6.2fx vs serial\n",
+				res.Name, res.NsPerOp, "", res.SpeedupVsSerial)
+		} else {
+			fmt.Printf("%-28s %12.1f ns/op\n", res.Name, res.NsPerOp)
+		}
+		return res
+	}
+
+	// Partitioned hash join: a small in-memory dimension (unique keys, a
+	// tenth of the probe side — the build drain runs serially on the reader,
+	// so an oversized build side would just re-measure Amdahl's law) built
+	// against the stalled bigscan probe side; each dimension key matches
+	// exactly one probe row.
+	const dimRows = bigScanRows / 10
+	jhf := bigHeap()
+	dim := datagen.IntRelation("dim", "k", datagen.Sequence(dimRows))
+	partScans := func(st schema.Store, workers int) []exec.Operator {
+		parts := make([]exec.Operator, workers)
+		for i := range parts {
+			s := exec.NewStoreScanPartition(st, i, workers)
+			s.SetEstimatedCard(s.FinalBounds(nil).LB)
+			parts[i] = s
+		}
+		return parts
+	}
+	serialJoin := timeRuns("phash_join_serial_batch", dimRows, 0, func() exec.Operator {
+		probe := exec.NewStoreScan(stalledStore(jhf, 4, pageDelay))
+		build := exec.NewScan(dim)
+		return exec.NewHashJoin(build, probe,
+			[]expr.Expr{expr.NewCol(build.Schema(), "dim", "k")},
+			[]expr.Expr{expr.NewCol(probe.Schema(), "bigscan", "v")}, exec.InnerJoin)
+	})
+	out = append(out, serialJoin)
+	for _, w := range workerCounts {
+		w := w
+		out = append(out, timeRuns(fmt.Sprintf("phash_join_workers_%d", w), dimRows, serialJoin.NsPerOp, func() exec.Operator {
+			parts := partScans(stalledStore(jhf, 2*w+2, pageDelay), w)
+			build := exec.NewScan(dim)
+			return exec.NewParallelHashJoin(build, parts,
+				[]expr.Expr{expr.NewCol(build.Schema(), "dim", "k")},
+				[]expr.Expr{expr.NewCol(parts[0].Schema(), "bigscan", "v")}, exec.InnerJoin)
+		}))
+	}
+
+	// Parallel pre-aggregation: COUNT(*) + SUM(v) grouped by the zipf key.
+	ahf, groups := bigAgg()
+	aggMeta := func(sch *schema.Schema) ([]expr.Expr, []string, []sqlval.Kind, []expr.Agg) {
+		v := expr.NewCol(sch, "bigagg", "v")
+		return []expr.Expr{v}, []string{"v"}, []sqlval.Kind{sqlval.KindInt},
+			[]expr.Agg{{Kind: expr.AggCountStar, Name: "n"}, {Kind: expr.AggSum, Arg: v, Name: "s"}}
+	}
+	serialAgg := timeRuns("pagg_serial_batch", groups, 0, func() exec.Operator {
+		child := exec.NewStoreScan(stalledStore(ahf, 4, pageDelay))
+		gb, names, kinds, aggs := aggMeta(child.Schema())
+		return exec.NewHashAgg(child, gb, names, kinds, aggs)
+	})
+	out = append(out, serialAgg)
+	for _, w := range workerCounts {
+		w := w
+		out = append(out, timeRuns(fmt.Sprintf("pagg_workers_%d", w), groups, serialAgg.NsPerOp, func() exec.Operator {
+			parts := partScans(stalledStore(ahf, 2*w+2, pageDelay), w)
+			gb, names, kinds, aggs := aggMeta(parts[0].Schema())
+			return exec.NewParallelHashAgg(parts, gb, names, kinds, aggs)
+		}))
+	}
+
+	// Sub-slot snapshot cost: SnapshotAll over a 64-node ledger where 8
+	// nodes carry 8 worker sub-slots each, vs the same ledger flat — the
+	// price the aggregation protocol adds to every sampling pass.
+	flat := ledger.New(64)
+	sub := ledger.New(64)
+	for i := 0; i < 64; i++ {
+		flat.Slot(ledger.NodeID(i)).CountCalls(int64(i))
+		sub.Slot(ledger.NodeID(i)).CountCalls(int64(i))
+	}
+	for i := 0; i < 8; i++ {
+		sub.EnsureWorkers(ledger.NodeID(i), 8)
+		for w := 0; w < 8; w++ {
+			sub.WorkerSlot(ledger.NodeID(i), w).CountCalls(int64(w))
+		}
+	}
+	var buf []ledger.Snapshot
+	out = record("sample_snapshot_flat_64", out, func(b *testing.B) {
+		b.ReportAllocs()
+		buf = flat.SnapshotAll(buf[:0])
+		for i := 0; i < b.N; i++ {
+			buf = flat.SnapshotAll(buf[:0])
+		}
+	})
+	out = record("sample_snapshot_subslot_64x8", out, func(b *testing.B) {
+		b.ReportAllocs()
+		buf = sub.SnapshotAll(buf[:0])
+		for i := 0; i < b.N; i++ {
+			buf = sub.SnapshotAll(buf[:0])
+		}
+	})
+	return out
+}
+
 func maxF(a, b float64) float64 {
 	if a > b {
 		return a
@@ -409,6 +589,7 @@ func main() {
 	out3 := flag.String("o3", "BENCH_3.json", "ledger + parallel-scan output path")
 	out4 := flag.String("o4", "BENCH_4.json", "vectorized-engine output path")
 	out5 := flag.String("o5", "BENCH_5.json", "paged-storage output path")
+	out6 := flag.String("o6", "BENCH_6.json", "parallel join/agg output path")
 	outAcc := flag.String("oacc", "BENCH_ACC.json", "accuracy-matrix output path")
 	chaosN := flag.Int("chaos", 500, "fault schedules in the chaos sweep (0 = skip)")
 	flag.Parse()
@@ -585,6 +766,12 @@ func main() {
 	// errors each cache regime induces (the I/O-bound scenario the pager
 	// PR makes measurable).
 	writeDump(*out5, pagedCacheRows(3))
+
+	// Whole-plan parallelism benchmarks: partitioned hash-join and parallel
+	// pre-aggregation speedups over the serial batch engine, plus the
+	// sub-slot snapshot cost (cmd/benchgate -par holds the checked-in
+	// speedup floors).
+	writeDump(*out6, parallelJoinAggRows(3))
 
 	// Estimator accuracy matrix: the full sweep, refreshed alongside the
 	// timing artifacts so the two never drift apart.

@@ -15,6 +15,7 @@ import (
 	"sqlprogress/internal/expr"
 	"sqlprogress/internal/ledger"
 	"sqlprogress/internal/pager"
+	"sqlprogress/internal/plan"
 	"sqlprogress/internal/schema"
 	"sqlprogress/internal/sqlval"
 )
@@ -522,6 +523,72 @@ func fuzzOrderInvariance(t *testing.T, seed int64) {
 	}
 }
 
+// fuzzParallelJoinAgg cross-validates the partitioned-parallel operators
+// against their serial counterparts over seed-random data: a ParallelHashJoin
+// (seed-chosen join mode and worker count) must produce the serial HashJoin's
+// result multiset with identical total counted calls and an identical
+// aggregate root-node snapshot — the workers' sub-slots summing to exactly
+// the serial node's counters — and a ParallelAgg must reproduce HashAgg's
+// groups value-for-value (COUNT/SUM/MIN/MAX over ints: exact merge). Both
+// parallel plans then rerun under per-call sampling via
+// CheckParallelInvariants, proving monotone non-crossing bounds while the
+// workers write their ledger sub-slots concurrently.
+func fuzzParallelJoinAgg(t *testing.T, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	db := newFuzzDB(r)
+	workers := 1 + r.Intn(4)
+	modes := []exec.JoinMode{exec.InnerJoin, exec.LeftOuterJoin, exec.SemiJoin, exec.AntiJoin}
+	mode := modes[r.Intn(len(modes))]
+	b := plan.NewBuilder(db.cat)
+
+	runPlan := func(label string, op exec.Operator) ([][]int64, int64, ledger.Snapshot) {
+		ctx := exec.NewCtx()
+		rows, err := exec.Run(ctx, op)
+		if err != nil {
+			t.Fatalf("run %s: %v", label, err)
+		}
+		return resultToInts(t, rows), ctx.Calls(), exec.NodeSnapshot(op)
+	}
+
+	joinLabel := fmt.Sprintf("pjoin(mode=%v,w=%d)", mode, workers)
+	parJoin := func() exec.Operator {
+		return b.ParallelHashJoin("t1", workers, b.Scan("t2"), "a", "d", mode).Op
+	}
+	wantRows, wantCalls, wantSnap := runPlan(joinLabel,
+		b.Scan("t1").HashJoin(b.Scan("t2"), "a", "d", mode).Op)
+	gotRows, gotCalls, gotSnap := runPlan(joinLabel, parJoin())
+	compare(t, joinLabel, gotRows, wantRows)
+	if gotCalls != wantCalls {
+		t.Fatalf("%s: total calls %d, serial %d", joinLabel, gotCalls, wantCalls)
+	}
+	if gotSnap != wantSnap {
+		t.Fatalf("%s: aggregate snapshot %+v, serial %+v", joinLabel, gotSnap, wantSnap)
+	}
+	coretest.CheckParallelInvariants(t, joinLabel, parJoin(), 1)
+
+	aggLabel := fmt.Sprintf("pagg(w=%d)", workers)
+	specs := []plan.AggSpec{
+		{Kind: expr.AggCountStar, As: "n"},
+		{Kind: expr.AggSum, Col: "c", As: "s"},
+		{Kind: expr.AggMin, Col: "c", As: "lo"},
+		{Kind: expr.AggMax, Col: "c", As: "hi"},
+	}
+	parAgg := func() exec.Operator {
+		return b.ParallelAgg("t1", workers, 0, []string{"b"}, specs...).Op
+	}
+	wantRows, wantCalls, wantSnap = runPlan(aggLabel,
+		b.Scan("t1").HashAgg(0, []string{"b"}, specs...).Op)
+	gotRows, gotCalls, gotSnap = runPlan(aggLabel, parAgg())
+	compare(t, aggLabel, gotRows, wantRows)
+	if gotCalls != wantCalls {
+		t.Fatalf("%s: total calls %d, serial %d", aggLabel, gotCalls, wantCalls)
+	}
+	if gotSnap != wantSnap {
+		t.Fatalf("%s: aggregate snapshot %+v, serial %+v", aggLabel, gotSnap, wantSnap)
+	}
+	coretest.CheckParallelInvariants(t, aggLabel, parAgg(), 1)
+}
+
 // fuzzFamilies dispatches a fuzz input's kind byte to one query family.
 var fuzzFamilies = []func(*testing.T, int64){
 	fuzzFilterProjection,
@@ -534,9 +601,10 @@ var fuzzFamilies = []func(*testing.T, int64){
 	fuzzBatchVsRow,
 	fuzzPagedVsMem,
 	fuzzOrderInvariance,
+	fuzzParallelJoinAgg,
 }
 
-// FuzzDifferential is the native-fuzzing entry point over all ten
+// FuzzDifferential is the native-fuzzing entry point over all eleven
 // differential families: the fuzzer explores (seed, family) pairs, every
 // one of which must produce results identical to the naive evaluator (and
 // clean progress invariants for the invariant families). The checked-in
@@ -607,5 +675,11 @@ func TestFuzzPagedVsMem(t *testing.T) {
 func TestFuzzOrderInvariance(t *testing.T) {
 	for seed := int64(900); seed < 912; seed++ {
 		fuzzOrderInvariance(t, seed)
+	}
+}
+
+func TestFuzzParallelJoinAgg(t *testing.T) {
+	for seed := int64(1000); seed < 1012; seed++ {
+		fuzzParallelJoinAgg(t, seed)
 	}
 }

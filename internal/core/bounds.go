@@ -133,7 +133,7 @@ func walkBounds(shape *PlanShape, led *ledger.Ledger, id ledger.NodeID, mult, de
 			rule = capBounds(rule, demandCap)
 		}
 	}
-	rt := led.Slot(id).Snapshot()
+	rt := led.View(id).Snapshot()
 
 	var perRun, total exec.CardBounds
 	if mult == 1 {
@@ -196,7 +196,7 @@ func ScannedLeafCardinality(root exec.Operator) int64 {
 		if len(children) == 0 && !underRescan {
 			b := op.FinalBounds(nil)
 			lb := b.LB
-			rt := op.Runtime().Snapshot()
+			rt := exec.NodeSnapshot(op)
 			if rt.Done && rt.Rescans == 0 {
 				ret := rt.Returned
 				if wl, ok := op.(exec.WeightedLeaf); ok {
@@ -247,7 +247,7 @@ func ExplainBounds(root exec.Operator) string {
 	fmt.Fprintf(&b, "total bounds: LB=%d UB=%d (Curr=%d)\n", snap.LB, snap.UB, exec.TotalCalls(root))
 	var rec func(op exec.Operator, depth int)
 	rec = func(op exec.Operator, depth int) {
-		rt := op.Runtime()
+		rt := exec.NodeView(op)
 		nb := byID[op.LedgerID()]
 		ubStr := fmt.Sprintf("%d", nb.UB)
 		if nb.UB >= exec.Unbounded {

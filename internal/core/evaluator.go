@@ -15,7 +15,7 @@ import (
 // throttling the executor. No exec.Operator is touched on the sample path:
 // the evaluator reads cached ledger slot pointers and static rule closures.
 //
-// Compute reads runtime counters through ledger.Slot.Snapshot, so it is
+// Compute reads runtime counters through ledger.View.Snapshot, so it is
 // safe to call from a goroutine other than the ones executing the plan; the
 // bounds it derives are valid even against slightly-stale counters (see
 // DESIGN.md, "Concurrency model & monitoring overhead"). Compute itself is
@@ -31,7 +31,7 @@ type BoundsEvaluator struct {
 // evalNode caches the per-node static structure the full walk re-derives
 // every pass.
 type evalNode struct {
-	slot      *ledger.Slot
+	view      ledger.View
 	rule      FinalBounder
 	delivered exec.DeliveredBounder // non-nil iff node is a DeliveredBounder
 
@@ -86,7 +86,7 @@ func NewShapeEvaluator(shape *PlanShape, led *ledger.Ledger, opts BoundsOptions)
 func (ev *BoundsEvaluator) build(shape *PlanShape, led *ledger.Ledger, id ledger.NodeID, demandCap int64, mayStop bool) *evalNode {
 	sn := shape.Node(id)
 	n := &evalNode{
-		slot:        led.Slot(id),
+		view:        led.View(id),
 		rule:        sn.Rule,
 		delivered:   sn.Delivered,
 		children:    make([]*evalNode, len(sn.Children)),
@@ -182,7 +182,7 @@ func (ev *BoundsEvaluator) eval(n *evalNode, mult int64) exec.CardBounds {
 			rule = capBounds(rule, n.demandCap)
 		}
 	}
-	rt := n.slot.Snapshot()
+	rt := n.view.Snapshot()
 
 	var perRun, total exec.CardBounds
 	if mult == 1 {

@@ -180,7 +180,7 @@ func (t *Tracker) Capture() *State {
 		s.UB = s.LB
 	}
 	for i, d := range t.drivers {
-		rt := t.led.Slot(d).Snapshot()
+		rt := t.led.View(d).Snapshot()
 		ds := DriverState{
 			Returned: rt.Returned,
 			Done:     rt.Done && rt.Rescans == 0,
@@ -190,12 +190,12 @@ func (t *Tracker) Capture() *State {
 	}
 	for i, l := range t.leaves {
 		s.LeafCard += snap.Nodes[t.leafIdx[i]].Bounds.LB
-		s.LeafConsumed += t.led.Slot(l).Returned()
+		s.LeafConsumed += t.led.View(l).Returned()
 	}
 	for pi, p := range t.pipelines {
 		ps := PipelineState{Done: true}
 		for oi, id := range p.Ops {
-			rt := t.led.Slot(id).Snapshot()
+			rt := t.led.View(id).Snapshot()
 			ps.Work += rt.Returned
 			ps.EstWork += estimateNodeTotal(t.shape.Node(id).EstCard, rt, snap.Nodes[t.pipeOps[pi][oi]].Bounds)
 			if !rt.Done || rt.Rescans > 0 {
@@ -203,7 +203,7 @@ func (t *Tracker) Capture() *State {
 			}
 		}
 		for di, d := range p.Drivers {
-			rt := t.led.Slot(d).Snapshot()
+			rt := t.led.View(d).Snapshot()
 			ps.DriverReturned += rt.Returned
 			ps.DriverTotal += estimateNodeTotal(t.shape.Node(d).EstCard, rt, snap.Nodes[t.pipeDrvs[pi][di]].Bounds)
 		}

@@ -18,10 +18,12 @@ import (
 type CorpusEntry struct {
 	Label string
 	Build func() exec.Operator
-	// Parallel marks plans with an Exchange: GetNext calls fire from
-	// several worker goroutines, so invariant checkers must serialize
-	// sampling and chaos cross-validation must allow workers to count past
-	// a terminal fault's scheduled call (see RunChaosSchedule).
+	// Parallel marks plans with worker goroutines — a morsel-driven scan,
+	// a partitioned hash join, parallel pre-aggregation, or an Exchange:
+	// GetNext calls fire from several goroutines, so invariant checkers
+	// must serialize sampling and chaos cross-validation must allow workers
+	// to count past a terminal fault's scheduled call (see
+	// RunChaosSchedule).
 	Parallel bool
 }
 
@@ -93,6 +95,14 @@ func Corpus() []CorpusEntry {
 		{Label: "parallel-scan-join", Parallel: true, Build: func() exec.Operator {
 			b := plan.NewBuilder(corpusCatalog())
 			return b.ParallelScan("r2", 3).HashJoin(b.Scan("r1"), "b", "a", exec.InnerJoin).Op
+		}},
+		{Label: "parallel-hash-join", Parallel: true, Build: func() exec.Operator {
+			b := plan.NewBuilder(corpusCatalog())
+			return b.ParallelHashJoin("r2", 3, b.Scan("r1"), "b", "a", exec.InnerJoin).Op
+		}},
+		{Label: "parallel-agg", Parallel: true, Build: func() exec.Operator {
+			b := plan.NewBuilder(corpusCatalog())
+			return b.ParallelAgg("r2", 4, 0, []string{"b"}, count).Op
 		}},
 	}
 }

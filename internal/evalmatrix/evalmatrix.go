@@ -1,8 +1,9 @@
 // Package evalmatrix is the estimator accuracy matrix: the paper's central
 // question — when can a progress estimator be trusted? — turned into a
 // standing instrument. It sweeps {TPC-H zipf 0/1/2, SkyServer, adversarial
-// skew} × {fresh, stale, absent statistics} × {scan, join, agg,
-// parallel-exchange, paged} plan families, runs every cell under both the
+// skew} × {fresh, stale, absent statistics} × {scan, join, agg, parallel
+// scan, parallel join, parallel agg, paged} plan families, runs every cell
+// under both the
 // row and the batch engine, and records each estimator's (dne, pmax, safe)
 // error trajectory: max ratio error, mean L1 error, time-to-convergence,
 // plus hard-bound soundness counters. cmd/benchdump emits the matrix as
@@ -10,7 +11,8 @@
 // same gating discipline applied to allocations since PR 5.
 //
 // Every cell is deterministic: all generation and mutation is seeded, the
-// parallel family uses the lockstep exchange, batch cells sample at quiesce
+// parallel families use the lockstep operator variants, batch cells sample
+// at quiesce
 // points, and the convergence metric is defined over progress fractions,
 // never wall clock. Two back-to-back runs produce byte-identical artifacts.
 package evalmatrix

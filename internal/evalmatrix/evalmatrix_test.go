@@ -71,8 +71,8 @@ func TestMatrixShapeAndSoundness(t *testing.T) {
 		}
 		cells[id][r.Estimator] = r
 	}
-	// 5 datasets x 3 healths x 5 families x 2 engines.
-	if want := 5 * 3 * 5 * 2; len(cells) != want {
+	// 5 datasets x 3 healths x 7 families x 2 engines.
+	if want := 5 * 3 * 7 * 2; len(cells) != want {
 		t.Fatalf("got %d cells, want %d", len(cells), want)
 	}
 	if len(cells) < 40 {

@@ -58,7 +58,7 @@ type familySpec struct {
 
 // scenario is one (dataset, stats health) cell group: a catalog holding the
 // (possibly drifted) data with the (possibly degraded) statistics, plus the
-// five plan families over it.
+// seven plan families over it.
 type scenario struct {
 	families []familySpec
 	cleanup  func()
@@ -99,6 +99,16 @@ func buildScenario(ds dataset, health stats.Health, opts Options) (scenario, err
 			familySpec{"parallel", func() (exec.Operator, error) {
 				return lockstepScan(cat, "lineitem", matrixWorkers), nil
 			}},
+			familySpec{"pjoin", func() (exec.Operator, error) {
+				b := plan.NewBuilder(cat)
+				return b.ParallelHashJoinLockstep("lineitem", matrixWorkers,
+					b.Scan("supplier"), "l_suppkey", "s_suppkey", exec.InnerJoin).Op, nil
+			}},
+			familySpec{"pagg", func() (exec.Operator, error) {
+				b := plan.NewBuilder(cat)
+				return b.ParallelAggLockstep("lineitem", matrixWorkers, 0, []string{"l_suppkey"},
+					plan.AggSpec{Kind: expr.AggCountStar, As: "n"}).Op, nil
+			}},
 		)
 	case "skyserver":
 		cat := skyserver.Generate(skyserver.Config{PhotoObj: opts.SkyRows, Seed: opts.Seed})
@@ -124,6 +134,16 @@ func buildScenario(ds dataset, health stats.Health, opts Options) (scenario, err
 			}},
 			familySpec{"parallel", func() (exec.Operator, error) {
 				return lockstepScan(cat, "photoobj", matrixWorkers), nil
+			}},
+			familySpec{"pjoin", func() (exec.Operator, error) {
+				b := plan.NewBuilder(cat)
+				return b.ParallelHashJoinLockstep("photoobj", matrixWorkers,
+					b.Scan("field"), "fieldid", "fieldid", exec.InnerJoin).Op, nil
+			}},
+			familySpec{"pagg", func() (exec.Operator, error) {
+				b := plan.NewBuilder(cat)
+				return b.ParallelAggLockstep("photoobj", matrixWorkers, 4, []string{"type"},
+					plan.AggSpec{Kind: expr.AggCountStar, As: "n"}).Op, nil
 			}},
 		)
 	case "adversarial":
@@ -154,6 +174,16 @@ func buildScenario(ds dataset, health stats.Health, opts Options) (scenario, err
 			}},
 			familySpec{"parallel", func() (exec.Operator, error) {
 				return lockstepScan(cat, "r2", matrixWorkers), nil
+			}},
+			familySpec{"pjoin", func() (exec.Operator, error) {
+				b := plan.NewBuilder(cat)
+				return b.ParallelHashJoinLockstep("r2", matrixWorkers,
+					b.Scan("r1"), "b", "a", exec.InnerJoin).Op, nil
+			}},
+			familySpec{"pagg", func() (exec.Operator, error) {
+				b := plan.NewBuilder(cat)
+				return b.ParallelAggLockstep("r2", matrixWorkers, float64(opts.AdvKeys), []string{"b"},
+					plan.AggSpec{Kind: expr.AggCountStar, As: "n"}).Op, nil
 			}},
 		)
 	}
@@ -256,21 +286,12 @@ func skewLastOrder(cat *catalog.Catalog, driver, driverKey, fact, factKey string
 	return order
 }
 
-// lockstepScan is the parallel-exchange family's plan: a deterministic
-// lockstep exchange over disjoint partition scans. Same shape, ledger slots
-// and counts as plan.Builder.ParallelScan — but reproducible sample
+// lockstepScan is the parallel scan family's plan: the morsel-driven
+// ParallelScan in its lockstep (reader-driven) variant. Same rows, bounds
+// and ledger counts as plan.Builder.ParallelScan — but reproducible sample
 // instants, which the byte-identical-artifact requirement demands.
 func lockstepScan(cat *catalog.Catalog, table string, workers int) exec.Operator {
-	st := cat.MustStore(table)
-	parts := make([]exec.Operator, workers)
-	for i := range parts {
-		p := exec.NewStoreScanPartition(st, i, workers)
-		p.SetEstimatedCard(p.FinalBounds(nil).LB)
-		parts[i] = p
-	}
-	ex := exec.NewExchangeLockstep(parts...)
-	ex.SetEstimatedCard(st.Cardinality())
-	return ex
+	return plan.NewBuilder(cat).ParallelScanLockstep(table, workers).Op
 }
 
 // pagedFamily writes rel to a temp heap file and returns a build function

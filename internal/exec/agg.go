@@ -111,25 +111,32 @@ func (a *HashAgg) Open(ctx *Ctx) error {
 }
 
 func (a *HashAgg) fold(row schema.Row) {
-	key := make([]sqlval.Value, len(a.GroupBy))
+	foldInto(a.groups, a.GroupBy, a.Aggs, row)
+}
+
+// foldInto folds one row into a group table — HashAgg's accumulation step,
+// shared with ParallelHashAgg's per-worker pre-aggregation (each worker owns
+// a private table, so the function needs no synchronization).
+func foldInto(groups map[uint64][]*aggGroup, groupBy []expr.Expr, aggs []expr.Agg, row schema.Row) {
+	key := make([]sqlval.Value, len(groupBy))
 	var h uint64 = 1469598103934665603
-	for i, g := range a.GroupBy {
+	for i, g := range groupBy {
 		key[i] = g.Eval(row)
 		h = h*1099511628211 ^ sqlval.Hash(key[i])
 	}
 	var grp *aggGroup
-	for _, g := range a.groups[h] {
+	for _, g := range groups[h] {
 		if compareKeyVals(g.key, key) == 0 {
 			grp = g
 			break
 		}
 	}
 	if grp == nil {
-		grp = &aggGroup{key: key, states: make([]*expr.AggState, len(a.Aggs))}
-		for i, ag := range a.Aggs {
+		grp = &aggGroup{key: key, states: make([]*expr.AggState, len(aggs))}
+		for i, ag := range aggs {
 			grp.states[i] = expr.NewAggState(ag)
 		}
-		a.groups[h] = append(a.groups[h], grp)
+		groups[h] = append(groups[h], grp)
 	}
 	for _, s := range grp.states {
 		s.Add(row)

@@ -115,7 +115,7 @@ func batchPlans() []struct {
 
 func finalSnapshots(op Operator) []ledger.Snapshot {
 	var out []ledger.Snapshot
-	Walk(op, func(o Operator) { out = append(out, o.Runtime().Snapshot()) })
+	Walk(op, func(o Operator) { out = append(out, NodeSnapshot(o)) })
 	return out
 }
 

@@ -71,15 +71,12 @@ func NewExchangeLockstep(parts ...Operator) *Exchange {
 	return e
 }
 
-// NewParallelScan builds the canonical parallel plan fragment: an Exchange
-// over `workers` disjoint partition scans of rel. Each worker counts into
-// its own partition's ledger slots; the reader's merge is the only point of
-// contact between them.
-func NewParallelScan(rel *schema.Relation, workers int) *Exchange {
-	return NewParallelStoreScan(rel, workers)
-}
-
-// NewParallelStoreScan is NewParallelScan over any store. Partition windows
+// NewParallelStoreScan builds an Exchange over `workers` disjoint partition
+// scans of a store — the static-partitioned parallel scan. Each worker
+// counts into its own partition's ledger slots; the reader's merge is the
+// only point of contact between them. For dynamic (morsel-driven) work
+// distribution under a single plan node, see NewParallelScan. Partition
+// windows
 // are store-aligned — page-aligned for paged stores, so workers never
 // contend for a page and each worker's physical reads (and any weighted
 // read units) are credited to its own partition's ledger slot.

@@ -10,7 +10,7 @@ import (
 // 4-way partition scans of the same relation.
 func lockstepPair(n int) (conc, lock *Exchange) {
 	rel := seqRel("r", n)
-	return NewParallelScan(rel, 4), NewExchangeLockstep(
+	return NewParallelStoreScan(rel, 4), NewExchangeLockstep(
 		NewScanPartition(rel, 0, 4),
 		NewScanPartition(rel, 1, 4),
 		NewScanPartition(rel, 2, 4),

@@ -5,7 +5,6 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
-	"time"
 
 	"sqlprogress/internal/expr"
 	"sqlprogress/internal/pager"
@@ -58,7 +57,7 @@ func TestExchangeMatchesSerialScan(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 2, 4, 7} {
-		ex := NewParallelScan(rel, workers)
+		ex := NewParallelStoreScan(rel, workers)
 		ctx := NewCtx()
 		got, err := Run(ctx, ex)
 		if err != nil {
@@ -131,7 +130,7 @@ func TestExchangeWithPredicatePartitions(t *testing.T) {
 
 func TestExchangeErrorPropagation(t *testing.T) {
 	rel := seqRel("r", 200)
-	ex := NewParallelScan(rel, 4)
+	ex := NewParallelStoreScan(rel, 4)
 	ctx := NewCtx()
 	sentinel := errors.New("boom")
 	ctx.Inject = func(calls int64) error {
@@ -147,7 +146,7 @@ func TestExchangeErrorPropagation(t *testing.T) {
 
 func TestExchangeCancelPropagation(t *testing.T) {
 	rel := seqRel("r", 200)
-	ex := NewParallelScan(rel, 4)
+	ex := NewParallelStoreScan(rel, 4)
 	ctx := NewCtx()
 	ctx.Inject = func(calls int64) error {
 		if calls == 41 {
@@ -175,7 +174,7 @@ func TestExchangeCancelPropagation(t *testing.T) {
 
 func TestExchangeRescan(t *testing.T) {
 	rel := seqRel("r", 64)
-	ex := NewParallelScan(rel, 3)
+	ex := NewParallelStoreScan(rel, 3)
 	first, err := Run(NewCtx(), ex)
 	if err != nil {
 		t.Fatal(err)
@@ -234,31 +233,12 @@ func TestExchangePagedIOStillCorrect(t *testing.T) {
 	}
 }
 
-// TestScanSimShimStillCorrect pins the deprecated SimPage* test shim: the
-// fields still slow an in-memory scan without touching its results or
-// accounting, so historical benchmarks remain runnable.
-func TestScanSimShimStillCorrect(t *testing.T) {
-	rel := seqRel("r", 30)
-	s := NewScan(rel)
-	s.SimPageRows = 10
-	s.SimPageDelay = 100 * time.Microsecond
-	got, err := Run(NewCtx(), s)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want, err := Run(NewCtx(), NewScan(rel))
-	if err != nil {
-		t.Fatal(err)
-	}
-	sameRows(t, got, want, "sim-shim scan")
-}
-
 // TestExchangeConcurrentLedgerReaders runs a parallel scan while sampler
 // goroutines hammer the ledger — the tentpole claim that samplers never
 // touch the operator tree and stay race-free against N concurrent writers.
 func TestExchangeConcurrentLedgerReaders(t *testing.T) {
 	rel := seqRel("r", 4000)
-	ex := NewParallelScan(rel, 4)
+	ex := NewParallelStoreScan(rel, 4)
 	led := EnsureLedger(ex)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup

@@ -284,6 +284,16 @@ func (b *base) reopen() {
 	s.ClearDone()
 }
 
+// workerSlotted is implemented by operators whose node counters are split
+// across per-worker ledger sub-slots behind the node's single NodeID.
+// EnsureLedger allocates the sub-slots at binding time; before binding the
+// operator counts into its private fallback slots.
+type workerSlotted interface {
+	Operator
+	workerCount() int
+	fallbackSlots() []ledger.Slot
+}
+
 // EnsureLedger binds every node of the plan to one per-query ledger,
 // assigning dense pre-order NodeIDs (the shape index used by core's
 // PlanShape). It is idempotent: a tree already densely bound to a single
@@ -306,6 +316,9 @@ func EnsureLedger(root Operator) *ledger.Ledger {
 		} else if b.led != led {
 			bound = false
 		}
+		if ws, ok := o.(workerSlotted); ok && b.led != nil && b.led.Workers(b.id) < ws.workerCount() {
+			bound = false
+		}
 		n++
 	})
 	if bound && led != nil && led.Len() == n {
@@ -320,6 +333,13 @@ func EnsureLedger(root Operator) *ledger.Ledger {
 		b.led = led
 		b.id = id
 		b.slot.Store(s)
+		if ws, ok := o.(workerSlotted); ok {
+			led.EnsureWorkers(id, ws.workerCount())
+			fb := ws.fallbackSlots()
+			for w := range fb {
+				led.WorkerSlot(id, w+1).CopyFrom(&fb[w])
+			}
+		}
 		id++
 	})
 	return led
@@ -363,11 +383,30 @@ func Walk(op Operator, visit func(Operator)) {
 	}
 }
 
+// NodeView returns op's aggregating counter reader: its ledger node view
+// when bound (covering any worker sub-slots), else a view over its private
+// fallback slots. Single-slot nodes degenerate to their one slot, so this
+// is the uniform way to read any node's runtime counters.
+func NodeView(op Operator) ledger.View {
+	b := op.progressBase()
+	if b.led != nil && b.id != ledger.None {
+		return b.led.View(b.id)
+	}
+	if ws, ok := op.(workerSlotted); ok {
+		return ledger.ViewOf(b.slot.Load(), ws.fallbackSlots())
+	}
+	return ledger.ViewOf(b.slot.Load(), nil)
+}
+
+// NodeSnapshot reads op's aggregated runtime counters under the snapshot
+// ordering protocol (see NodeView).
+func NodeSnapshot(op Operator) ledger.Snapshot { return NodeView(op).Snapshot() }
+
 // TotalCalls sums Returned over the tree: the total GetNext calls performed
 // so far (Curr; after completion, total(Q)).
 func TotalCalls(op Operator) int64 {
 	var total int64
-	Walk(op, func(o Operator) { total += o.Runtime().Returned() })
+	Walk(op, func(o Operator) { total += NodeView(o).Returned() })
 	return total
 }
 
@@ -377,7 +416,7 @@ func Explain(op Operator) string {
 	var b strings.Builder
 	var rec func(o Operator, depth int)
 	rec = func(o Operator, depth int) {
-		rt := o.Runtime()
+		rt := NodeView(o)
 		fmt.Fprintf(&b, "%s%s  [rows=%d done=%v est=%d]\n",
 			strings.Repeat("  ", depth), o.Name(), rt.Returned(), rt.Done(), o.EstimatedCard())
 		for _, c := range o.Children() {

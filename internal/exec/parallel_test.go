@@ -1,0 +1,521 @@
+package exec
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sqlprogress/internal/expr"
+	"sqlprogress/internal/pager"
+	"sqlprogress/internal/schema"
+	"sqlprogress/internal/sqlval"
+)
+
+// joinInputs builds fresh probe/build relations for the parallel join tests:
+// a skewed probe (many duplicate keys, some unmatched) and a build side with
+// duplicate keys and rows that match nothing.
+func joinInputs() (probe, build *schema.Relation) {
+	probe = relOf("p", []string{"a", "x"}, nil)
+	for i := int64(0); i < 400; i++ {
+		probe.Append(schema.Row{sqlval.Int(i % 23), sqlval.Int(i)})
+	}
+	build = relOf("b", []string{"k", "y"}, nil)
+	for i := int64(0); i < 60; i++ {
+		build.Append(schema.Row{sqlval.Int(i % 31), sqlval.Int(1000 + i)})
+	}
+	return probe, build
+}
+
+func parallelJoinOf(probe, build *schema.Relation, workers int, mode JoinMode, lockstep bool) *ParallelHashJoin {
+	parts := make([]Operator, workers)
+	for i := range parts {
+		parts[i] = NewStoreScanPartition(probe, i, workers)
+	}
+	sb := NewScan(build)
+	bk := []expr.Expr{col(sb, "b", "k")}
+	pk := []expr.Expr{col(parts[0], "p", "a")}
+	if lockstep {
+		return NewParallelHashJoinLockstep(sb, parts, bk, pk, mode)
+	}
+	return NewParallelHashJoin(sb, parts, bk, pk, mode)
+}
+
+func serialJoinOf(probe, build *schema.Relation, mode JoinMode) *HashJoin {
+	sp := NewScan(probe)
+	sb := NewScan(build)
+	return NewHashJoin(sb, sp,
+		[]expr.Expr{col(sb, "b", "k")}, []expr.Expr{col(sp, "p", "a")}, mode)
+}
+
+// TestParallelScanMatchesSerial: the morsel scan returns exactly the serial
+// scan's rows with identical aggregate node counters and identical plan-total
+// calls, for any worker count, under both engines.
+func TestParallelScanMatchesSerial(t *testing.T) {
+	rel := seqRel("r", 9973)
+	want, err := Run(NewCtx(), NewScan(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, batch := range []bool{false, true} {
+			p := NewParallelScan(rel, workers)
+			ctx := NewCtx()
+			var got []schema.Row
+			if batch {
+				got, err = RunBatch(ctx, p)
+			} else {
+				got, err = Run(ctx, p)
+			}
+			if err != nil {
+				t.Fatalf("workers=%d batch=%v: %v", workers, batch, err)
+			}
+			sameRows(t, got, want, "morsel scan rows")
+			snap := NodeSnapshot(p)
+			if snap.Returned != rel.Cardinality() || snap.Delivered != rel.Cardinality() || !snap.Done {
+				t.Fatalf("workers=%d batch=%v: aggregate snapshot %+v, want %d/%d done",
+					workers, batch, snap, rel.Cardinality(), rel.Cardinality())
+			}
+			if calls := ctx.Calls(); calls != rel.Cardinality() {
+				t.Fatalf("workers=%d batch=%v: %d calls, want %d", workers, batch, calls, rel.Cardinality())
+			}
+		}
+	}
+}
+
+// TestParallelScanBounds: a morsel scan's bounds are a serial scan's — worker
+// count never changes the work.
+func TestParallelScanBounds(t *testing.T) {
+	rel := seqRel("r", 500)
+	serial := NewScan(rel).FinalBounds(nil)
+	for _, workers := range []int{1, 3, 8} {
+		if b := NewParallelScan(rel, workers).FinalBounds(nil); b != serial {
+			t.Fatalf("workers=%d: bounds %+v, want serial %+v", workers, b, serial)
+		}
+	}
+}
+
+// TestParallelScanLockstepDeterministic: two lockstep runs produce identical
+// row order and identical per-sub-slot occupancy; the aggregate equals a
+// concurrent run's aggregate.
+func TestParallelScanLockstepDeterministic(t *testing.T) {
+	rel := seqRel("r", 9000)
+	var firstRows []schema.Row
+	var firstSlots []int64
+	for i := 0; i < 2; i++ {
+		p := NewParallelScanLockstep(rel, 3)
+		led := EnsureLedger(p)
+		rows, err := Run(NewCtx(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var slots []int64
+		id := p.progressBase().id
+		for w := 0; w < led.Workers(id); w++ {
+			slots = append(slots, led.WorkerSlot(id, w).Returned())
+		}
+		if i == 0 {
+			firstRows, firstSlots = rows, slots
+			continue
+		}
+		if len(rows) != len(firstRows) {
+			t.Fatalf("run %d: %d rows vs %d", i, len(rows), len(firstRows))
+		}
+		for j := range rows {
+			if !rowsEqual(rows[j], firstRows[j]) {
+				t.Fatalf("run %d: row %d differs (lockstep order not deterministic)", i, j)
+			}
+		}
+		if !reflect.DeepEqual(slots, firstSlots) {
+			t.Fatalf("run %d: sub-slot occupancy %v vs %v", i, slots, firstSlots)
+		}
+	}
+	// Aggregate counters match a concurrent run.
+	p := NewParallelScan(rel, 3)
+	if _, err := Run(NewCtx(), p); err != nil {
+		t.Fatal(err)
+	}
+	ls := NewParallelScanLockstep(rel, 3)
+	if _, err := Run(NewCtx(), ls); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := NodeSnapshot(p), NodeSnapshot(ls); a != b {
+		t.Fatalf("concurrent aggregate %+v != lockstep aggregate %+v", a, b)
+	}
+}
+
+// TestParallelScanRescan: reopening accumulates counters and surfaces a
+// nonzero aggregate rescan count, voiding exactness as the protocol requires.
+func TestParallelScanRescan(t *testing.T) {
+	rel := seqRel("r", 300)
+	p := NewParallelScan(rel, 4)
+	first, err := Run(NewCtx(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(NewCtx(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, second, first, "rescan rows")
+	snap := NodeSnapshot(p)
+	if snap.Rescans == 0 {
+		t.Fatal("aggregate rescans = 0 after reopen")
+	}
+	if snap.Returned != 2*rel.Cardinality() {
+		t.Fatalf("returned %d after rescan, want %d", snap.Returned, 2*rel.Cardinality())
+	}
+}
+
+// TestParallelScanErrorAndCancel: injected faults and cancellation surface
+// from worker goroutines exactly like the serial engine's errors.
+func TestParallelScanErrorAndCancel(t *testing.T) {
+	rel := seqRel("r", 5000)
+	sentinel := errors.New("boom")
+	ctx := NewCtx()
+	ctx.Inject = func(calls int64) error {
+		if calls == 97 {
+			return sentinel
+		}
+		return nil
+	}
+	if _, err := Run(ctx, NewParallelScan(rel, 4)); !errors.Is(err, sentinel) {
+		t.Fatalf("injected fault: got %v, want %v", err, sentinel)
+	}
+
+	ctx = NewCtx()
+	ctx.Inject = func(calls int64) error {
+		if calls == 123 {
+			ctx.Cancel()
+		}
+		return nil
+	}
+	if _, err := Run(ctx, NewParallelScan(rel, 4)); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("cancel: got %v, want ErrCanceled", err)
+	}
+}
+
+// TestParallelScanPagedWeightedUnits: against a disk-backed store with a
+// weighted read cost, the morsel workers credit physical read units to their
+// own sub-slots and the aggregate equals the serial scan's total exactly —
+// every page is read once regardless of which worker claimed it.
+func TestParallelScanPagedWeightedUnits(t *testing.T) {
+	rel := seqRel("r", 4000)
+	path := filepath.Join(t.TempDir(), "r.heap")
+	if err := pager.WriteRelation(path, rel); err != nil {
+		t.Fatal(err)
+	}
+	hf, err := pager.OpenHeapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hf.Close()
+	want, err := Run(NewCtx(), NewScan(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialPR := pager.NewPagedRelation(hf, pager.NewPool(2))
+	serialPR.SetReadCost(2)
+	serialCtx := NewCtx()
+	if _, err := Run(serialCtx, NewStoreScan(serialPR)); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		pr := pager.NewPagedRelation(hf, pager.NewPool(2))
+		pr.SetReadCost(2)
+		p := NewParallelScan(pr, workers)
+		ctx := NewCtx()
+		got, err := Run(ctx, p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		sameRows(t, got, want, "paged morsel scan")
+		if calls := ctx.Calls(); calls != serialCtx.Calls() {
+			t.Fatalf("workers=%d: %d weighted calls, serial scan counted %d", workers, calls, serialCtx.Calls())
+		}
+	}
+}
+
+// TestParallelHashJoinMatchesSerial: for every join mode, the partitioned
+// join produces the serial HashJoin's multiset with identical plan-total
+// calls and an aggregate join-node snapshot equal to the serial node's.
+func TestParallelHashJoinMatchesSerial(t *testing.T) {
+	probe, build := joinInputs()
+	for _, mode := range []JoinMode{InnerJoin, LeftOuterJoin, SemiJoin, AntiJoin} {
+		serial := serialJoinOf(probe, build, mode)
+		serialCtx := NewCtx()
+		want, err := Run(serialCtx, serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			for _, batch := range []bool{false, true} {
+				j := parallelJoinOf(probe, build, workers, mode, false)
+				ctx := NewCtx()
+				var got []schema.Row
+				if batch {
+					got, err = RunBatch(ctx, j)
+				} else {
+					got, err = Run(ctx, j)
+				}
+				if err != nil {
+					t.Fatalf("mode=%v workers=%d batch=%v: %v", mode, workers, batch, err)
+				}
+				sameRows(t, got, want, "parallel join rows")
+				if gc, wc := ctx.Calls(), serialCtx.Calls(); gc != wc {
+					t.Fatalf("mode=%v workers=%d batch=%v: %d calls, serial %d", mode, workers, batch, gc, wc)
+				}
+				if gs, ws := NodeSnapshot(j), NodeSnapshot(serial); gs != ws {
+					t.Fatalf("mode=%v workers=%d batch=%v: join snapshot %+v, serial %+v", mode, workers, batch, gs, ws)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelHashJoinBoundsMatchSerial: summed probe-partition bounds feed
+// the serial per-mode arithmetic, so the node's final bounds equal the serial
+// join's for the same inputs.
+func TestParallelHashJoinBoundsMatchSerial(t *testing.T) {
+	probe, build := joinInputs()
+	for _, mode := range []JoinMode{InnerJoin, LeftOuterJoin, SemiJoin, AntiJoin} {
+		for _, linear := range []bool{false, true} {
+			serial := serialJoinOf(probe, build, mode)
+			serial.Linear = linear
+			sb := []CardBounds{
+				serial.Children()[0].FinalBounds(nil),
+				serial.Children()[1].FinalBounds(nil),
+			}
+			want := serial.FinalBounds(sb)
+			j := parallelJoinOf(probe, build, 3, mode, false)
+			j.Linear = linear
+			var ch []CardBounds
+			for _, c := range j.Children() {
+				ch = append(ch, c.FinalBounds(nil))
+			}
+			if got := j.FinalBounds(ch); got != want {
+				t.Fatalf("mode=%v linear=%v: bounds %+v, serial %+v", mode, linear, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelHashJoinLockstepDeterministic: lockstep probing yields the same
+// row order and the same per-sub-slot counts run after run.
+func TestParallelHashJoinLockstepDeterministic(t *testing.T) {
+	probe, build := joinInputs()
+	var firstRows []schema.Row
+	var firstSlots []int64
+	for i := 0; i < 2; i++ {
+		j := parallelJoinOf(probe, build, 3, InnerJoin, true)
+		led := EnsureLedger(j)
+		rows, err := Run(NewCtx(), j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var slots []int64
+		id := j.progressBase().id
+		for w := 0; w < led.Workers(id); w++ {
+			slots = append(slots, led.WorkerSlot(id, w).Returned())
+		}
+		if i == 0 {
+			firstRows, firstSlots = rows, slots
+			continue
+		}
+		if len(rows) != len(firstRows) {
+			t.Fatalf("run %d: %d rows vs %d", i, len(rows), len(firstRows))
+		}
+		for k := range rows {
+			if !rowsEqual(rows[k], firstRows[k]) {
+				t.Fatalf("run %d: row %d differs", i, k)
+			}
+		}
+		if !reflect.DeepEqual(slots, firstSlots) {
+			t.Fatalf("run %d: sub-slot occupancy %v vs %v", i, slots, firstSlots)
+		}
+	}
+}
+
+// TestParallelHashJoinRescan: the partitioned join replays exactly on reopen.
+func TestParallelHashJoinRescan(t *testing.T) {
+	probe, build := joinInputs()
+	j := parallelJoinOf(probe, build, 3, InnerJoin, false)
+	first, err := Run(NewCtx(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(NewCtx(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, second, first, "join rescan rows")
+	if snap := NodeSnapshot(j); snap.Rescans == 0 {
+		t.Fatalf("aggregate snapshot %+v, want nonzero rescans", snap)
+	}
+}
+
+// TestParallelHashJoinErrorPropagation: a fault inside a probe partition
+// subtree surfaces as the run's error.
+func TestParallelHashJoinErrorPropagation(t *testing.T) {
+	probe, build := joinInputs()
+	sentinel := errors.New("boom")
+	ctx := NewCtx()
+	ctx.Inject = func(calls int64) error {
+		if calls == 113 {
+			return sentinel
+		}
+		return nil
+	}
+	if _, err := Run(ctx, parallelJoinOf(probe, build, 4, InnerJoin, false)); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want %v", err, sentinel)
+	}
+}
+
+// aggPlanOf builds a fresh parallel aggregation over partition scans of rel.
+func aggPlanOf(rel *schema.Relation, workers int, lockstep bool) *ParallelHashAgg {
+	parts := make([]Operator, workers)
+	for i := range parts {
+		parts[i] = NewStoreScanPartition(rel, i, workers)
+	}
+	gb := []expr.Expr{col(parts[0], "big", "k")}
+	aggs := []expr.Agg{
+		{Kind: expr.AggCountStar, Name: "n"},
+		{Kind: expr.AggSum, Arg: col(parts[0], "big", "v"), Name: "s"},
+		{Kind: expr.AggAvg, Arg: col(parts[0], "big", "v"), Name: "a"},
+		{Kind: expr.AggMin, Arg: col(parts[0], "big", "v"), Name: "lo"},
+		{Kind: expr.AggMax, Arg: col(parts[0], "big", "v"), Name: "hi"},
+	}
+	names := []string{"k"}
+	kinds := []sqlval.Kind{sqlval.KindInt}
+	if lockstep {
+		return NewParallelHashAggLockstep(parts, gb, names, kinds, aggs)
+	}
+	return NewParallelHashAgg(parts, gb, names, kinds, aggs)
+}
+
+func aggRel() *schema.Relation {
+	rel := relOf("big", []string{"k", "v"}, nil)
+	for i := int64(0); i < 3000; i++ {
+		rel.Append(schema.Row{sqlval.Int(i % 41), sqlval.Int(i*3 - 700)})
+	}
+	return rel
+}
+
+// TestParallelHashAggMatchesSerial: the merged parallel aggregation emits
+// exactly the serial HashAgg's groups — same order (both sort by key), same
+// values for COUNT/SUM/AVG/MIN/MAX — with identical plan-total calls.
+func TestParallelHashAggMatchesSerial(t *testing.T) {
+	rel := aggRel()
+	sc := NewScan(rel)
+	serial := NewHashAgg(sc,
+		[]expr.Expr{col(sc, "big", "k")}, []string{"k"}, []sqlval.Kind{sqlval.KindInt},
+		[]expr.Agg{
+			{Kind: expr.AggCountStar, Name: "n"},
+			{Kind: expr.AggSum, Arg: col(sc, "big", "v"), Name: "s"},
+			{Kind: expr.AggAvg, Arg: col(sc, "big", "v"), Name: "a"},
+			{Kind: expr.AggMin, Arg: col(sc, "big", "v"), Name: "lo"},
+			{Kind: expr.AggMax, Arg: col(sc, "big", "v"), Name: "hi"},
+		})
+	serialCtx := NewCtx()
+	want, err := Run(serialCtx, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 5} {
+		for _, batch := range []bool{false, true} {
+			a := aggPlanOf(rel, workers, false)
+			ctx := NewCtx()
+			var got []schema.Row
+			if batch {
+				got, err = RunBatch(ctx, a)
+			} else {
+				got, err = Run(ctx, a)
+			}
+			if err != nil {
+				t.Fatalf("workers=%d batch=%v: %v", workers, batch, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d batch=%v: %d groups, want %d", workers, batch, len(got), len(want))
+			}
+			for i := range got {
+				if !rowsEqual(got[i], want[i]) {
+					t.Fatalf("workers=%d batch=%v: group %d = %v, want %v", workers, batch, i, got[i], want[i])
+				}
+			}
+			if gc, wc := ctx.Calls(), serialCtx.Calls(); gc != wc {
+				t.Fatalf("workers=%d batch=%v: %d calls, serial %d", workers, batch, gc, wc)
+			}
+			if gs, ws := NodeSnapshot(a), NodeSnapshot(serial); gs != ws {
+				t.Fatalf("workers=%d batch=%v: agg snapshot %+v, serial %+v", workers, batch, gs, ws)
+			}
+		}
+	}
+}
+
+// TestParallelHashAggLockstepDeterministic: lockstep folding is fully
+// reproducible, and its output equals the concurrent merge's (the merge
+// itself is order-fixed either way).
+func TestParallelHashAggLockstepDeterministic(t *testing.T) {
+	rel := aggRel()
+	var first []schema.Row
+	for i := 0; i < 2; i++ {
+		a := aggPlanOf(rel, 3, true)
+		rows, err := Run(NewCtx(), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = rows
+			continue
+		}
+		if len(rows) != len(first) {
+			t.Fatalf("run %d: %d rows vs %d", i, len(rows), len(first))
+		}
+		for k := range rows {
+			if !rowsEqual(rows[k], first[k]) {
+				t.Fatalf("run %d: group %d differs", i, k)
+			}
+		}
+	}
+	conc, err := Run(NewCtx(), aggPlanOf(rel, 3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range conc {
+		if !rowsEqual(conc[k], first[k]) {
+			t.Fatalf("concurrent group %d differs from lockstep", k)
+		}
+	}
+}
+
+// TestParallelHashAggErrorPropagation: a fault during the blocking fold
+// surfaces from Open.
+func TestParallelHashAggErrorPropagation(t *testing.T) {
+	rel := aggRel()
+	sentinel := errors.New("boom")
+	ctx := NewCtx()
+	ctx.Inject = func(calls int64) error {
+		if calls == 511 {
+			return sentinel
+		}
+		return nil
+	}
+	if _, err := Run(ctx, aggPlanOf(rel, 4, false)); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want %v", err, sentinel)
+	}
+}
+
+// TestParallelOpsNativeBatch pins vectorization status for the new operators.
+func TestParallelOpsNativeBatch(t *testing.T) {
+	rel := seqRel("r", 100)
+	if !NativeBatch(NewParallelScan(rel, 2)) {
+		t.Error("ParallelScan not NativeBatch")
+	}
+	probe, build := joinInputs()
+	if !NativeBatch(parallelJoinOf(probe, build, 2, InnerJoin, false)) {
+		t.Error("ParallelHashJoin not NativeBatch")
+	}
+	if !NativeBatch(aggPlanOf(aggRel(), 2, false)) {
+		t.Error("ParallelHashAgg not NativeBatch")
+	}
+}

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"time"
 
 	"sqlprogress/internal/expr"
 	"sqlprogress/internal/index"
@@ -17,7 +16,7 @@ import (
 // The scan reads through the schema.Store seam, so the same operator covers
 // the in-memory schema.Relation and disk-backed stores (pager.PagedRelation).
 // In-memory relations keep a direct row-slice path (it also carries the
-// permutation and the deprecated sleep shim); every other store is driven
+// permutation); every other store is driven
 // through its cursor, with any weighted physical-read units the storage
 // charges flowing into this node's ledger slot as extra counted GetNext
 // units (see DESIGN.md §16).
@@ -51,14 +50,6 @@ type Scan struct {
 	// building block an Exchange runs one worker over.
 	part, parts int
 	lo, hi      int
-	// SimPageRows/SimPageDelay simulate paged I/O by sleeping for
-	// SimPageDelay before each run of SimPageRows rows.
-	//
-	// Deprecated: this is a test-only shim from before internal/pager
-	// existed; real paged I/O now comes from scanning a pager.PagedRelation.
-	// It is honored only on the in-memory path and will be removed.
-	SimPageRows  int
-	SimPageDelay time.Duration
 }
 
 // NewScan builds a table scan over an in-memory relation.
@@ -150,9 +141,6 @@ func (s *Scan) Next(ctx *Ctx) (schema.Row, bool, error) {
 	for s.pos < s.hi {
 		i := s.pos
 		s.pos++
-		if s.SimPageDelay > 0 && s.SimPageRows > 0 && (i-s.lo)%s.SimPageRows == 0 {
-			time.Sleep(s.SimPageDelay)
-		}
 		if s.Order != nil {
 			i = int(s.Order[i])
 		}
@@ -241,7 +229,7 @@ func (s *Scan) NextBatch(ctx *Ctx, b *Batch) error {
 				}
 			}
 		}
-	case s.SimPageDelay == 0 && s.Order == nil && s.Pred == nil:
+	case s.Order == nil && s.Pred == nil:
 		// Plain in-order scan: the whole chunk survives, so copy the row
 		// headers in one bulk append instead of a per-row loop.
 		n := s.hi - s.pos
@@ -255,9 +243,6 @@ func (s *Scan) NextBatch(ctx *Ctx, b *Batch) error {
 		for s.pos < s.hi && b.Len() < want {
 			i := s.pos
 			s.pos++
-			if s.SimPageDelay > 0 && s.SimPageRows > 0 && (i-s.lo)%s.SimPageRows == 0 {
-				time.Sleep(s.SimPageDelay)
-			}
 			if s.Order != nil {
 				i = int(s.Order[i])
 			}

@@ -321,9 +321,10 @@ func TestNodeProgressDeltaStream(t *testing.T) {
 	}
 }
 
-// TestNodeProgressParallelPlan streams a parallel (exchange) plan through a
-// session and checks the per-node ledger counters of the partitions arrive
-// and account for every row exactly once.
+// TestNodeProgressParallelPlan streams a parallel (morsel-scan) plan through
+// a session and checks the aggregated per-node ledger counters account for
+// every row exactly once: the workers' sub-slots sum transparently behind the
+// scan's single NodeID.
 func TestNodeProgressParallelPlan(t *testing.T) {
 	cat := testCatalog(t)
 	m := New(cat, Config{SampleInterval: 100 * time.Microsecond})
@@ -339,19 +340,15 @@ func TestNodeProgressParallelPlan(t *testing.T) {
 	}
 	in := s.Info()
 	nodes := in.Progress.Nodes
-	// agg + exchange + 4 partitions = 6 nodes
-	if len(nodes) != 6 {
-		t.Fatalf("final event has %d nodes, want 6", len(nodes))
+	// agg + morsel scan = 2 nodes; the scan's workers share one NodeID.
+	if len(nodes) != 2 {
+		t.Fatalf("final event has %d nodes, want 2", len(nodes))
 	}
 	card := cat.MustRelation("lineitem").Cardinality()
-	var partSum int64
-	for _, n := range nodes[2:] {
-		partSum += n.Calls
-	}
-	if partSum != card {
-		t.Fatalf("partition calls sum to %d, want %d", partSum, card)
+	if nodes[1].Calls != card {
+		t.Fatalf("scan calls sum to %d, want %d", nodes[1].Calls, card)
 	}
 	if nodes[1].Delivered != card {
-		t.Fatalf("exchange delivered %d, want %d", nodes[1].Delivered, card)
+		t.Fatalf("scan delivered %d, want %d", nodes[1].Delivered, card)
 	}
 }

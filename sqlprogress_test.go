@@ -431,8 +431,9 @@ func TestParallelPlanWithProgress(t *testing.T) {
 	if updates == 0 {
 		t.Fatal("no progress updates observed")
 	}
-	// exchange + 4 partitions counted once each
-	if res.TotalCalls != 400 {
-		t.Fatalf("total calls = %d, want 400", res.TotalCalls)
+	// One morsel-driven leaf: every row counted exactly once, no matter how
+	// many workers claimed morsels.
+	if res.TotalCalls != 200 {
+		t.Fatalf("total calls = %d, want 200", res.TotalCalls)
 	}
 }
