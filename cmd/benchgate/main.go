@@ -12,10 +12,15 @@
 // With -acc the gate switches to the estimator accuracy matrix: it re-runs
 // the full sweep (deterministic, so the comparison is exact) against the
 // checked-in BENCH_ACC.json and fails when any cell's max ratio error
-// regresses past the slack factor, any hard-bound soundness counter fires,
-// any baseline cell disappears, or a skewed-stale cell loses the paper's
-// safe <= dne ordering. -perturb name=factor deliberately breaks an
-// estimator first — CI uses it as the gate's negative self-test.
+// regresses past the slack factor, any hard-bound soundness counter fires —
+// including the pessimistic degree-norm bound's (ubtight_regressions,
+// tight_bound_misses) — any baseline cell disappears, a skewed-stale cell
+// loses the paper's safe <= dne ordering or the robust-combiner ordering
+// combiner <= min(dne, safe), or the lp-safe estimator fails to strictly
+// beat safe on at least one cell (the degree-sequence join bound must
+// demonstrably tighten something, or it has silently stopped attaching).
+// -perturb name=factor deliberately breaks an estimator first — CI uses it
+// as the gate's negative self-test.
 //
 // With -par the gate validates the whole-plan parallelism artifact
 // (BENCH_6.json): every parallel join/agg and snapshot row must be present
@@ -148,11 +153,17 @@ func gateAcc(baselinePath string, slack float64, perturb map[string]float64) int
 		bad++
 		fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
 	}
+	cells := map[string]bool{}
 	for _, g := range gotRows {
 		got[g.Key()] = g
+		cells[g.CellID()] = true
 		if g.LBRegressions != 0 || g.UBRegressions != 0 || g.BoundMisses != 0 {
 			fail("%s: hard-bound violation (lb_regressions=%d ub_regressions=%d bound_misses=%d)",
 				g.Key(), g.LBRegressions, g.UBRegressions, g.BoundMisses)
+		}
+		if g.UBTightRegressions != 0 || g.TightBoundMisses != 0 {
+			fail("%s: pessimistic-bound violation (ubtight_regressions=%d tight_bound_misses=%d)",
+				g.Key(), g.UBTightRegressions, g.TightBoundMisses)
 		}
 		b, ok := base[g.Key()]
 		if !ok {
@@ -169,8 +180,15 @@ func gateAcc(baselinePath string, slack float64, perturb map[string]float64) int
 			fail("%s: cell present in %s but missing from this run", b.Key(), baselinePath)
 		}
 	}
+	lpTighter := 0
 	for _, g := range gotRows {
-		if !g.SkewedStale || g.Estimator != "safe" {
+		if g.Estimator != "safe" {
+			continue
+		}
+		if lp, ok := got[g.CellID()+"/lp-safe"]; ok && lp.MaxRatioErr < g.MaxRatioErr {
+			lpTighter++
+		}
+		if !g.SkewedStale {
 			continue
 		}
 		dne, ok := got[g.CellID()+"/dne"]
@@ -178,10 +196,26 @@ func gateAcc(baselinePath string, slack float64, perturb map[string]float64) int
 			fail("%s: safe max ratio error %.4f exceeds dne's %.4f on a skewed-stale cell",
 				g.CellID(), g.MaxRatioErr, dne.MaxRatioErr)
 		}
+		if comb, ok2 := got[g.CellID()+"/combiner"]; ok && ok2 {
+			if best := minF(dne.MaxRatioErr, g.MaxRatioErr); comb.MaxRatioErr > best {
+				fail("%s: combiner max ratio error %.4f exceeds min(dne, safe) %.4f on a skewed-stale cell",
+					g.CellID(), comb.MaxRatioErr, best)
+			}
+		}
 	}
-	fmt.Printf("accuracy gate: %d cells x %d rows vs %s: %d violation(s)\n",
-		len(gotRows)/3, len(gotRows), baselinePath, bad)
+	if lpTighter == 0 {
+		fail("lp-safe never strictly beat safe in any cell: the degree-norm join bound tightened nothing")
+	}
+	fmt.Printf("accuracy gate: %d cells x %d rows vs %s: %d violation(s), lp-safe tighter in %d cell(s)\n",
+		len(cells), len(gotRows), baselinePath, bad, lpTighter)
 	return bad
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // gatePar is the parallel-speedup gate: it validates the checked-in

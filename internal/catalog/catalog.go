@@ -28,7 +28,7 @@ type ForeignKey struct {
 // stores (see store.go for the storage binding).
 type Catalog struct {
 	relations map[string]*schema.Relation
-	stores    map[string]schema.Store // disk-backed tables (no in-memory relation)
+	stores    map[string]schema.Store              // disk-backed tables (no in-memory relation)
 	hashIdx   map[string]map[string]*index.Hash    // table -> column -> index
 	orderIdx  map[string]map[string]*index.Ordered // table -> column -> index
 	tblStats  map[string]*stats.TableStats

@@ -13,6 +13,10 @@ import (
 type NodeBounds struct {
 	ID     ledger.NodeID
 	Bounds exec.CardBounds
+	// UBTight is the node's total-count upper bound with pessimistic
+	// (degree-norm) join bounds folded in; UBTight <= Bounds.UB always, and
+	// equals Bounds.UB when no pessimistic bound reaches the node.
+	UBTight int64
 }
 
 // BoundsSnapshot is the result of one bounds pass over the plan at some
@@ -23,6 +27,11 @@ type BoundsSnapshot struct {
 	// LB and UB bound the total number of GetNext calls the query will
 	// perform: LB <= total(Q) <= UB.
 	LB, UB int64
+	// UBTight also bounds total(Q) from above, additionally folding in any
+	// pessimistic degree-sequence join bounds (ShapeNode.PessimisticUB):
+	// LB <= total(Q) <= UBTight <= UB. Equal to UB when the plan carries no
+	// pessimistic bounds.
+	UBTight int64
 
 	opts BoundsOptions
 }
@@ -71,10 +80,11 @@ func ComputeBoundsOpt(root exec.Operator, opts BoundsOptions) BoundsSnapshot {
 func ComputeShapeBounds(shape *PlanShape, led *ledger.Ledger, opts BoundsOptions) BoundsSnapshot {
 	var snap BoundsSnapshot
 	snap.opts = opts
-	walkBounds(shape, led, shape.Root().ID, 1, -1, false, &snap)
+	walkBounds(shape, led, shape.Root().ID, 1, 1, -1, false, &snap)
 	for _, nb := range snap.Nodes {
 		snap.LB = exec.SatAdd(snap.LB, nb.Bounds.LB)
 		snap.UB = exec.SatAdd(snap.UB, nb.Bounds.UB)
+		snap.UBTight = exec.SatAdd(snap.UBTight, nb.UBTight)
 	}
 	return snap
 }
@@ -86,41 +96,62 @@ func ComputeShapeBounds(shape *PlanShape, led *ledger.Ledger, opts BoundsOptions
 // (1 outside nested loops); demandCap bounds how many rows ancestors will
 // ever pull from this node (-1 = unbounded); mayStop marks nodes an
 // ancestor may abandon before EOF, voiding their static lower bounds.
-func walkBounds(shape *PlanShape, led *ledger.Ledger, id ledger.NodeID, mult, demandCap int64, mayStop bool, snap *BoundsSnapshot) exec.CardBounds {
+//
+// The pass runs the same arithmetic twice: the classic track, and a tight
+// track that additionally intersects each node's pessimistic degree-norm
+// bound (ShapeNode.PessimisticUB) and propagates the tightened child bounds
+// upward. The tight track's result is the per-node UBTight; with no
+// pessimistic bounds in the plan both tracks are identical. multT is the
+// tight track's rescan multiplier (tight drive bounds can be smaller).
+func walkBounds(shape *PlanShape, led *ledger.Ledger, id ledger.NodeID, mult, multT, demandCap int64, mayStop bool, snap *BoundsSnapshot) (perRun, perRunT exec.CardBounds) {
 	n := shape.Node(id)
 	childCaps := n.demandCaps(demandCap, snap.opts, make([]int64, len(n.Children)))
 	childStops := n.earlyStops(mayStop, make([]bool, len(n.Children)))
 
 	childBounds := make([]exec.CardBounds, len(n.Children))
+	childTight := make([]exec.CardBounds, len(n.Children))
 	// Non-rescanned children first: a rescanned child's run count is
 	// bounded by the driving (first streaming) child's final cardinality.
-	var driveUB int64 = exec.Unbounded
+	var driveUB, driveUBT int64 = exec.Unbounded, exec.Unbounded
 	for i, c := range n.Children {
 		if !n.Rescanned[i] {
-			childBounds[i] = walkBounds(shape, led, c, mult, childCaps[i], childStops[i], snap)
+			childBounds[i], childTight[i] = walkBounds(shape, led, c, mult, multT, childCaps[i], childStops[i], snap)
 		}
 	}
 	if n.FirstStream >= 0 && n.HasRescan {
 		driveUB = childBounds[n.FirstStream].UB
+		driveUBT = childTight[n.FirstStream].UB
 	}
 	for i, c := range n.Children {
 		if n.Rescanned[i] {
-			childBounds[i] = walkBounds(shape, led, c, exec.SatMul(mult, driveUB), childCaps[i], childStops[i], snap)
+			childBounds[i], childTight[i] = walkBounds(shape, led, c,
+				exec.SatMul(mult, driveUB), exec.SatMul(multT, driveUBT), childCaps[i], childStops[i], snap)
 		}
 	}
 
 	rule := n.Rule.FinalBounds(childBounds)
-	deliveredRule := rule
-	sameEmission := true
+	ruleT := n.Rule.FinalBounds(childTight)
+	if n.PessimisticUB >= 0 {
+		// The pessimistic bound caps delivered rows; for the operators that
+		// carry one, counted calls equal delivered rows, so it caps both
+		// (capping the static LB too: two sound intervals cannot truly be
+		// disjoint, so the cap only bites where the LB was not).
+		ruleT = capBounds(ruleT, n.PessimisticUB)
+	}
+	deliveredRule, deliveredRuleT := rule, ruleT
+	sameEmission, sameEmissionT := true, true
 	if n.Delivered != nil {
 		deliveredRule = n.Delivered.DeliveredBounds()
 		sameEmission = deliveredRule == rule
+		deliveredRuleT = deliveredRule
+		sameEmissionT = deliveredRuleT == ruleT
 	}
 	if mayStop {
 		// An ancestor may stop pulling before this node reaches EOF: the
 		// static rules' lower bounds assume a full drain and are unsound
 		// here. refineWithRuntime restores LB = rows already returned.
 		rule.LB, deliveredRule.LB = 0, 0
+		ruleT.LB, deliveredRuleT.LB = 0, 0
 	}
 	if demandCap >= 0 && mult == 1 {
 		// The parent will never pull more than demandCap rows, so the
@@ -133,9 +164,15 @@ func walkBounds(shape *PlanShape, led *ledger.Ledger, id ledger.NodeID, mult, de
 			rule = capBounds(rule, demandCap)
 		}
 	}
+	if demandCap >= 0 && multT == 1 {
+		deliveredRuleT = capBounds(deliveredRuleT, demandCap)
+		if sameEmissionT {
+			ruleT = capBounds(ruleT, demandCap)
+		}
+	}
 	rt := led.View(id).Snapshot()
 
-	var perRun, total exec.CardBounds
+	var total, totalT exec.CardBounds
 	if mult == 1 {
 		pinned := rt.Done && rt.Rescans == 0
 		total = refineWithRuntime(rule, rt.Returned, pinned)
@@ -149,8 +186,27 @@ func walkBounds(shape *PlanShape, led *ledger.Ledger, id ledger.NodeID, mult, de
 			total.UB = total.LB
 		}
 	}
-	snap.Nodes = append(snap.Nodes, NodeBounds{ID: id, Bounds: total})
-	return perRun
+	if multT == 1 {
+		pinned := rt.Done && rt.Rescans == 0
+		totalT = refineWithRuntime(ruleT, rt.Returned, pinned)
+		perRunT = refineWithRuntime(deliveredRuleT, rt.Delivered, pinned)
+	} else {
+		perRunT = deliveredRuleT
+		totalT = exec.CardBounds{LB: rt.Returned, UB: exec.SatMul(ruleT.UB, multT)}
+		if totalT.UB < totalT.LB {
+			totalT.UB = totalT.LB
+		}
+	}
+	// The tight track never reports looser than the classic one (defensive
+	// against non-monotone bounds rules).
+	if totalT.UB > total.UB {
+		totalT.UB = total.UB
+	}
+	if perRunT.UB > perRun.UB {
+		perRunT.UB = perRun.UB
+	}
+	snap.Nodes = append(snap.Nodes, NodeBounds{ID: id, Bounds: total, UBTight: totalT.UB})
+	return perRun, perRunT
 }
 
 // capBounds clamps both ends of b at cap.
@@ -244,7 +300,7 @@ func ExplainBounds(root exec.Operator) string {
 		byID[nb.ID] = nb.Bounds
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "total bounds: LB=%d UB=%d (Curr=%d)\n", snap.LB, snap.UB, exec.TotalCalls(root))
+	fmt.Fprintf(&b, "total bounds: LB=%d UB=%d UBtight=%d (Curr=%d)\n", snap.LB, snap.UB, snap.UBTight, exec.TotalCalls(root))
 	var rec func(op exec.Operator, depth int)
 	rec = func(op exec.Operator, depth int) {
 		rt := exec.NodeView(op)

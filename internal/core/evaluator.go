@@ -42,8 +42,10 @@ type evalNode struct {
 
 	demandCap int64 // static pull bound reaching this node (-1 = unbounded)
 	mayStop   bool  // an ancestor may abandon this node before EOF
+	pessUB    int64 // pessimistic delivered-rows bound (-1 = none)
 
 	childBounds []exec.CardBounds // scratch, parallel to children
+	childTight  []exec.CardBounds // scratch for the tight track
 	snapIdx     int               // position in BoundsSnapshot.Nodes
 	id          ledger.NodeID
 }
@@ -93,9 +95,11 @@ func (ev *BoundsEvaluator) build(shape *PlanShape, led *ledger.Ledger, id ledger
 		rescanned:   sn.Rescanned,
 		hasRescan:   sn.HasRescan,
 		childBounds: make([]exec.CardBounds, len(sn.Children)),
+		childTight:  make([]exec.CardBounds, len(sn.Children)),
 		firstStream: sn.FirstStream,
 		demandCap:   demandCap,
 		mayStop:     mayStop,
+		pessUB:      sn.PessimisticUB,
 		id:          id,
 	}
 	caps := sn.demandCaps(demandCap, ev.opts, make([]int64, len(sn.Children)))
@@ -135,46 +139,56 @@ func (ev *BoundsEvaluator) IndexOf(op exec.Operator) int {
 // The returned snapshot is owned by the evaluator and overwritten by the
 // next Compute call.
 func (ev *BoundsEvaluator) Compute() *BoundsSnapshot {
-	ev.snap.LB, ev.snap.UB = 0, 0
-	ev.eval(ev.root, 1)
+	ev.snap.LB, ev.snap.UB, ev.snap.UBTight = 0, 0, 0
+	ev.eval(ev.root, 1, 1)
 	return &ev.snap
 }
 
 // eval is walkBounds over the cached structure: same arithmetic, no
-// allocations, with the plan-total LB/UB accumulated in-line (the totals
-// fold node bounds in post-order instead of a second sweep over the
-// snapshot). mult bounds how many times this subtree may be re-opened.
-func (ev *BoundsEvaluator) eval(n *evalNode, mult int64) exec.CardBounds {
+// allocations, with the plan-total LB/UB/UBTight accumulated in-line (the
+// totals fold node bounds in post-order instead of a second sweep over the
+// snapshot). mult bounds how many times this subtree may be re-opened;
+// multT is the tight track's rescan multiplier.
+func (ev *BoundsEvaluator) eval(n *evalNode, mult, multT int64) (perRun, perRunT exec.CardBounds) {
 	if !n.hasRescan {
 		for i, c := range n.children {
-			n.childBounds[i] = ev.eval(c, mult)
+			n.childBounds[i], n.childTight[i] = ev.eval(c, mult, multT)
 		}
 	} else {
 		for i, c := range n.children {
 			if !n.rescanned[i] {
-				n.childBounds[i] = ev.eval(c, mult)
+				n.childBounds[i], n.childTight[i] = ev.eval(c, mult, multT)
 			}
 		}
-		var driveUB int64 = exec.Unbounded
+		var driveUB, driveUBT int64 = exec.Unbounded, exec.Unbounded
 		if n.firstStream >= 0 {
 			driveUB = n.childBounds[n.firstStream].UB
+			driveUBT = n.childTight[n.firstStream].UB
 		}
 		for i, c := range n.children {
 			if n.rescanned[i] {
-				n.childBounds[i] = ev.eval(c, exec.SatMul(mult, driveUB))
+				n.childBounds[i], n.childTight[i] = ev.eval(c,
+					exec.SatMul(mult, driveUB), exec.SatMul(multT, driveUBT))
 			}
 		}
 	}
 
 	rule := n.rule.FinalBounds(n.childBounds)
-	deliveredRule := rule
-	sameEmission := true
+	ruleT := n.rule.FinalBounds(n.childTight)
+	if n.pessUB >= 0 {
+		ruleT = capBounds(ruleT, n.pessUB)
+	}
+	deliveredRule, deliveredRuleT := rule, ruleT
+	sameEmission, sameEmissionT := true, true
 	if n.delivered != nil {
 		deliveredRule = n.delivered.DeliveredBounds()
 		sameEmission = deliveredRule == rule
+		deliveredRuleT = deliveredRule
+		sameEmissionT = deliveredRuleT == ruleT
 	}
 	if n.mayStop {
 		rule.LB, deliveredRule.LB = 0, 0
+		ruleT.LB, deliveredRuleT.LB = 0, 0
 	}
 	if n.demandCap >= 0 && mult == 1 {
 		deliveredRule = capBounds(deliveredRule, n.demandCap)
@@ -182,9 +196,15 @@ func (ev *BoundsEvaluator) eval(n *evalNode, mult int64) exec.CardBounds {
 			rule = capBounds(rule, n.demandCap)
 		}
 	}
+	if n.demandCap >= 0 && multT == 1 {
+		deliveredRuleT = capBounds(deliveredRuleT, n.demandCap)
+		if sameEmissionT {
+			ruleT = capBounds(ruleT, n.demandCap)
+		}
+	}
 	rt := n.view.Snapshot()
 
-	var perRun, total exec.CardBounds
+	var total, totalT exec.CardBounds
 	if mult == 1 {
 		pinned := rt.Done && rt.Rescans == 0
 		total = refineWithRuntime(rule, rt.Returned, pinned)
@@ -196,8 +216,27 @@ func (ev *BoundsEvaluator) eval(n *evalNode, mult int64) exec.CardBounds {
 			total.UB = total.LB
 		}
 	}
+	if multT == 1 {
+		pinned := rt.Done && rt.Rescans == 0
+		totalT = refineWithRuntime(ruleT, rt.Returned, pinned)
+		perRunT = refineWithRuntime(deliveredRuleT, rt.Delivered, pinned)
+	} else {
+		perRunT = deliveredRuleT
+		totalT = exec.CardBounds{LB: rt.Returned, UB: exec.SatMul(ruleT.UB, multT)}
+		if totalT.UB < totalT.LB {
+			totalT.UB = totalT.LB
+		}
+	}
+	if totalT.UB > total.UB {
+		totalT.UB = total.UB
+	}
+	if perRunT.UB > perRun.UB {
+		perRunT.UB = perRun.UB
+	}
 	ev.snap.Nodes[n.snapIdx].Bounds = total
+	ev.snap.Nodes[n.snapIdx].UBTight = totalT.UB
 	ev.snap.LB = exec.SatAdd(ev.snap.LB, total.LB)
 	ev.snap.UB = exec.SatAdd(ev.snap.UB, total.UB)
-	return perRun
+	ev.snap.UBTight = exec.SatAdd(ev.snap.UBTight, totalT.UB)
+	return perRun, perRunT
 }

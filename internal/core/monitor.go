@@ -11,8 +11,11 @@ import (
 // Sample is one observation of the execution: the instant (in GetNext
 // calls), the bounds, and each estimator's output.
 type Sample struct {
-	Calls     int64
-	LB, UB    int64
+	Calls  int64
+	LB, UB int64
+	// UBTight is the pessimistic (degree-norm) upper bound that held at the
+	// sample; equal to UB when the plan carries no pessimistic bounds.
+	UBTight   int64
 	Estimates []float64 // parallel to Estimators
 }
 
@@ -39,7 +42,7 @@ func (ss *SampleSet) capture(tracker *Tracker, calls int64) {
 	if s.Curr > calls {
 		calls = s.Curr
 	}
-	sample := Sample{Calls: calls, LB: s.LB, UB: s.UB, Estimates: make([]float64, len(ss.Estimators))}
+	sample := Sample{Calls: calls, LB: s.LB, UB: s.UB, UBTight: s.UBTight, Estimates: make([]float64, len(ss.Estimators))}
 	for i, e := range ss.Estimators {
 		sample.Estimates[i] = e.Estimate(s)
 	}

@@ -48,6 +48,11 @@ type ShapeNode struct {
 	demand demandKind
 	topK   int64
 
+	// PessimisticUB is the node's statistics-derived pessimistic bound on
+	// delivered rows (exec.PessimisticBounder), folded into the tight upper
+	// bound UBTight by the bounds passes; -1 when the operator carries none.
+	PessimisticUB int64
+
 	// Rule bounds the node's final GetNext-call count given bounds on its
 	// children's delivered rows — the operator narrowed to its FinalBounds
 	// method. It reads only static configuration, so samplers may call it
@@ -117,6 +122,9 @@ func (n *ShapeNode) earlyStops(selfMayStop bool, stops []bool) []bool {
 // operator tree never appears on the sample path.
 type PlanShape struct {
 	Nodes []ShapeNode
+	// HasPessimistic reports whether any node carries a pessimistic UB; when
+	// false the tight bounds degenerate to the classic ones.
+	HasPessimistic bool
 }
 
 // Len returns the number of plan nodes.
@@ -161,6 +169,13 @@ func ShapeOf(root exec.Operator) (*PlanShape, *ledger.Ledger) {
 		}
 		if es, ok := op.(exec.EarlyStopper); ok {
 			n.EarlyStops = es.EarlyStopChildren()
+		}
+		n.PessimisticUB = -1
+		if pb, ok := op.(exec.PessimisticBounder); ok {
+			if ub := pb.PessimisticUB(); ub >= 0 {
+				n.PessimisticUB = ub
+				shape.HasPessimistic = true
+			}
 		}
 		switch t := op.(type) {
 		case *exec.Top:

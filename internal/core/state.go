@@ -27,6 +27,11 @@ type State struct {
 	Curr int64
 	// LB and UB bound total(Q) at this instant (Section 5.1).
 	LB, UB int64
+	// UBTight also bounds total(Q) from above, folding in pessimistic
+	// degree-sequence join bounds where the plan carries them:
+	// LB <= total(Q) <= UBTight <= UB. Equal to UB for plans without
+	// pessimistic bounds; the ℓp-safe estimator is Curr/sqrt(LB·UBTight).
+	UBTight int64
 	// Drivers holds one entry per driver node across all pipelines.
 	Drivers []DriverState
 	// LeafCard is the summed cardinality of scanned leaves (mu's
@@ -64,6 +69,21 @@ func (s *State) Interval() (lo, hi float64) {
 		return 0, 1
 	}
 	lo = float64(s.Curr) / float64(s.UB)
+	hi = float64(s.Curr) / float64(s.LB)
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// TightInterval is Interval computed against the pessimistic upper bound:
+// Curr/UBTight <= progress <= Curr/LB. Identical to Interval for plans
+// without pessimistic bounds.
+func (s *State) TightInterval() (lo, hi float64) {
+	if s.Curr <= 0 {
+		return 0, 1
+	}
+	lo = float64(s.Curr) / float64(s.UBTight)
 	hi = float64(s.Curr) / float64(s.LB)
 	if hi > 1 {
 		hi = 1
@@ -164,8 +184,9 @@ func (t *Tracker) Shape() *PlanShape { return t.shape }
 func (t *Tracker) Capture() *State {
 	snap := t.ev.Compute()
 	s := &State{
-		LB: snap.LB,
-		UB: snap.UB,
+		LB:      snap.LB,
+		UB:      snap.UB,
+		UBTight: snap.UBTight,
 	}
 	// Curr from the same per-node counters the bounds saw: summing the
 	// snapshot's refined LBs would over-count (they include static lower
@@ -178,6 +199,12 @@ func (t *Tracker) Capture() *State {
 	}
 	if s.UB < s.LB {
 		s.UB = s.LB
+	}
+	if s.UBTight < s.LB {
+		s.UBTight = s.LB
+	}
+	if s.UBTight > s.UB {
+		s.UBTight = s.UB
 	}
 	for i, d := range t.drivers {
 		rt := t.led.View(d).Snapshot()

@@ -1,0 +1,21 @@
+// Package coretest provides shared test support: an executable statement
+// of the paper's progress-estimation guarantees, checked against any plan.
+// CheckProgressInvariants runs an operator tree while sampling the progress
+// machinery and asserts, at every instant:
+//
+//   - LB <= total(Q) <= UB — Section 5.1's bounds are hard, and where a
+//     pessimistic bound exists, LB <= total(Q) <= UBTight <= UB;
+//   - LB non-decreasing, UB and UBTight non-increasing;
+//   - progress <= pmax (Property 4) and pmax's ratio error <= mu (Thm 5);
+//   - safe's ratio error <= sqrt(UB/LB) at each instant (Definition 5);
+//   - every estimate within [0, 1];
+//   - the incremental BoundsEvaluator agrees exactly with the full-walk
+//     bounds computation at every sample point.
+//
+// The package also carries the engine-equivalence corpus: the same logical
+// plan run by the row engine, the batch engine, in parallel, and over paged
+// storage must produce the identical result multiset and ledger
+// trajectories.
+//
+// Production code must not import coretest.
+package coretest

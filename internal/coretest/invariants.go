@@ -1,6 +1,3 @@
-// Package coretest provides shared test support: an executable statement of
-// the paper's progress-estimation guarantees, checked against any plan.
-// Production code must not import it.
 package coretest
 
 import (

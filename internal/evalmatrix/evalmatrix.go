@@ -1,20 +1,3 @@
-// Package evalmatrix is the estimator accuracy matrix: the paper's central
-// question — when can a progress estimator be trusted? — turned into a
-// standing instrument. It sweeps {TPC-H zipf 0/1/2, SkyServer, adversarial
-// skew} × {fresh, stale, absent statistics} × {scan, join, agg, parallel
-// scan, parallel join, parallel agg, paged} plan families, runs every cell
-// under both the
-// row and the batch engine, and records each estimator's (dne, pmax, safe)
-// error trajectory: max ratio error, mean L1 error, time-to-convergence,
-// plus hard-bound soundness counters. cmd/benchdump emits the matrix as
-// BENCH_ACC.json and cmd/benchgate fails CI when a cell regresses — the
-// same gating discipline applied to allocations since PR 5.
-//
-// Every cell is deterministic: all generation and mutation is seeded, the
-// parallel families use the lockstep operator variants, batch cells sample
-// at quiesce
-// points, and the convergence metric is defined over progress fractions,
-// never wall clock. Two back-to-back runs produce byte-identical artifacts.
 package evalmatrix
 
 import (
@@ -137,6 +120,13 @@ type Row struct {
 	// BoundMisses counts samples whose hard interval failed to bracket the
 	// run — Curr > UB, LB > total, or UB < total (must be 0).
 	BoundMisses int `json:"bound_misses"`
+	// UBTightRegressions counts samples whose pessimistic UBTight rose above
+	// the previous sample's (must be 0: like UB, it only tightens downward).
+	UBTightRegressions int `json:"ubtight_regressions"`
+	// TightBoundMisses counts samples where the pessimistic bound was
+	// unsound — Curr > UBTight, UBTight < total, or UBTight outside [LB, UB]
+	// (must be 0; this is the degree-norm join bound's soundness gate).
+	TightBoundMisses int `json:"tight_bound_misses"`
 	// SkewedStale marks the paper's Section 5 regime: a skewed dataset's
 	// stale join cell, where the acceptance ordering safe <= dne must hold.
 	SkewedStale bool `json:"skewed_stale"`
@@ -172,9 +162,10 @@ func (p perturbed) Estimate(s *core.State) float64 {
 }
 
 // estimators returns the matrix's estimator set, with any configured
-// perturbations applied.
+// perturbations applied. The set is rebuilt per cell: the combiner is
+// stateful (its error model must start empty for every run).
 func estimators(opts Options) []core.Estimator {
-	base := []core.Estimator{core.Dne{}, core.Pmax{}, core.Safe{}}
+	base := []core.Estimator{core.Dne{}, core.Pmax{}, core.Safe{}, core.LpSafe{}, &core.Combiner{}}
 	if len(opts.Perturb) == 0 {
 		return base
 	}
@@ -266,7 +257,7 @@ func runCell(ds dataset, health stats.Health, fam familySpec, engine string, opt
 		return nil, fmt.Errorf("unknown engine %q", engine)
 	}
 
-	lbReg, ubReg, misses := soundness(m.Samples, m.Total())
+	lbReg, ubReg, misses, tReg, tMiss := soundness(m.Samples, m.Total())
 	rows := make([]Row, 0, len(ests))
 	for i, e := range ests {
 		pts := m.SeriesAt(i)
@@ -275,29 +266,33 @@ func runCell(ds dataset, health stats.Health, fam familySpec, engine string, opt
 			maxErr = RatioErrCap
 		}
 		rows = append(rows, Row{
-			Dataset:       ds.name,
-			Stats:         string(health),
-			Family:        fam.name,
-			Engine:        engine,
-			Estimator:     e.Name(),
-			Mu:            core.Mu(root),
-			MaxRatioErr:   maxErr,
-			L1Err:         core.AvgAbsError(pts),
-			Convergence:   convergence(pts),
-			Samples:       len(m.Samples),
-			LBRegressions: lbReg,
-			UBRegressions: ubReg,
-			BoundMisses:   misses,
-			SkewedStale:   ds.skewed && health == stats.Stale && fam.name == "join",
+			Dataset:            ds.name,
+			Stats:              string(health),
+			Family:             fam.name,
+			Engine:             engine,
+			Estimator:          e.Name(),
+			Mu:                 core.Mu(root),
+			MaxRatioErr:        maxErr,
+			L1Err:              core.AvgAbsError(pts),
+			Convergence:        convergence(pts),
+			Samples:            len(m.Samples),
+			LBRegressions:      lbReg,
+			UBRegressions:      ubReg,
+			BoundMisses:        misses,
+			UBTightRegressions: tReg,
+			TightBoundMisses:   tMiss,
+			SkewedStale:        ds.skewed && health == stats.Stale && fam.name == "join",
 		})
 	}
 	return rows, nil
 }
 
 // soundness counts hard-bound violations over a completed run's samples:
-// LB must be non-decreasing, UB non-increasing, and every sample's interval
-// must bracket both its own Curr and the final total.
-func soundness(samples []core.Sample, total int64) (lbReg, ubReg, misses int) {
+// LB must be non-decreasing, UB and UBTight non-increasing, and every
+// sample's intervals — both the classic [LB, UB] and the pessimistic
+// [LB, UBTight] — must bracket the sample's own Curr and the final total,
+// with UBTight squeezed inside [LB, UB].
+func soundness(samples []core.Sample, total int64) (lbReg, ubReg, misses, tightReg, tightMisses int) {
 	for i, s := range samples {
 		if i > 0 {
 			if s.LB < samples[i-1].LB {
@@ -306,12 +301,18 @@ func soundness(samples []core.Sample, total int64) (lbReg, ubReg, misses int) {
 			if s.UB > samples[i-1].UB {
 				ubReg++
 			}
+			if s.UBTight > samples[i-1].UBTight {
+				tightReg++
+			}
 		}
 		if s.Calls > s.UB || s.LB > total || s.UB < total {
 			misses++
 		}
+		if s.Calls > s.UBTight || s.UBTight < total || s.UBTight > s.UB || s.UBTight < s.LB {
+			tightMisses++
+		}
 	}
-	return lbReg, ubReg, misses
+	return lbReg, ubReg, misses, tightReg, tightMisses
 }
 
 // convergence returns the actual-progress fraction of the first sample
@@ -379,7 +380,7 @@ func Table(rows []Row) experiments.Result {
 	res := experiments.Result{
 		ID:      "acc",
 		Title:   "estimator accuracy matrix (max ratio error per cell)",
-		Headers: []string{"dataset", "stats", "family", "engine", "mu", "dne", "pmax", "safe", "conv(safe)", "flag"},
+		Headers: []string{"dataset", "stats", "family", "engine", "mu", "dne", "pmax", "safe", "lp-safe", "combiner", "conv(safe)", "flag"},
 		Metrics: map[string]float64{},
 	}
 	type cell struct {
@@ -415,12 +416,14 @@ func Table(rows []Row) experiments.Result {
 			fmt.Sprintf("%.3f", c.errs["dne"]),
 			fmt.Sprintf("%.3f", c.errs["pmax"]),
 			fmt.Sprintf("%.3f", c.errs["safe"]),
+			fmt.Sprintf("%.3f", c.errs["lp-safe"]),
+			fmt.Sprintf("%.3f", c.errs["combiner"]),
 			fmt.Sprintf("%.3f", c.conv["safe"]),
 			flag,
 		})
 	}
 	res.Notes = append(res.Notes,
-		fmt.Sprintf("%d cells x %d estimator rows; %d skewed-stale cells gated on safe <= dne",
+		fmt.Sprintf("%d cells x %d estimator rows; %d skewed-stale cells gated on safe <= dne and combiner <= min(dne, safe)",
 			len(order), len(rows), flagged))
 	return res
 }

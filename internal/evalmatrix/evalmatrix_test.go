@@ -71,17 +71,18 @@ func TestMatrixShapeAndSoundness(t *testing.T) {
 		}
 		cells[id][r.Estimator] = r
 	}
-	// 5 datasets x 3 healths x 7 families x 2 engines.
-	if want := 5 * 3 * 7 * 2; len(cells) != want {
+	// 5 datasets x 3 healths x 8 families x 2 engines.
+	if want := 5 * 3 * 8 * 2; len(cells) != want {
 		t.Fatalf("got %d cells, want %d", len(cells), want)
 	}
 	if len(cells) < 40 {
 		t.Fatalf("matrix too small for acceptance: %d cells < 40", len(cells))
 	}
-	skewedStale := 0
+	nEst := len(estimators(testOptions()))
+	skewedStale, lpTighter := 0, 0
 	for id, byEst := range cells {
-		if len(byEst) != 3 {
-			t.Fatalf("cell %s has %d estimator rows, want 3", id, len(byEst))
+		if len(byEst) != nEst {
+			t.Fatalf("cell %s has %d estimator rows, want %d", id, len(byEst), nEst)
 		}
 		for _, r := range byEst {
 			// Streaming families quiesce steadily under both engines. Batch
@@ -100,6 +101,10 @@ func TestMatrixShapeAndSoundness(t *testing.T) {
 				t.Errorf("%s: bound violations lb=%d ub=%d miss=%d",
 					r.Key(), r.LBRegressions, r.UBRegressions, r.BoundMisses)
 			}
+			if r.UBTightRegressions != 0 || r.TightBoundMisses != 0 {
+				t.Errorf("%s: pessimistic bound violations reg=%d miss=%d",
+					r.Key(), r.UBTightRegressions, r.TightBoundMisses)
+			}
 			if r.MaxRatioErr < 1 {
 				t.Errorf("%s: max ratio error %v < 1", r.Key(), r.MaxRatioErr)
 			}
@@ -113,12 +118,30 @@ func TestMatrixShapeAndSoundness(t *testing.T) {
 				t.Errorf("%s: safe max ratio error %.4f exceeds dne's %.4f on a skewed-stale cell",
 					id, safe, dne)
 			}
+			comb := byEst["combiner"].MaxRatioErr
+			if best := minF(byEst["dne"].MaxRatioErr, byEst["safe"].MaxRatioErr); comb > best {
+				t.Errorf("%s: combiner max ratio error %.4f exceeds min(dne, safe) %.4f on a skewed-stale cell",
+					id, comb, best)
+			}
+		}
+		if byEst["lp-safe"].MaxRatioErr < byEst["safe"].MaxRatioErr {
+			lpTighter++
 		}
 	}
 	// tpch-z1, tpch-z2, adversarial joins x 2 engines.
 	if want := 3 * 2; skewedStale != want {
 		t.Errorf("got %d skewed-stale cells, want %d", skewedStale, want)
 	}
+	if lpTighter == 0 {
+		t.Error("lp-safe never strictly beat safe: the degree-norm bound tightened nothing")
+	}
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // TestMatrixEnginesAgreeOnTotals: a cell's mu is an execution property, so
@@ -215,7 +238,7 @@ func TestTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := Table(rows)
-	if want := len(rows) / 3; len(res.Rows) != want {
+	if want := len(rows) / len(estimators(testOptions())); len(res.Rows) != want {
 		t.Fatalf("table has %d rows, want %d", len(res.Rows), want)
 	}
 	if res.Render() == "" {

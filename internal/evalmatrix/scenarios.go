@@ -58,7 +58,11 @@ type familySpec struct {
 
 // scenario is one (dataset, stats health) cell group: a catalog holding the
 // (possibly drifted) data with the (possibly degraded) statistics, plus the
-// seven plan families over it.
+// eight plan families over it. The mmjoin family is a genuinely
+// many-to-many hash join over small base tables: the only family whose
+// classic fallback UB is the cross product, so it is where the pessimistic
+// degree-norm bound (UBTight) visibly tightens and where lp-safe separates
+// from safe.
 type scenario struct {
 	families []familySpec
 	cleanup  func()
@@ -90,6 +94,14 @@ func buildScenario(ds dataset, health stats.Health, opts Options) (scenario, err
 				b := plan.NewBuilder(cat)
 				return b.ScanOrdered("supplier", order).
 					INLJoin("lineitem", "l_suppkey", "s_suppkey", exec.InnerJoin).Op, nil
+			}},
+			familySpec{"mmjoin", func() (exec.Operator, error) {
+				// supplier self-join on nation: non-key equi-join, so the
+				// classic UB is |supplier|^2 while the degree norms bound the
+				// true fan-out product.
+				b := plan.NewBuilder(cat)
+				return b.Scan("supplier").
+					HashJoin(b.Scan("supplier"), "s_nationkey", "s_nationkey", exec.InnerJoin).Op, nil
 			}},
 			familySpec{"agg", func() (exec.Operator, error) {
 				b := plan.NewBuilder(cat)
@@ -127,6 +139,13 @@ func buildScenario(ds dataset, health stats.Health, opts Options) (scenario, err
 				return b.ScanOrdered("field", order).
 					INLJoin("photoobj", "fieldid", "fieldid", exec.InnerJoin).Op, nil
 			}},
+			familySpec{"mmjoin", func() (exec.Operator, error) {
+				// field self-join on camera column: each camcol repeats across
+				// stripes, a many-to-many join over the small metadata table.
+				b := plan.NewBuilder(cat)
+				return b.Scan("field").
+					HashJoin(b.Scan("field"), "camcol", "camcol", exec.InnerJoin).Op, nil
+			}},
 			familySpec{"agg", func() (exec.Operator, error) {
 				b := plan.NewBuilder(cat)
 				return b.Scan("photoobj").HashAgg(4, []string{"type"},
@@ -156,6 +175,11 @@ func buildScenario(ds dataset, health stats.Health, opts Options) (scenario, err
 			ChildTable: "r2", ChildColumn: "b",
 			ParentTable: "r1", ParentColumn: "a"})
 		degradeTables(cat, health, opts, []mutation{{"r2", "b"}})
+		// A zipf(1) key column over a small domain for the mmjoin family:
+		// r1 x r1 is a unique-key (linear) join and r2 x r2 would explode
+		// under zipf(2) skew, so neither exercises the degree-norm bound.
+		cat.AddRelation(datagen.IntRelation("mm", "k",
+			datagen.ZipfValues(64, 200, 1, opts.Seed+101)))
 		lo, hi := sqlval.Int(0), sqlval.Int(9)
 		return assemble(cat, "r2",
 			familySpec{"scan", func() (exec.Operator, error) {
@@ -166,6 +190,11 @@ func buildScenario(ds dataset, health stats.Health, opts Options) (scenario, err
 				b := plan.NewBuilder(cat)
 				return b.ScanOrdered("r1", order).
 					INLJoin("r2", "b", "a", exec.InnerJoin).Op, nil
+			}},
+			familySpec{"mmjoin", func() (exec.Operator, error) {
+				b := plan.NewBuilder(cat)
+				return b.Scan("mm").
+					HashJoin(b.Scan("mm"), "k", "k", exec.InnerJoin).Op, nil
 			}},
 			familySpec{"agg", func() (exec.Operator, error) {
 				b := plan.NewBuilder(cat)

@@ -53,6 +53,8 @@ type HashJoin struct {
 	in      Batch    // reused probe-batch scratch (vectorized path)
 	drained bool     // probe EOF seen while output was in hand
 	arena   rowArena // chunked backing storage for concatenated outputs
+
+	pessimistic
 }
 
 // NewHashJoin builds a hash join; buildKeys/probeKeys are evaluated against
@@ -157,7 +159,7 @@ func (j *HashJoin) buildTable() {
 	j.table = make(map[uint64][]schema.Row, len(counts))
 	off := 0
 	for h, c := range counts {
-		j.table[h] = backing[off:off : off+c]
+		j.table[h] = backing[off : off : off+c]
 		off += c
 	}
 	for i, row := range rows {

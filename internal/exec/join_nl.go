@@ -38,6 +38,7 @@ type INLJoin struct {
 	arena   rowArena // chunked backing storage for concatenated outputs
 
 	static *CardBounds
+	pessimistic
 }
 
 // SetStaticBounds records plan-time output-cardinality bounds (from inner-

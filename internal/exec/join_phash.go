@@ -48,6 +48,8 @@ type ParallelHashJoin struct {
 	lsOut      Batch
 	lsArena    rowArena
 	lsMatchBuf []schema.Row
+
+	pessimistic
 }
 
 // NewParallelHashJoin builds a partitioned hash join over one build input

@@ -57,9 +57,9 @@ type PageFault struct {
 type PageBackend struct {
 	inner pager.Backend
 
-	mu     sync.Mutex
-	armed  map[uint32]PageFault
-	fired  []PageFault
+	mu    sync.Mutex
+	armed map[uint32]PageFault
+	fired []PageFault
 }
 
 // WrapBackend interposes the fault points on inner. Later faults replace

@@ -1,0 +1,32 @@
+// Package ledger holds the progress ledger: the flat, cache-friendly block
+// of per-plan-node atomic runtime counters that decouples progress
+// accounting from the operator tree. At compile time every plan node is
+// assigned a stable dense NodeID (pre-order position); at run time the
+// node's operator writes its slot through a handle, and estimators, bounds
+// passes, and the serving layer read slots by ID — no operator-tree walk
+// ever happens on the sample path.
+//
+// The package sits below the executor (it imports only sync/atomic) so
+// both exec and core can share the slot layout without a dependency cycle.
+//
+// # The single-writer-per-slot discipline
+//
+// Every slot has exactly one writer goroutine at any time. Under serial
+// execution that is the operator bound to the node; under exchange-based
+// parallelism each worker writes only its own partition's slots (or its
+// own per-worker sub-slot behind a shared node), so the single-writer
+// reasoning still applies per slot. Readers — samplers, the bounds pass,
+// the SSE streamer — are unrestricted and lock-free.
+//
+// # The snapshot load-ordering protocol
+//
+// Snapshot loads done first and rescans last (returned/delivered in
+// between). This ordering gives the one exactness property the bounds pass
+// relies on: if a snapshot shows Done && Rescans == 0, its Returned is
+// exactly the node's final count. Writers must therefore (a) store counter
+// increments before setting done, and (b) bump rescans before clearing
+// done or producing new rows on a re-open — which is exactly what
+// MarkRescan/ClearDone are for. A torn read can only misclassify a final
+// count as still-running, never the reverse, so bounds derived from
+// snapshots stay sound under any interleaving.
+package ledger

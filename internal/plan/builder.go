@@ -15,6 +15,7 @@ import (
 	"sqlprogress/internal/expr"
 	"sqlprogress/internal/schema"
 	"sqlprogress/internal/sqlval"
+	"sqlprogress/internal/stats"
 )
 
 // Builder creates plan nodes bound to one catalog.
@@ -138,6 +139,9 @@ func (b *Builder) parallelHashJoin(probeTable string, workers int, build Node, p
 	op := mk(build.Op, parts,
 		cols(build.Schema(), buildCol), cols(probeSch, probeCol), mode)
 	op.Linear = b.joinLinear(probeSch, probeCol, build.Schema(), buildCol)
+	// The probe partitions jointly scan the base table exactly once (nil op
+	// skips the scan-type guard for that side).
+	b.setLpJoinBound(op, mode, nil, probeSch, probeCol, build.Op, build.Schema(), buildCol)
 	probeEst := float64(b.cat.MustStore(probeTable).Cardinality())
 	return Node{b: b}.finish(op, joinEstimate(mode, probeEst, build.est, op.Linear))
 }
@@ -262,6 +266,63 @@ func columnBase(sch *schema.Schema, name string) (table, col string) {
 	return sch.Columns[i].Table, sch.Columns[i].Name
 }
 
+// sideDegreeNorms resolves the degree-sequence ℓp norms for one side of an
+// equi-join, for the pessimistic output bound (stats.JoinOutputUB). The
+// bound is sound only if the side delivers each base-table row at most once
+// — filtering shrinks degrees, but a join beneath can duplicate them — so
+// the side's operator must be a base-relation scan. Pass op == nil for
+// sides that are the base relation by construction (an INL probe index,
+// partition scans of a named table). Norms come from the column's histogram
+// (stale-widened via DegreeNorms); a declared-unique column needs no
+// synopsis, its degrees are uniform.
+func (b *Builder) sideDegreeNorms(op exec.Operator, sch *schema.Schema, col string) (stats.DegreeSeq, bool) {
+	if op != nil {
+		switch op.(type) {
+		case *exec.Scan, *exec.ParallelScan, *exec.RangeScan:
+		default:
+			return stats.DegreeSeq{}, false
+		}
+	}
+	table, column := columnBase(sch, col)
+	if table == "" {
+		return stats.DegreeSeq{}, false
+	}
+	if ts := b.cat.Stats(table); ts != nil {
+		if ci, err := sch.ColIndex("", col); err == nil && ci >= 0 {
+			if d, ok := ts.Histogram(ci).DegreeNorms(); ok {
+				return d, true
+			}
+		}
+	}
+	if b.cat.IsUnique(table, column) {
+		return stats.UniformDegrees(b.cat.Cardinality(table)), true
+	}
+	return stats.DegreeSeq{}, false
+}
+
+// setLpJoinBound attaches the ℓp-norm pessimistic output bound to an inner
+// equi-join when both sides' degree norms are derivable and sound. Only
+// inner joins: semi/anti are already capped by the probe side, and outer
+// joins add unmatched padding the norm product does not cover. The bound
+// lands in the tight track (UBTight) only — the classic UB is untouched, so
+// safe and lp-safe stay comparable on the same run.
+func (b *Builder) setLpJoinBound(op interface{ SetPessimisticUB(int64) }, mode exec.JoinMode,
+	aOp exec.Operator, aSch *schema.Schema, aCol string,
+	bOp exec.Operator, bSch *schema.Schema, bCol string) {
+	if mode != exec.InnerJoin {
+		return
+	}
+	ad, ok := b.sideDegreeNorms(aOp, aSch, aCol)
+	if !ok {
+		return
+	}
+	bd, ok := b.sideDegreeNorms(bOp, bSch, bCol)
+	if !ok {
+		return
+	}
+	op.SetPessimisticUB(stats.JoinOutputUB(ad, bd))
+}
+
 // joinLinear checks whether an equi-join on the named columns is provably
 // linear from the catalog's unique-key declarations.
 func (b *Builder) joinLinear(aSch *schema.Schema, aCol string, bSch *schema.Schema, bCol string) bool {
@@ -279,6 +340,7 @@ func (n Node) HashJoin(build Node, probeCol, buildCol string, mode exec.JoinMode
 	op := exec.NewHashJoin(build.Op, n.Op,
 		cols(build.Schema(), buildCol), cols(n.Schema(), probeCol), mode)
 	op.Linear = n.b.joinLinear(n.Schema(), probeCol, build.Schema(), buildCol)
+	n.b.setLpJoinBound(op, mode, n.Op, n.Schema(), probeCol, build.Op, build.Schema(), buildCol)
 	return n.finish(op, joinEstimate(mode, n.est, build.est, op.Linear))
 }
 
@@ -288,6 +350,12 @@ func (n Node) HashJoinMulti(build Node, probeCols, buildCols []string, mode exec
 		cols(build.Schema(), buildCols...), cols(n.Schema(), probeCols...), mode)
 	op.Linear = len(probeCols) > 0 &&
 		n.b.joinLinear(n.Schema(), probeCols[0], build.Schema(), buildCols[0])
+	// A composite-key join emits no more than the join on its first column
+	// alone (composite degrees refine single-column degrees), so the
+	// single-column norm bound stays sound.
+	if len(probeCols) > 0 {
+		n.b.setLpJoinBound(op, mode, n.Op, n.Schema(), probeCols[0], build.Op, build.Schema(), buildCols[0])
+	}
 	return n.finish(op, joinEstimate(mode, n.est, build.est, op.Linear))
 }
 
@@ -300,6 +368,9 @@ func (n Node) INLJoin(innerTable, innerCol, outerCol string, mode exec.JoinMode)
 	}
 	op := exec.NewINLJoin(n.Op, ix, expr.NewCol(n.Schema(), "", outerCol), mode)
 	op.Linear = n.b.joinLinear(n.Schema(), outerCol, ix.Rel.Schema(), innerCol)
+	// The inner side is the indexed base relation by construction (nil op
+	// skips the scan-type guard).
+	n.b.setLpJoinBound(op, mode, n.Op, n.Schema(), outerCol, nil, ix.Rel.Schema(), innerCol)
 	innerEst := float64(ix.Rel.Cardinality())
 	// When the outer key is unique (a key-FK join driven from the key side),
 	// every inner row is emitted at most once, so inner rows with a non-NULL

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"sqlprogress/internal/catalog"
+	"sqlprogress/internal/core"
 	"sqlprogress/internal/exec"
 	"sqlprogress/internal/expr"
 	"sqlprogress/internal/schema"
@@ -190,4 +191,57 @@ func TestBuilderPanicsOnUnknownTable(t *testing.T) {
 		}
 	}()
 	b.Scan("ghost")
+}
+
+func TestLpBoundOnManyToManyHashJoin(t *testing.T) {
+	b := NewBuilder(testCatalog())
+	// emp self-join on edept: 5 keys of degree 8 each, exact output 5*64=320,
+	// while the classic non-linear UB is |emp|*|emp| = 1600.
+	n := b.Scan("emp").HashJoin(b.Scan("emp"), "edept", "edept", exec.InnerJoin)
+	pb, ok := n.Op.(exec.PessimisticBounder)
+	if !ok {
+		t.Fatal("hash join does not expose PessimisticBounder")
+	}
+	if got := pb.PessimisticUB(); got != 320 {
+		t.Fatalf("PessimisticUB = %d, want 320 (l2*l2)", got)
+	}
+	snap := core.ComputeBounds(n.Op)
+	if snap.UBTight >= snap.UB {
+		t.Fatalf("UBTight %d not tighter than UB %d", snap.UBTight, snap.UB)
+	}
+	preTight := snap.UBTight
+	rows := run(t, n)
+	if len(rows) != 320 {
+		t.Fatalf("join output = %d, want 320", len(rows))
+	}
+	if total := exec.TotalCalls(n.Op); total > preTight {
+		t.Fatalf("tight bound unsound: total %d > pre-run UBTight %d", total, preTight)
+	}
+}
+
+func TestLpBoundSkipsNonBaseScanSides(t *testing.T) {
+	b := NewBuilder(testCatalog())
+	inner := b.Scan("emp").HashJoin(b.Scan("dept"), "edept", "dkey", exec.InnerJoin)
+	// The upper join's probe side is itself a join: rows may be duplicated,
+	// so the degree-norm bound would be unsound and must not be attached.
+	outer := inner.HashJoin(b.Scan("dept"), "dkey", "dkey", exec.InnerJoin)
+	if got := outer.Op.(exec.PessimisticBounder).PessimisticUB(); got != -1 {
+		t.Fatalf("join-above-join PessimisticUB = %d, want -1", got)
+	}
+}
+
+func TestLpBoundOnINLJoinUniqueInner(t *testing.T) {
+	b := NewBuilder(testCatalog())
+	// dept.dkey is unique (FK parent): the inner degree sequence is uniform
+	// even without consulting the histogram, and the bound collapses to at
+	// most |emp| non-NULL keys.
+	n := b.Scan("emp").INLJoin("dept", "dkey", "edept", exec.InnerJoin)
+	got := n.Op.(exec.PessimisticBounder).PessimisticUB()
+	if got < 1 || got > 40 {
+		t.Fatalf("INL unique-inner PessimisticUB = %d, want in [1,40]", got)
+	}
+	rows := run(t, n)
+	if int64(len(rows)) > got {
+		t.Fatalf("unsound: %d rows > bound %d", len(rows), got)
+	}
 }

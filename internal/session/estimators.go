@@ -11,7 +11,8 @@ import (
 func EstimatorNames() []string {
 	return []string{
 		"dne", "dne-dynamic", "dne-constrained",
-		"pmax", "safe", "trivial", "hybrid-mu", "hybrid-var",
+		"pmax", "safe", "lp-safe", "combiner",
+		"trivial", "hybrid-mu", "hybrid-var",
 	}
 }
 
@@ -30,6 +31,10 @@ func estimatorByName(name string) (core.Estimator, error) {
 		return core.Pmax{}, nil
 	case "safe":
 		return core.Safe{}, nil
+	case "lp-safe":
+		return core.LpSafe{}, nil
+	case "combiner":
+		return &core.Combiner{}, nil
 	case "trivial":
 		return core.Trivial{}, nil
 	case "hybrid-mu":

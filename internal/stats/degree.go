@@ -1,0 +1,130 @@
+package stats
+
+import "math"
+
+// DegreeSeq summarises the per-key degree sequence of one column: for every
+// distinct non-NULL value v of the column, its degree d(v) is the number of
+// rows carrying v, and the sequence's ℓp norms are what the pessimistic
+// cardinality bounds of the LpBound line consume. Only the norms are kept —
+// ℓ1 (the non-NULL row count), ℓ2 squared (Σ d(v)²), and ℓ∞ (the heaviest
+// key's degree) — because every join-output bound below is a function of
+// norms alone, and norms survive staleness widening with simple sound
+// rules. A DegreeSeq is captured in the same sorted pass that builds the
+// equi-depth histogram, so it describes exactly the analyzed relation.
+type DegreeSeq struct {
+	// NonNull is the ℓ1 norm: Σ_v d(v), the number of non-NULL rows.
+	NonNull int64
+	// SumSq is the squared ℓ2 norm: Σ_v d(v)².
+	SumSq int64
+	// Max is the ℓ∞ norm: max_v d(v).
+	Max int64
+	// Distinct is the number of distinct non-NULL values (the sequence's
+	// length).
+	Distinct int64
+}
+
+// addRun folds one equal-value run of length n into the norms (the caller
+// walks the sorted column once, run by run).
+func (d *DegreeSeq) addRun(n int64) {
+	d.NonNull += n
+	d.SumSq = satAddI64(d.SumSq, satMulI64(n, n))
+	if n > d.Max {
+		d.Max = n
+	}
+	d.Distinct++
+}
+
+// Widen returns the degree norms widened by a staleness budget of `changed`
+// in-place row mutations, against a relation of `total` rows. Each mutation
+// rewrites one row's value: it removes the row from one key's degree and
+// adds it to another's (possibly from or to NULL). Removals only shrink
+// norms, so a sound upper widening accounts for `changed` additions:
+//
+//   - ℓ1 grows by at most changed (a NULL row may have become non-NULL),
+//     capped at the relation's row count;
+//   - ℓ∞ grows by at most changed (every mutation may pile onto the same
+//     key), capped at the widened ℓ1;
+//   - each addition raises some degree d to d+1, growing Σd² by
+//     2d+1 ≤ 2·ℓ∞' − 1, so ℓ2² grows by at most changed·(2·ℓ∞' − 1),
+//     capped at ℓ1'·ℓ∞' (the maximum of Σd² under the other two norms).
+//
+// With changed == 0 the norms are returned unchanged, so fresh statistics
+// pay nothing.
+func (d DegreeSeq) Widen(changed, total int64) DegreeSeq {
+	if changed <= 0 {
+		return d
+	}
+	w := d
+	w.NonNull = minI64s(satAddI64(d.NonNull, changed), total)
+	w.Max = minI64s(satAddI64(d.Max, changed), w.NonNull)
+	w.SumSq = satAddI64(d.SumSq, satMulI64(changed, 2*w.Max-1))
+	if cap := satMulI64(w.NonNull, w.Max); w.SumSq > cap {
+		w.SumSq = cap
+	}
+	return w
+}
+
+// UniformDegrees is the degree sequence of a column declared unique: n
+// distinct values of degree 1. It lets integrity metadata stand in for a
+// synopsis when computing join bounds (a unique key's norms need no
+// histogram).
+func UniformDegrees(n int64) DegreeSeq {
+	if n < 0 {
+		n = 0
+	}
+	return DegreeSeq{NonNull: n, SumSq: n, Max: minI64s(n, 1), Distinct: n}
+}
+
+// JoinOutputUB is the pessimistic upper bound on an inner equi-join's
+// output cardinality from the two sides' degree norms, à la LpBound: the
+// output is Σ_v d_a(v)·d_b(v) over shared keys, which Hölder's and
+// Cauchy–Schwarz's inequalities bound by each of
+//
+//	ℓ1(a)·ℓ∞(b),  ℓ∞(a)·ℓ1(b),  ℓ2(a)·ℓ2(b)
+//
+// and the bound returned is their minimum. The bound is provably sound for
+// any inner equi-join on the summarised columns; it is also sound when one
+// side is an arbitrarily filtered subset of its base relation, because
+// filtering only shrinks degrees. A negative return never happens; the
+// result saturates at DegreeUnbounded.
+func JoinOutputUB(a, b DegreeSeq) int64 {
+	ub := satMulI64(a.NonNull, b.Max)
+	if v := satMulI64(a.Max, b.NonNull); v < ub {
+		ub = v
+	}
+	// ℓ2·ℓ2 in floating point (the squared products can overflow int64),
+	// rounded up to stay an upper bound.
+	if l2 := math.Sqrt(float64(a.SumSq)) * math.Sqrt(float64(b.SumSq)); l2 < float64(ub) {
+		ub = int64(math.Ceil(l2))
+	}
+	return ub
+}
+
+// DegreeUnbounded is the saturation value of degree-norm arithmetic, chosen
+// to stay combinable without overflow (matching the executor's Unbounded
+// sentinel magnitude).
+const DegreeUnbounded = math.MaxInt64 / 4
+
+func satAddI64(a, b int64) int64 {
+	if a >= DegreeUnbounded || b >= DegreeUnbounded || a+b >= DegreeUnbounded {
+		return DegreeUnbounded
+	}
+	return a + b
+}
+
+func satMulI64(a, b int64) int64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	if a >= DegreeUnbounded || b >= DegreeUnbounded || a > DegreeUnbounded/b {
+		return DegreeUnbounded
+	}
+	return a * b
+}
+
+func minI64s(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"sqlprogress/internal/sqlval"
+)
+
+// degreesOf computes the exact norms by brute force for comparison.
+func degreesOf(vals []int64) DegreeSeq {
+	counts := map[int64]int64{}
+	for _, v := range vals {
+		counts[v]++
+	}
+	var d DegreeSeq
+	for _, c := range counts {
+		d.NonNull += c
+		d.SumSq += c * c
+		if c > d.Max {
+			d.Max = c
+		}
+		d.Distinct++
+	}
+	return d
+}
+
+func intValues(vals []int64) []sqlval.Value {
+	out := make([]sqlval.Value, len(vals))
+	for i, v := range vals {
+		out[i] = sqlval.Int(v)
+	}
+	return out
+}
+
+func TestBuildHistogramCapturesDegreeNorms(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(400)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(r.Intn(1 + n/4))
+		}
+		want := degreesOf(vals)
+		h := BuildHistogram(intValues(vals), 8)
+		if h.Degrees != want {
+			t.Fatalf("trial %d: degrees = %+v, want %+v", trial, h.Degrees, want)
+		}
+		got, ok := h.DegreeNorms()
+		if !ok || got != want {
+			t.Fatalf("trial %d: DegreeNorms() = %+v, %v; want %+v, true", trial, got, ok, want)
+		}
+	}
+}
+
+func TestDegreeNormsIgnoreNulls(t *testing.T) {
+	vals := []sqlval.Value{sqlval.Int(1), sqlval.Null(), sqlval.Int(1), sqlval.Null(), sqlval.Int(2)}
+	h := BuildHistogram(vals, 4)
+	want := DegreeSeq{NonNull: 3, SumSq: 5, Max: 2, Distinct: 2}
+	if h.Degrees != want {
+		t.Fatalf("degrees = %+v, want %+v", h.Degrees, want)
+	}
+}
+
+func TestDegreeNormsEmptyColumn(t *testing.T) {
+	h := BuildHistogram([]sqlval.Value{sqlval.Null(), sqlval.Null()}, 4)
+	if _, ok := h.DegreeNorms(); ok {
+		t.Fatalf("all-NULL column reported degree norms")
+	}
+	if _, ok := (*Histogram)(nil).DegreeNorms(); ok {
+		t.Fatalf("nil histogram reported degree norms")
+	}
+}
+
+// TestWidenIsSound drifts random relations and checks the widened analyzed
+// norms dominate the exact post-drift norms — the property the stale
+// regime's soundness rests on.
+func TestWidenIsSound(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + r.Intn(300)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(r.Intn(1 + n/5))
+		}
+		analyzed := degreesOf(vals)
+		k := r.Intn(n / 2)
+		for i := 0; i < k; i++ {
+			vals[r.Intn(n)] = int64(r.Intn(1 + n/5))
+		}
+		drifted := degreesOf(vals)
+		w := analyzed.Widen(int64(k), int64(n))
+		if drifted.NonNull > w.NonNull || drifted.Max > w.Max || drifted.SumSq > w.SumSq {
+			t.Fatalf("trial %d: widened %+v does not dominate drifted %+v (k=%d)",
+				trial, w, drifted, k)
+		}
+	}
+}
+
+func TestWidenZeroBudgetIsIdentity(t *testing.T) {
+	d := DegreeSeq{NonNull: 100, SumSq: 500, Max: 9, Distinct: 30}
+	if got := d.Widen(0, 120); got != d {
+		t.Fatalf("Widen(0) = %+v, want %+v", got, d)
+	}
+}
+
+func TestJoinOutputUBIsSound(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		na, nb := 5+r.Intn(200), 5+r.Intn(200)
+		a := make([]int64, na)
+		b := make([]int64, nb)
+		for i := range a {
+			a[i] = int64(r.Intn(30))
+		}
+		for i := range b {
+			b[i] = int64(r.Intn(30))
+		}
+		// Exact inner equi-join output: Σ_v d_a(v)·d_b(v).
+		ca, cb := map[int64]int64{}, map[int64]int64{}
+		for _, v := range a {
+			ca[v]++
+		}
+		for _, v := range b {
+			cb[v]++
+		}
+		var exact int64
+		for v, da := range ca {
+			exact += da * cb[v]
+		}
+		ub := JoinOutputUB(degreesOf(a), degreesOf(b))
+		if ub < exact {
+			t.Fatalf("trial %d: JoinOutputUB %d < exact output %d", trial, ub, exact)
+		}
+	}
+}
+
+func TestJoinOutputUBSelfJoinIsExactViaL2(t *testing.T) {
+	// A self-join's output is exactly Σ d(v)² = the squared ℓ2 norm; the
+	// ℓ2·ℓ2 term of the bound must therefore be exact.
+	vals := []int64{1, 1, 1, 2, 2, 3, 4, 4, 4, 4}
+	d := degreesOf(vals)
+	if got := JoinOutputUB(d, d); got != d.SumSq {
+		t.Fatalf("self-join UB = %d, want exact %d", got, d.SumSq)
+	}
+}
+
+func TestJoinOutputUBUniqueSide(t *testing.T) {
+	// A unique outer key reduces the ℓ∞·ℓ1 term to the inner row count —
+	// the bound can never be worse than the pre-existing FK bound.
+	inner := degreesOf([]int64{1, 1, 1, 1, 2, 3, 3})
+	outer := UniformDegrees(100)
+	if got := JoinOutputUB(outer, inner); got > inner.NonNull {
+		t.Fatalf("unique-outer UB = %d, exceeds inner ℓ1 %d", got, inner.NonNull)
+	}
+}
+
+func TestDegradeStaleWidensDegreeNorms(t *testing.T) {
+	vals := make([]int64, 60)
+	for i := range vals {
+		vals[i] = int64(i % 7)
+	}
+	ts := &TableStats{
+		Table:      "t",
+		RowCount:   60,
+		Histograms: []*Histogram{BuildHistogram(intValues(vals), 8)},
+	}
+	fresh, ok := ts.Histogram(0).DegreeNorms()
+	if !ok {
+		t.Fatal("fresh histogram has no degree norms")
+	}
+	stale := Degrade(ts, Stale, 12)
+	widened, ok := stale.Histogram(0).DegreeNorms()
+	if !ok {
+		t.Fatal("stale histogram lost its degree norms")
+	}
+	if widened.Max <= fresh.Max || widened.SumSq <= fresh.SumSq {
+		t.Fatalf("stale norms %+v not widened over fresh %+v", widened, fresh)
+	}
+}

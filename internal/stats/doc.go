@@ -1,0 +1,27 @@
+// Package stats implements relation statistics in the sense of the paper
+// (Section 2.3): a statistics Generator maps a relation to a compact, lossy
+// synopsis. Equi-depth single-column histograms are the deterministic
+// instance; reservoir samples are the randomized instance.
+//
+// The statistics serve three roles in progress estimation:
+//
+//   - Selectivity estimates feed driver-node totals for the dne estimator.
+//   - Histogram bucket boundaries yield lower/upper bounds for range scans
+//     (Section 5.1, footnote 2).
+//   - Degree sequences yield pessimistic join upper bounds: for a join
+//     R ⋈ S on a key, the output is at most
+//     min(l1(R)·linf(S), linf(R)·l1(S), l2(R)·l2(S)) where lp is the
+//     p-norm of the relation's per-key degree vector. These bounds are
+//     provably sound regardless of correlation or skew — the LpBound line
+//     of work — and feed the plan's tightened upper bound UBTight, which
+//     the lp-safe estimator divides through.
+//
+// # Staleness model
+//
+// Statistics are snapshots: a synopsis taken at generation time does not
+// track subsequent mutation. The evalmatrix harness exploits this to build
+// its fresh/stale/absent stats-health axis — stale cells generate
+// statistics, then mutate the data underneath them. Degree-norm bounds
+// computed from live relations (as the planner does at bind time) remain
+// exact for the data as bound.
+package stats

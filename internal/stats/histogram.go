@@ -1,12 +1,3 @@
-// Package stats implements single-relation statistics in the sense of the
-// paper (Section 2.3): a statistics Generator maps a relation to a compact,
-// lossy synopsis. Equi-depth single-column histograms are the deterministic
-// instance; reservoir samples are the randomized instance.
-//
-// The statistics serve two roles in progress estimation: selectivity
-// estimates feed driver-node totals for the dne estimator, and histogram
-// bucket boundaries yield lower/upper bounds for range scans (Section 5.1,
-// footnote 2).
 package stats
 
 import (
@@ -39,6 +30,22 @@ type Histogram struct {
 	// and they remain sound for the drifted relation. Zero for fresh
 	// statistics; set via Degrade.
 	Stale int64
+	// Degrees carries the column's degree-sequence ℓp norms, captured in the
+	// same sorted pass that cut the buckets. Read them through DegreeNorms,
+	// which applies the staleness widening.
+	Degrees DegreeSeq
+}
+
+// DegreeNorms returns the column's degree-sequence norms, widened by the
+// histogram's staleness budget so they stay sound upper bounds for the
+// drifted relation. The second return is false when the histogram
+// summarised no non-NULL values (empty columns have no degree sequence to
+// bound joins with).
+func (h *Histogram) DegreeNorms() (DegreeSeq, bool) {
+	if h == nil || h.Degrees.NonNull <= 0 {
+		return DegreeSeq{}, false
+	}
+	return h.Degrees.Widen(h.Stale, h.Total), true
 }
 
 // BuildHistogram constructs an equi-depth histogram with at most maxBuckets
@@ -64,6 +71,15 @@ func BuildHistogram(values []sqlval.Value, maxBuckets int) *Histogram {
 	}
 	slices.SortFunc(nonNull, sqlval.Compare)
 	n := len(nonNull)
+	// The per-key degree sequence falls out of the same sorted order: each
+	// equal-value run is one key's degree. Only the ℓp norms are kept.
+	runStart := 0
+	for i := 1; i <= n; i++ {
+		if i == n || sqlval.Compare(nonNull[i], nonNull[i-1]) != 0 {
+			h.Degrees.addRun(int64(i - runStart))
+			runStart = i
+		}
+	}
 	depth := (n + maxBuckets - 1) / maxBuckets
 	for start := 0; start < n; {
 		end := start + depth

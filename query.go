@@ -33,6 +33,12 @@ const (
 	// Safe is Curr/sqrt(LB*UB) (Definition 5): worst-case optimal
 	// (Theorem 6).
 	Safe EstimatorKind = "safe"
+	// LpSafe is safe against the pessimistic degree-norm upper bound:
+	// Curr/sqrt(LB*UBTight), never worse than Safe.
+	LpSafe EstimatorKind = "lp-safe"
+	// Combiner blends dne/pmax/safe per plan segment, weighting each by its
+	// observed error against the shrinking feasible interval.
+	Combiner EstimatorKind = "combiner"
 	// Trivial always answers 0.5 with the interval (0, 1).
 	Trivial EstimatorKind = "trivial"
 	// HybridMu plays safe but switches to pmax when the observed mu is
@@ -57,6 +63,10 @@ func newEstimator(k EstimatorKind) (core.Estimator, error) {
 		return core.Pmax{}, nil
 	case Safe:
 		return core.Safe{}, nil
+	case LpSafe:
+		return core.LpSafe{}, nil
+	case Combiner:
+		return &core.Combiner{}, nil
 	case Trivial:
 		return core.Trivial{}, nil
 	case HybridMu:
